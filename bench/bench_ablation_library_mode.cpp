@@ -1,0 +1,95 @@
+// Ablation: variational library pre-characterization mode.
+//
+// kFullReduction differences complete reductions (the paper's variational
+// algebra with dX terms, Eq. 8-11) -- it reproduces the instability but
+// carries eigen-derivative noise. kFrozenProjection re-projects perturbed
+// pencils through the nominal basis -- every sample is an exact congruence,
+// so instability appears only far outside the characterized range.
+// Also sweeps the reduction method (PACT vs PRIMA) and the DOE step.
+#include <cmath>
+#include <complex>
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "interconnect/example1.hpp"
+#include "mor/poleres.hpp"
+#include "mor/variational.hpp"
+
+using namespace lcsf;
+using numeric::Complex;
+using numeric::Vector;
+
+namespace {
+
+constexpr double kGout = 25.26e-3;
+
+double band_error(const mor::PoleResidueModel& model,
+                  const interconnect::PortedPencil& exact) {
+  double err = 0.0;
+  for (double f : {1e7, 1e8, 1e9, 1e10}) {
+    const Complex s{0.0, 2 * M_PI * f};
+    const Complex ze =
+        mor::pencil_port_impedance(exact.g, exact.c, 1, s)(0, 0);
+    err = std::max(err, std::abs(model.eval(0, 0, s) - ze) / std::abs(ze));
+  }
+  return err;
+}
+
+}  // namespace
+
+int main() {
+  bench::print_header("Ablation: variational library modes");
+
+  auto family = mor::scalar_family([](double p) {
+    auto pencil = interconnect::example1_pencil_family()(p);
+    return mor::with_port_conductance(std::move(pencil), Vector{kGout});
+  });
+
+  struct Config {
+    const char* name;
+    mor::ReductionMethod method;
+    mor::LibraryMode mode;
+    double h;
+  };
+  const Config configs[] = {
+      {"PACT  full-reduction h=0.05", mor::ReductionMethod::kPact,
+       mor::LibraryMode::kFullReduction, 0.05},
+      {"PACT  full-reduction h=0.01", mor::ReductionMethod::kPact,
+       mor::LibraryMode::kFullReduction, 0.01},
+      {"PACT  frozen-projection     ", mor::ReductionMethod::kPact,
+       mor::LibraryMode::kFrozenProjection, 0.05},
+      {"PRIMA full-reduction h=0.05", mor::ReductionMethod::kPrima,
+       mor::LibraryMode::kFullReduction, 0.05},
+      {"PRIMA frozen-projection     ", mor::ReductionMethod::kPrima,
+       mor::LibraryMode::kFrozenProjection, 0.05},
+  };
+
+  std::printf("\nper config: unstable-pole count / stabilized band error "
+              "at each p\n\n");
+  std::printf("%-30s %-12s %-12s %-12s\n", "library", "p=0.05", "p=0.08",
+              "p=0.10");
+  for (const Config& cfg : configs) {
+    mor::VariationalOptions vopt;
+    vopt.method = cfg.method;
+    vopt.library = cfg.mode;
+    vopt.pact.internal_modes = 4;
+    vopt.prima.block_moments = 4;
+    vopt.fd_step = cfg.h;
+    const auto rom = mor::build_variational_rom(family, 1, vopt);
+    std::printf("%-30s ", cfg.name);
+    for (double p : {0.05, 0.08, 0.10}) {
+      const auto raw = mor::extract_pole_residue(rom.evaluate(Vector{p}));
+      const auto st = mor::stabilize(raw);
+      std::printf("%zu / %-7.2f%% ", raw.count_unstable(),
+                  100 * band_error(st, family(Vector{p})));
+    }
+    std::printf("\n");
+  }
+  std::printf(
+      "\nreading: the paper-literal full-reduction library shows the\n"
+      "Table-3 instability; the frozen-projection ablation stays passive\n"
+      "over the characterized range at comparable accuracy, at the cost\n"
+      "of not reproducing the paper's phenomenon (and of requiring the\n"
+      "projection basis to be stored).\n");
+  return 0;
+}

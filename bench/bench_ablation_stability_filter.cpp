@@ -1,0 +1,108 @@
+// Ablation: the two-step stability filter (paper Eq. 21-23).
+//
+// Compares, across the Example-1 parameter sweep:
+//   raw      -- the evaluated variational ROM, no filtering (frequency
+//               response only; the time-domain engine rejects it);
+//   beta     -- drop unstable poles + common residue rescaling (the
+//               paper's literal Eq. 22-23);
+//   direct   -- drop unstable poles + fold their below-band constant
+//               -r/p into the direct term (this library's default);
+//   none     -- what happens if the unstable poles are simply deleted
+//               with no DC correction.
+// Metric: max relative Z(jw) error vs the exact pencil over the signal
+// band, plus the DC error that each policy leaves behind.
+#include <cmath>
+#include <complex>
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "interconnect/example1.hpp"
+#include "mor/pact.hpp"
+#include "mor/poleres.hpp"
+#include "mor/variational.hpp"
+
+using namespace lcsf;
+using numeric::Complex;
+using numeric::Vector;
+
+namespace {
+
+constexpr double kGout = 25.26e-3;  // Example-1 driver chords
+
+double band_error(const mor::PoleResidueModel& model,
+                  const interconnect::PortedPencil& exact) {
+  double err = 0.0;
+  for (double f : {1e7, 1e8, 3e8, 1e9, 3e9, 1e10}) {
+    const Complex s{0.0, 2 * M_PI * f};
+    const Complex ze =
+        mor::pencil_port_impedance(exact.g, exact.c, 1, s)(0, 0);
+    err = std::max(err, std::abs(model.eval(0, 0, s) - ze) / std::abs(ze));
+  }
+  return err;
+}
+
+double dc_error(const mor::PoleResidueModel& model,
+                const interconnect::PortedPencil& exact) {
+  const double ze = mor::pencil_moment(exact.g, exact.c, 1, 0)(0, 0);
+  return std::abs(model.eval(0, 0, Complex{0, 0}).real() - ze) /
+         std::abs(ze);
+}
+
+// "none": drop unstable poles without any correction.
+mor::PoleResidueModel drop_only(const mor::PoleResidueModel& m) {
+  std::vector<Complex> poles;
+  std::vector<numeric::ComplexMatrix> residues;
+  for (std::size_t k = 0; k < m.num_poles(); ++k) {
+    if (m.poles()[k].real() <= 0.0) {
+      poles.push_back(m.poles()[k]);
+      residues.push_back(m.residue(k));
+    }
+  }
+  return mor::PoleResidueModel(1, m.direct(), std::move(poles),
+                               std::move(residues));
+}
+
+}  // namespace
+
+int main() {
+  bench::print_header("Ablation: stability filter policies (Eq. 21-23)");
+
+  auto family = mor::scalar_family([](double p) {
+    auto pencil = interconnect::example1_pencil_family()(p);
+    return mor::with_port_conductance(std::move(pencil), Vector{kGout});
+  });
+  mor::VariationalOptions vopt;
+  vopt.library = mor::LibraryMode::kFullReduction;
+  vopt.pact.internal_modes = 4;
+  vopt.fd_step = 0.05;
+  const auto rom = mor::build_variational_rom(family, 1, vopt);
+
+  std::printf("\nmax relative |Z(jw)| error over 10 MHz - 10 GHz "
+              "(and DC error):\n\n");
+  std::printf("%-6s %-9s %-18s %-18s %-18s %-18s\n", "p", "unstable",
+              "raw", "beta (Eq.23)", "direct comp.", "drop only");
+  for (double p : {0.02, 0.05, 0.06, 0.08, 0.10}) {
+    const auto exact = family(Vector{p});
+    const auto raw = mor::extract_pole_residue(rom.evaluate(Vector{p}));
+    const auto beta =
+        mor::stabilize(raw, nullptr, mor::StabilizePolicy::kBetaScaling);
+    const auto direct = mor::stabilize(
+        raw, nullptr, mor::StabilizePolicy::kDirectCompensation);
+    const auto none = drop_only(raw);
+    std::printf("%-6.2f %-9zu %6.2f%% (%5.2f%%)  %6.2f%% (%5.2f%%)  "
+                "%6.2f%% (%5.2f%%)  %6.2f%% (%5.2f%%)\n",
+                p, raw.count_unstable(), 100 * band_error(raw, exact),
+                100 * dc_error(raw, exact), 100 * band_error(beta, exact),
+                100 * dc_error(beta, exact),
+                100 * band_error(direct, exact),
+                100 * dc_error(direct, exact),
+                100 * band_error(none, exact), 100 * dc_error(none, exact));
+  }
+  std::printf(
+      "\nreading: both filter policies restore DC exactly. When the\n"
+      "flipped pole carries real band weight (this circuit), the direct\n"
+      "compensation keeps the mid-band response while beta scaling\n"
+      "distorts it; for far-out tiny-residue unstable poles (the paper's\n"
+      "common case) the two coincide.\n");
+  return 0;
+}

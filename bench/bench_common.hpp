@@ -1,0 +1,42 @@
+// Shared helpers for the table/figure reproduction benches.
+#pragma once
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+namespace lcsf::bench {
+
+/// Wall-clock stopwatch in seconds.
+class Stopwatch {
+ public:
+  Stopwatch() : start_(std::chrono::steady_clock::now()) {}
+  double seconds() const {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         start_)
+        .count();
+  }
+  void reset() { start_ = std::chrono::steady_clock::now(); }
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+};
+
+/// Benches honour LCSF_BENCH_QUICK=1 to shrink sample counts and circuit
+/// sizes for smoke runs; the recorded outputs use the full settings.
+inline bool quick_mode() {
+  const char* env = std::getenv("LCSF_BENCH_QUICK");
+  return env != nullptr && std::strcmp(env, "0") != 0;
+}
+
+inline void print_header(const std::string& title) {
+  std::printf("==============================================================="
+              "=\n%s\n"
+              "==============================================================="
+              "=\n",
+              title.c_str());
+}
+
+}  // namespace lcsf::bench

@@ -1,0 +1,169 @@
+// Extension bench: crosstalk noise on a quiet victim (signal integrity).
+//
+// Sec. 4 of the paper argues that "the inclusion of the electrical
+// activity in the local vicinity of the signal path into timing analysis
+// (signal integrity) can be imperative". This bench holds the victim line
+// quiet while its neighbours switch and measures the coupled noise peak at
+// the victim's far end -- with the variational library evaluated across
+// the wire-spacing tolerance, and cross-checked against the full
+// conventional simulation.
+#include <algorithm>
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "circuit/technology.hpp"
+#include "interconnect/coupled_lines.hpp"
+#include "mor/poleres.hpp"
+#include "mor/prima.hpp"
+#include "mor/variational.hpp"
+#include "spice/transient.hpp"
+#include "teta/stage.hpp"
+
+using namespace lcsf;
+using numeric::Vector;
+
+namespace {
+
+constexpr double kLen = 200e-6;
+constexpr std::size_t kLines = 3;  // victim in the middle
+constexpr double kDt = 2e-12;
+constexpr double kTstop = 1.2e-9;
+
+struct Setup {
+  circuit::Technology tech = circuit::technology_180nm();
+  // Victim (line 1) input held low -> its driver holds the line high;
+  // aggressors fall -> lines rise... choose: victim high and quiet,
+  // aggressors rise from low.
+  circuit::SourceWaveform victim_in = circuit::SourceWaveform::dc(0.0);
+  circuit::SourceWaveform aggressor_in =
+      circuit::SourceWaveform::ramp(1.8, 0.0, 100e-12, 80e-12);
+
+  teta::StageCircuit make_stage() const {
+    teta::StageCircuit st;
+    std::vector<std::size_t> near(kLines);
+    for (std::size_t l = 0; l < kLines; ++l) near[l] = st.add_port();
+    for (std::size_t l = 0; l < kLines; ++l) st.add_port();
+    const std::size_t vdd = st.add_rail(tech.vdd);
+    const std::size_t gnd = st.add_rail(0.0);
+    for (std::size_t l = 0; l < kLines; ++l) {
+      const std::size_t in =
+          st.add_input(l == 1 ? victim_in : aggressor_in);
+      st.add_mosfet(tech.make_nmos(static_cast<int>(near[l]),
+                                   static_cast<int>(in),
+                                   static_cast<int>(gnd), 6.0));
+      st.add_mosfet(tech.make_pmos(static_cast<int>(near[l]),
+                                   static_cast<int>(in),
+                                   static_cast<int>(vdd), 12.0));
+    }
+    st.freeze_device_capacitances();
+    return st;
+  }
+
+  interconnect::CoupledLineBundle bundle(double spacing_norm) const {
+    interconnect::WireVariation wv;
+    wv.spacing = spacing_norm * tech.wire_tol.spacing;
+    interconnect::CoupledLineSpec spec;
+    spec.num_lines = kLines;
+    spec.length = kLen;
+    spec.segment_length = 1e-6;
+    spec.geometry = interconnect::apply_variation(tech.wire, wv);
+    auto b = interconnect::build_coupled_lines(spec);
+    for (auto far : b.far_ends) {
+      b.netlist.add_capacitor(far, circuit::kGround, 4e-15);
+    }
+    return b;
+  }
+};
+
+double noise_peak(const std::vector<std::pair<double, double>>& w,
+                  double quiet_level) {
+  double peak = 0.0;
+  for (const auto& [t, v] : w) {
+    peak = std::max(peak, std::abs(v - quiet_level));
+  }
+  return peak;
+}
+
+}  // namespace
+
+int main() {
+  bench::print_header("Extension: crosstalk noise on a quiet victim");
+  const Setup setup;
+  const double vdd = setup.tech.vdd;
+
+  // Variational library over the spacing parameter only.
+  auto stage0 = setup.make_stage();
+  Vector gout(2 * kLines, 0.0);
+  {
+    const auto near = stage0.port_chord_conductances(vdd);
+    for (std::size_t l = 0; l < kLines; ++l) gout[l] = near[l];
+  }
+  mor::PencilFamily family = [&setup, &gout](const Vector& w) {
+    auto b = setup.bundle(w[0]);
+    auto pencil = interconnect::build_ported_pencil(b.netlist, b.ports());
+    return mor::with_port_conductance(std::move(pencil), gout);
+  };
+  mor::VariationalOptions vopt;
+  vopt.method = mor::ReductionMethod::kPrima;
+  vopt.prima.block_moments = 2;
+  vopt.fd_step = 0.2;
+  const auto rom = mor::build_variational_rom(family, 1, vopt);
+
+  std::printf("\nvictim quiet-high, both neighbours rising; %g um lines\n\n",
+              kLen * 1e6);
+  std::printf("%-16s %-22s %-22s\n", "spacing", "framework noise [mV]",
+              "full sim noise [mV]");
+  for (double w : {-1.0, -0.5, 0.0, 0.5, 1.0}) {
+    // Framework.
+    const auto z = mor::stabilize(
+        mor::extract_pole_residue(rom.evaluate(Vector{w})));
+    auto stage = setup.make_stage();
+    teta::TetaOptions topt;
+    topt.tstop = kTstop;
+    topt.dt = kDt;
+    topt.vdd = vdd;
+    const auto tres = teta::simulate_stage(stage, z, topt);
+    if (!tres.converged) {
+      std::printf("TETA failed: %s\n", tres.failure.c_str());
+      return 1;
+    }
+    const double fw =
+        noise_peak(tres.waveform(kLines + 1), vdd);  // victim far end
+
+    // Full simulation.
+    auto b = setup.bundle(w);
+    circuit::Netlist nl = b.netlist;
+    const auto nvdd = nl.add_node("vdd");
+    nl.add_vsource(nvdd, circuit::kGround,
+                   circuit::SourceWaveform::dc(vdd));
+    for (std::size_t l = 0; l < kLines; ++l) {
+      const auto in = nl.add_node("in" + std::to_string(l));
+      nl.add_vsource(in, circuit::kGround,
+                     l == 1 ? setup.victim_in : setup.aggressor_in);
+      nl.add_mosfet(
+          setup.tech.make_nmos(b.near_ends[l], in, circuit::kGround, 6.0));
+      nl.add_mosfet(setup.tech.make_pmos(b.near_ends[l], in, nvdd, 12.0));
+    }
+    nl.freeze_device_capacitances();
+    spice::TransientSimulator sim(nl);
+    spice::TransientOptions sopt;
+    sopt.tstop = kTstop;
+    sopt.dt = kDt;
+    const auto sres = sim.run(sopt);
+    if (!sres.converged) {
+      std::printf("SPICE failed: %s\n", sres.failure.c_str());
+      return 1;
+    }
+    const double sp = noise_peak(sres.waveform(b.far_ends[1]), vdd);
+
+    std::printf("%+.1f tol (%4.0f nm) %-22.1f %-22.1f\n", w,
+                (1.0 + w * setup.tech.wire_tol.spacing) *
+                    setup.tech.wire.spacing * 1e9,
+                fw * 1e3, sp * 1e3);
+  }
+  std::printf(
+      "\nreading: tighter spacing raises the coupled noise; the variational\n"
+      "library tracks the full simulation across the spacing tolerance\n"
+      "without re-reducing the interconnect.\n");
+  return 0;
+}

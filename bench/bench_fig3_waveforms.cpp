@@ -1,0 +1,152 @@
+// Reproduces Figure 3: "Result for nominal (p=0), extreme (p=0.1) and the
+// reconstructed macromodel" -- plus the divergence the paper reports when
+// the raw (non-passive) macromodel is handed to a conventional simulator.
+//
+// Series printed:
+//   t, v_nominal(p=0, exact circuit), v_extreme(p=0.1, exact circuit),
+//   v_macromodel(p=0.1, stabilized variational ROM in the TETA engine)
+// followed by the SPICE-on-raw-macromodel convergence report for each p.
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "circuit/technology.hpp"
+#include "interconnect/example1.hpp"
+#include "mor/pact.hpp"
+#include "mor/poleres.hpp"
+#include "mor/variational.hpp"
+#include "spice/transient.hpp"
+#include "teta/stage.hpp"
+#include "timing/waveform.hpp"
+
+using namespace lcsf;
+using numeric::Vector;
+
+namespace {
+
+constexpr double kDt = 2e-12;
+constexpr double kTstop = 5e-9;
+
+teta::StageCircuit make_driver(const circuit::Technology& tech) {
+  teta::StageCircuit st;
+  const std::size_t out = st.add_port();
+  const std::size_t in = st.add_input(circuit::SourceWaveform::ramp(
+      tech.vdd, 0.0, 100e-12, 100e-12));
+  const std::size_t vdd = st.add_rail(tech.vdd);
+  const std::size_t gnd = st.add_rail(0.0);
+  st.add_mosfet(tech.make_nmos(static_cast<int>(out), static_cast<int>(in),
+                               static_cast<int>(gnd), 30.0));
+  st.add_mosfet(tech.make_pmos(static_cast<int>(out), static_cast<int>(in),
+                               static_cast<int>(vdd), 60.0));
+  st.freeze_device_capacitances();
+  return st;
+}
+
+// Exact circuit golden waveform via the SPICE baseline.
+timing::Samples golden_waveform(const circuit::Technology& tech, double p) {
+  const auto ex = interconnect::example1_circuit(p);
+  circuit::Netlist nl = ex.netlist;
+  const auto in = nl.add_node("in");
+  const auto vdd = nl.add_node("vdd");
+  nl.add_vsource(vdd, circuit::kGround,
+                 circuit::SourceWaveform::dc(tech.vdd));
+  nl.add_vsource(in, circuit::kGround,
+                 circuit::SourceWaveform::ramp(tech.vdd, 0.0, 100e-12,
+                                               100e-12));
+  nl.add_mosfet(tech.make_nmos(ex.port1, in, circuit::kGround, 30.0));
+  nl.add_mosfet(tech.make_pmos(ex.port1, in, vdd, 60.0));
+  nl.freeze_device_capacitances();
+  spice::TransientSimulator sim(nl);
+  spice::TransientOptions opt;
+  opt.tstop = kTstop;
+  opt.dt = kDt;
+  const auto res = sim.run(opt);
+  if (!res.converged) throw std::runtime_error(res.failure);
+  return res.waveform(ex.port1);
+}
+
+}  // namespace
+
+int main() {
+  bench::print_header("Figure 3: Example 1 waveforms (port 1, rising)");
+  const circuit::Technology tech = circuit::technology_600nm();
+  const double gout =
+      make_driver(tech).port_chord_conductances(tech.vdd)[0];
+
+  mor::VariationalOptions vopt;
+  vopt.library = mor::LibraryMode::kFullReduction;
+  vopt.pact.internal_modes = 4;
+  vopt.fd_step = 0.05;
+  const auto rom = mor::build_variational_rom(
+      mor::scalar_family([gout](double p) {
+        auto pencil = interconnect::example1_pencil_family()(p);
+        return mor::with_port_conductance(std::move(pencil), Vector{gout});
+      }),
+      1, vopt);
+
+  // Framework waveform from the stabilized macromodel at p = 0.1.
+  mor::StabilizationReport rep;
+  const auto z = mor::stabilize(
+      mor::extract_pole_residue(rom.evaluate(Vector{0.1})), &rep);
+  auto stage = make_driver(tech);
+  teta::TetaOptions topt;
+  topt.tstop = kTstop;
+  topt.dt = kDt;
+  topt.vdd = tech.vdd;
+  const auto teta_res = teta::simulate_stage(stage, z, topt);
+  if (!teta_res.converged) {
+    std::printf("TETA failed: %s\n", teta_res.failure.c_str());
+    return 1;
+  }
+  const auto macro = teta_res.waveform(0);
+
+  const auto nominal = golden_waveform(tech, 0.0);
+  const auto extreme = golden_waveform(tech, 0.1);
+
+  std::printf("\nfiltered %zu unstable pole(s) from the evaluated ROM\n\n",
+              rep.dropped_poles);
+  std::printf("%-10s %-12s %-12s %-12s\n", "t [ps]", "nominal",
+              "extreme", "macromodel");
+  for (std::size_t k = 0; k < macro.size(); k += 100) {
+    std::printf("%-10.0f %-12.4f %-12.4f %-12.4f\n", macro[k].first * 1e12,
+                nominal[k].second, extreme[k].second, macro[k].second);
+  }
+
+  const auto mn = timing::measure_ramp(nominal, tech.vdd, true);
+  const auto me = timing::measure_ramp(extreme, tech.vdd, true);
+  const auto mm = timing::measure_ramp(macro, tech.vdd, true);
+  std::printf("\n50%% arrivals: nominal %.1f ps, extreme %.1f ps, "
+              "macromodel %.1f ps\n",
+              mn.m * 1e12, me.m * 1e12, mm.m * 1e12);
+  std::printf("macromodel vs extreme error: %.2f%% (paper: \"agree well\")\n",
+              100.0 * (mm.m - me.m) / me.m);
+
+  // The paper's negative result: conventional simulation of the raw ROM.
+  std::printf("\nconventional simulator on the RAW variational macromodel:\n");
+  for (double p : {0.02, 0.05, 0.06, 0.08, 0.10}) {
+    circuit::Netlist nl;
+    const auto src = nl.add_node("src");
+    const auto port = nl.add_node("port");
+    nl.add_vsource(src, circuit::kGround,
+                   circuit::SourceWaveform::ramp(0.0, 1.0, 0.0, 50e-12));
+    nl.add_resistor(src, port, 1.0 / gout);
+    const mor::ReducedModel raw = rom.evaluate(Vector{p});
+    spice::MacromodelStamp stamp;
+    stamp.ports = {port};
+    stamp.g = raw.g;
+    stamp.c = raw.c;
+    stamp.g(0, 0) -= gout;  // chord lives inside the ROM already
+    spice::TransientSimulator sim(nl);
+    sim.add_macromodel(stamp);
+    spice::TransientOptions opt;
+    opt.tstop = 3e-9;
+    opt.dt = 1e-12;
+    const auto res = sim.run(opt);
+    std::printf("  p = %.2f : %s\n", p,
+                res.converged
+                    ? "converged"
+                    : ("FAILED (" + res.failure + ")").c_str());
+  }
+  std::printf("(paper: \"SPICE couldn't converge and reported error when "
+              "p > 0.05\")\n");
+  return 0;
+}

@@ -1,0 +1,78 @@
+// Reproduces Figure 6: "Delay histograms (Example 2)" -- 100 Latin
+// Hypercube samples over the five global wire parameters (W, T, S, H, rho)
+// with uniform distributions at the technology tolerances; the
+// variational-ROM framework's delay distribution is compared against the
+// full conventional simulation. The paper reports mean and standard
+// deviation agreeing "in the order of numerical precision error".
+#include <cstdio>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "example2_stage.hpp"
+#include "stats/descriptive.hpp"
+#include "stats/random.hpp"
+
+using namespace lcsf;
+using numeric::Vector;
+
+int main() {
+  bench::print_header("Figure 6: Example 2 delay histograms");
+  const bool quick = bench::quick_mode();
+  const std::size_t samples = quick ? 20 : 100;
+  const double length = 100e-6;
+
+  bench::Example2Stage stage(circuit::technology_180nm(), length);
+  std::printf("\nwirelength %.0f um, %zu linear elements, %zu LHS samples\n",
+              length * 1e6, stage.linear_elements(), samples);
+
+  bench::Stopwatch char_sw;
+  const auto rom = stage.characterize();
+  std::printf("variational library characterized in %.2f s\n\n",
+              char_sw.seconds());
+
+  // Latin Hypercube over 5 parameters; uniform in [-1, 1] tolerance units
+  // ("uniform distributions with tolerances specified in [14]").
+  stats::Rng rng(1402);
+  const numeric::Matrix u = stats::latin_hypercube(samples, 5, rng);
+
+  std::vector<double> fw;
+  std::vector<double> sp;
+  bench::Stopwatch fw_sw;
+  for (std::size_t s = 0; s < samples; ++s) {
+    Vector w(5);
+    for (std::size_t d = 0; d < 5; ++d) {
+      w[d] = stats::to_uniform(u(s, d), -1.0, 1.0);
+    }
+    fw.push_back(stage.framework_delay(rom, w));
+  }
+  const double fw_time = fw_sw.seconds();
+  bench::Stopwatch sp_sw;
+  for (std::size_t s = 0; s < samples; ++s) {
+    Vector w(5);
+    for (std::size_t d = 0; d < 5; ++d) {
+      w[d] = stats::to_uniform(u(s, d), -1.0, 1.0);
+    }
+    sp.push_back(stage.spice_delay(w));
+  }
+  const double sp_time = sp_sw.seconds();
+
+  const auto fw_stats = stats::summarize(fw);
+  const auto sp_stats = stats::summarize(sp);
+  std::printf("%-22s %-14s %-14s\n", "", "framework", "full simulation");
+  std::printf("%-22s %-14.2f %-14.2f\n", "mean [ps]",
+              fw_stats.mean() * 1e12, sp_stats.mean() * 1e12);
+  std::printf("%-22s %-14.2f %-14.2f\n", "std [ps]",
+              fw_stats.stddev() * 1e12, sp_stats.stddev() * 1e12);
+  std::printf("%-22s %-14.2f %-14.2f\n", "analysis time [s]", fw_time,
+              sp_time);
+  std::printf("mean error %.3f%%, std error %.2f%%\n\n",
+              100.0 * (fw_stats.mean() - sp_stats.mean()) / sp_stats.mean(),
+              100.0 * (fw_stats.stddev() - sp_stats.stddev()) /
+                  sp_stats.stddev());
+
+  std::printf("framework delay histogram:\n%s\n",
+              stats::Histogram::from_data(fw, 10).render(40).c_str());
+  std::printf("full-simulation delay histogram:\n%s",
+              stats::Histogram::from_data(sp, 10).render(40).c_str());
+  return 0;
+}

@@ -1,0 +1,62 @@
+// Reproduces Table 5: "Statistics of longest path delays (Example 3)" --
+// GA vs MC mean/std of the longest-path delay for the benchmark suite
+// under (a) channel-length variation only (std(DL) = 0.33) and (b) DL plus
+// threshold variation (std(VT) = 0.33).
+#include <cstdio>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "core/path.hpp"
+
+using namespace lcsf;
+
+int main() {
+  bench::print_header("Table 5: longest-path delay statistics (Example 3)");
+  const bool quick = bench::quick_mode();
+  const std::vector<const char*> circuits =
+      quick ? std::vector<const char*>{"s27", "s208"}
+            : std::vector<const char*>{"s27", "s208", "s832", "s444",
+                                       "s1423"};
+  const std::size_t mc_samples = quick ? 20 : 100;
+
+  std::printf("\n%-10s %-8s %-9s %-9s %-8s %-11s %-10s %-8s\n", "circuit",
+              "stages", "std(DL)", "std(VT)", "method", "mean [ps]",
+              "std [ps]", "sims");
+
+  for (const char* name : circuits) {
+    const auto& bspec = timing::find_benchmark(name);
+    const auto nl = timing::generate_benchmark(bspec);
+    const auto path = timing::longest_path(nl);
+    core::PathSpec spec = core::PathSpec::from_benchmark(
+        circuit::technology_180nm(), nl, path, 10);
+    spec.stage_window = 1.0e-9;
+    core::PathAnalyzer analyzer(spec);
+
+    for (double std_vt : {0.0, 0.33}) {
+      core::PathVariationModel model;
+      model.std_dl = 0.33;
+      model.std_vt = std_vt;
+
+      const auto ga = analyzer.gradient_analysis(model);
+      std::printf("%-10s %-8zu %-9.2f %-9.2f %-8s %-11.2f %-10.2f %-8zu\n",
+                  name, analyzer.num_stages(), model.std_dl, std_vt, "GA",
+                  ga.nominal_delay * 1e12, ga.stddev * 1e12,
+                  ga.simulations);
+
+      stats::MonteCarloOptions mco;
+      mco.samples = mc_samples;
+      mco.seed = 1000 + bspec.seed;
+      const auto mc = analyzer.monte_carlo(model, mco);
+      std::printf("%-10s %-8zu %-9.2f %-9.2f %-8s %-11.2f %-10.2f %-8zu\n",
+                  name, analyzer.num_stages(), model.std_dl, std_vt, "MC",
+                  mc.stats.mean() * 1e12, mc.stats.stddev() * 1e12,
+                  mc.values.size());
+    }
+  }
+  std::printf(
+      "\nshape check (paper Table 5): GA and MC means coincide; GA's\n"
+      "first-order std tracks MC, degrading for longer paths (more\n"
+      "accumulated nonlinearity); adding VT variation raises the spread.\n"
+      "GA needs far fewer simulations than the 100-sample MC.\n");
+  return 0;
+}

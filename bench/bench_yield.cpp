@@ -1,0 +1,71 @@
+// Extension bench: timing yield and worst-case-corner pessimism.
+//
+// The paper's introduction motivates the statistical framework by arguing
+// that worst-case corner methods "create overly pessimistic results and
+// sub-optimal designs", and Sec. 4 frames the goal as predicting "the
+// timing yield of the critical path delay". This bench quantifies both on
+// the s208 longest path: yield-vs-clock-period curves from the MC sample
+// and from the GA Gaussian, and the pessimism of the +/-3-sigma corner
+// relative to the statistical 99.87% (3-sigma) quantile.
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "core/path.hpp"
+#include "stats/yield.hpp"
+
+using namespace lcsf;
+
+int main() {
+  bench::print_header("Extension: timing yield & corner pessimism");
+  const bool quick = bench::quick_mode();
+
+  const auto& bspec = timing::find_benchmark("s208");
+  const auto nl = timing::generate_benchmark(bspec);
+  const auto path = timing::longest_path(nl);
+  core::PathSpec spec = core::PathSpec::from_benchmark(
+      circuit::technology_180nm(), nl, path, 10);
+  spec.stage_window = 1.0e-9;
+  core::PathAnalyzer analyzer(spec);
+
+  core::PathVariationModel model;
+  model.std_dl = 0.33;
+  model.std_vt = 0.33;
+
+  stats::MonteCarloOptions mco;
+  mco.samples = quick ? 30 : 200;
+  mco.seed = 88;
+  const auto mc = analyzer.monte_carlo(model, mco);
+  const auto ga = analyzer.gradient_analysis(model);
+
+  std::printf("\n%s longest path (%zu stages), %zu MC samples\n",
+              bspec.name.c_str(), analyzer.num_stages(), mc.values.size());
+  std::printf("MC mean %.2f ps std %.2f | GA mean %.2f ps std %.2f\n\n",
+              mc.stats.mean() * 1e12, mc.stats.stddev() * 1e12,
+              ga.nominal_delay * 1e12, ga.stddev * 1e12);
+
+  std::printf("%-18s %-14s %-14s\n", "clock period [ps]", "MC yield",
+              "GA yield");
+  const double lo = mc.stats.mean() - 2.5 * mc.stats.stddev();
+  const double hi = mc.stats.mean() + 3.5 * mc.stats.stddev();
+  for (int k = 0; k <= 6; ++k) {
+    const double period = lo + (hi - lo) * k / 6.0;
+    std::printf("%-18.2f %-14.4f %-14.4f\n", period * 1e12,
+                stats::empirical_yield(mc.values, period),
+                stats::gaussian_yield(ga.nominal_delay, ga.stddev, period));
+  }
+
+  const double q3s = stats::gaussian_period_for_yield(
+      ga.nominal_delay, ga.stddev, 0.99865);
+  const auto corner = analyzer.worst_case_corner(model, 3.0);
+  std::printf("\n3-sigma statistical quantile: %.2f ps\n", q3s * 1e12);
+  std::printf("+/-3-sigma worst-case corner: %.2f ps\n",
+              corner.delay * 1e12);
+  std::printf("corner pessimism (margin ratio): %.2fx\n",
+              stats::corner_pessimism(corner.delay, q3s,
+                                      ga.nominal_delay));
+  std::printf(
+      "\nreading: the simultaneous all-corners delay overstates the margin\n"
+      "needed for 3-sigma yield -- the pessimism the paper's statistical\n"
+      "methodology removes.\n");
+  return 0;
+}

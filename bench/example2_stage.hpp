@@ -1,0 +1,181 @@
+// The 4-port coupled-line stage of the paper's Example 2 (Fig. 4): four
+// identical minimum-width parallel wires, each driven by a 0.18 um
+// inverter; the victim line 0 rises while its neighbours fall; the delay
+// is measured at the victim's far end. Wire electricals come from
+// Sakurai's formulas; the five global parameters (W, T, S, H, rho) vary
+// with uniform distributions at the technology tolerances.
+#pragma once
+
+#include <stdexcept>
+
+#include "circuit/netlist.hpp"
+#include "circuit/technology.hpp"
+#include "interconnect/coupled_lines.hpp"
+#include "mor/poleres.hpp"
+#include "mor/prima.hpp"
+#include "mor/variational.hpp"
+#include "spice/transient.hpp"
+#include "teta/stage.hpp"
+#include "timing/waveform.hpp"
+
+namespace lcsf::bench {
+
+class Example2Stage {
+ public:
+  static constexpr std::size_t kLines = 4;
+  static constexpr double kDriverWn = 8.0;
+  static constexpr double kDriverWp = 16.0;
+  static constexpr double kReceiverCap = 5e-15;
+  static constexpr double kDt = 2e-12;
+
+  Example2Stage(circuit::Technology tech, double length)
+      : tech_(std::move(tech)), length_(length) {
+    // Drivers are inverters: a falling gate input makes the victim line 0
+    // rise while rising gate inputs make the aggressors fall (worst-case
+    // coupling direction).
+    for (std::size_t l = 0; l < kLines; ++l) {
+      inputs_.push_back(l == 0
+                            ? circuit::SourceWaveform::ramp(tech_.vdd, 0.0,
+                                                            100e-12, 80e-12)
+                            : circuit::SourceWaveform::ramp(0.0, tech_.vdd,
+                                                            100e-12,
+                                                            80e-12));
+    }
+  }
+
+  double length() const { return length_; }
+
+  /// Geometry at a normalized 5-parameter sample (W, T, S, H, rho in
+  /// 3-sigma-tolerance units).
+  circuit::WireGeometry geometry(const numeric::Vector& w) const {
+    if (w.size() != 5) throw std::invalid_argument("Example2Stage: w size");
+    interconnect::WireVariation wv;
+    wv.width = w[0] * tech_.wire_tol.width;
+    wv.thickness = w[1] * tech_.wire_tol.thickness;
+    wv.spacing = w[2] * tech_.wire_tol.spacing;
+    wv.ild_thickness = w[3] * tech_.wire_tol.ild_thickness;
+    wv.resistivity = w[4] * tech_.wire_tol.resistivity;
+    return interconnect::apply_variation(tech_.wire, wv);
+  }
+
+  interconnect::CoupledLineBundle bundle(const numeric::Vector& w) const {
+    interconnect::CoupledLineSpec spec;
+    spec.num_lines = kLines;
+    spec.length = length_;
+    spec.segment_length = 1e-6;
+    spec.geometry = geometry(w);
+    auto b = interconnect::build_coupled_lines(spec);
+    for (circuit::NodeId far : b.far_ends) {
+      b.netlist.add_capacitor(far, circuit::kGround, kReceiverCap);
+    }
+    return b;
+  }
+
+  std::size_t linear_elements() const {
+    return bundle(numeric::Vector(5, 0.0)).netlist.linear_element_count();
+  }
+
+  teta::StageCircuit make_stage() const {
+    teta::StageCircuit st;
+    std::vector<std::size_t> ports(kLines);
+    for (std::size_t l = 0; l < kLines; ++l) ports[l] = st.add_port();
+    for (std::size_t l = 0; l < kLines; ++l) st.add_port();  // far ports
+    const std::size_t vdd = st.add_rail(tech_.vdd);
+    const std::size_t gnd = st.add_rail(0.0);
+    for (std::size_t l = 0; l < kLines; ++l) {
+      const std::size_t in = st.add_input(inputs_[l]);
+      st.add_mosfet(tech_.make_nmos(static_cast<int>(ports[l]),
+                                    static_cast<int>(in),
+                                    static_cast<int>(gnd), kDriverWn));
+      st.add_mosfet(tech_.make_pmos(static_cast<int>(ports[l]),
+                                    static_cast<int>(in),
+                                    static_cast<int>(vdd), kDriverWp));
+    }
+    st.freeze_device_capacitances();
+    return st;
+  }
+
+  /// Variational PRIMA library over the 5 wire parameters, chords folded
+  /// in (Table 1 construction). Done ONCE per wirelength.
+  mor::VariationalRom characterize() const {
+    const numeric::Vector gsc_ports = [&] {
+      numeric::Vector g(2 * kLines, 0.0);
+      const auto near = make_stage().port_chord_conductances(tech_.vdd);
+      for (std::size_t l = 0; l < kLines; ++l) g[l] = near[l];
+      return g;
+    }();
+    mor::PencilFamily family = [this, gsc_ports](const numeric::Vector& w) {
+      auto b = bundle(w);
+      auto pencil = interconnect::build_ported_pencil(b.netlist, b.ports());
+      return mor::with_port_conductance(std::move(pencil), gsc_ports);
+    };
+    mor::VariationalOptions vopt;
+    vopt.method = mor::ReductionMethod::kPrima;
+    vopt.library = mor::LibraryMode::kFullReduction;
+    vopt.prima.block_moments = 2;
+    vopt.fd_step = 0.2;
+    return mor::build_variational_rom(family, 5, vopt);
+  }
+
+  double sim_window() const {
+    // Wire delay grows quadratically with length; size the window
+    // generously (the engine costs are measured per-step anyway).
+    return 1.0e-9 + 8.0e-9 * (length_ / 400e-6) * (length_ / 400e-6);
+  }
+
+  /// Framework evaluation at a sample (library evaluate -> stabilize ->
+  /// TETA). Returns the victim far-end 50% arrival.
+  double framework_delay(const mor::VariationalRom& rom,
+                         const numeric::Vector& w) const {
+    const auto z = mor::stabilize(mor::extract_pole_residue(rom.evaluate(w)),
+                                  nullptr,
+                                  mor::StabilizePolicy::kDirectCompensation);
+    auto stage = make_stage();
+    teta::TetaOptions opt;
+    opt.dt = kDt;
+    opt.tstop = sim_window();
+    opt.vdd = tech_.vdd;
+    const auto res = teta::simulate_stage(stage, z, opt);
+    if (!res.converged) {
+      throw std::runtime_error("Example2Stage TETA: " + res.failure);
+    }
+    return timing::measure_ramp(res.waveform(kLines), tech_.vdd, true).m;
+  }
+
+  /// Conventional full simulation at a sample.
+  double spice_delay(const numeric::Vector& w) const {
+    auto b = bundle(w);
+    circuit::Netlist& nl = b.netlist;
+    const auto vdd = nl.add_node("vdd");
+    nl.add_vsource(vdd, circuit::kGround,
+                   circuit::SourceWaveform::dc(tech_.vdd));
+    for (std::size_t l = 0; l < kLines; ++l) {
+      const auto in = nl.add_node("in" + std::to_string(l));
+      nl.add_vsource(in, circuit::kGround, inputs_[l]);
+      nl.add_mosfet(
+          tech_.make_nmos(b.near_ends[l], in, circuit::kGround, kDriverWn));
+      nl.add_mosfet(tech_.make_pmos(b.near_ends[l], in, vdd, kDriverWp));
+    }
+    nl.freeze_device_capacitances();
+    spice::TransientSimulator sim(nl);
+    spice::TransientOptions opt;
+    opt.dt = kDt;
+    opt.tstop = sim_window();
+    const auto res = sim.run(opt);
+    if (!res.converged) {
+      throw std::runtime_error("Example2Stage SPICE: " + res.failure);
+    }
+    return timing::measure_ramp(res.waveform(b.far_ends[0]), tech_.vdd,
+                                true)
+        .m;
+  }
+
+  const circuit::Technology& tech() const { return tech_; }
+
+ private:
+  circuit::Technology tech_;
+  double length_;
+  std::vector<circuit::SourceWaveform> inputs_;
+};
+
+}  // namespace lcsf::bench

@@ -1,0 +1,20 @@
+* Three-inverter chain with RC wires, 0.18um technology.
+* Run with:  build/tools/lcsf_sim examples/decks/inverter_chain.sp \
+*                --tstop 2n --dt 1p --probe o1 --probe o2 --probe o3
+Vdd vdd 0 DC 1.8
+Vin in 0 PWL(0 0 100p 0 180p 1.8)
+
+M1 o1 in 0  NMOS W=0.72u L=0.18u
+M2 o1 in vdd PMOS W=1.44u L=0.18u
+Rw1 o1 m1 150
+Cw1 m1 0 8f
+
+M3 o2 m1 0  NMOS W=0.72u L=0.18u
+M4 o2 m1 vdd PMOS W=1.44u L=0.18u
+Rw2 o2 m2 150
+Cw2 m2 0 8f
+
+M5 o3 m2 0  NMOS W=0.72u L=0.18u
+M6 o3 m2 vdd PMOS W=1.44u L=0.18u
+Cl o3 0 15f
+.end

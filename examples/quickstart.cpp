@@ -1,0 +1,90 @@
+// Quickstart: the linear-centric flow of Table 1 on a single stage.
+//
+//   1. Build an RC interconnect load and a CMOS inverter driver.
+//   2. Fold the driver's successive-chord output conductance into the load
+//      (the step that makes non-passive macromodels safe).
+//   3. Reduce the effective load with PACT and convert it to stable
+//      pole/residue form.
+//   4. Evaluate the stage waveform with the TETA engine and report the
+//      delay and slew at the far end of the wire.
+//
+// Build & run:  build/examples/quickstart
+#include <cstdio>
+
+#include "circuit/netlist.hpp"
+#include "circuit/technology.hpp"
+#include "interconnect/coupled_lines.hpp"
+#include "mor/pact.hpp"
+#include "mor/poleres.hpp"
+#include "mor/variational.hpp"
+#include "teta/stage.hpp"
+#include "timing/waveform.hpp"
+
+using namespace lcsf;
+
+int main() {
+  const circuit::Technology tech = circuit::technology_180nm();
+
+  // --- 1. A 200 um minimum-width wire, segmented at 1 um -------------
+  interconnect::CoupledLineSpec wire;
+  wire.num_lines = 1;
+  wire.length = 200e-6;
+  wire.segment_length = 1e-6;
+  wire.geometry = tech.wire;
+  auto bundle = interconnect::build_coupled_lines(wire);
+  std::printf("wire: %zu RC segments, %zu linear elements\n",
+              bundle.segments, bundle.netlist.linear_element_count());
+
+  // --- 2. The driver and its chord conductances ------------------------
+  teta::StageCircuit stage;
+  const std::size_t out = stage.add_port();  // near end of the wire
+  (void)stage.add_port();                    // far end, observed only
+  const std::size_t in = stage.add_input(
+      circuit::SourceWaveform::ramp(0.0, tech.vdd, 100e-12, 100e-12));
+  const std::size_t vdd = stage.add_rail(tech.vdd);
+  const std::size_t gnd = stage.add_rail(0.0);
+  stage.add_mosfet(tech.make_nmos(static_cast<int>(out),
+                                  static_cast<int>(in),
+                                  static_cast<int>(gnd), 8.0));
+  stage.add_mosfet(tech.make_pmos(static_cast<int>(out),
+                                  static_cast<int>(in),
+                                  static_cast<int>(vdd), 16.0));
+  stage.freeze_device_capacitances();
+
+  // --- 3. Effective load -> PACT -> stable pole/residue ---------------
+  auto pencil = interconnect::build_ported_pencil(
+      bundle.netlist, {bundle.near_ends[0], bundle.far_ends[0]});
+  pencil = mor::with_port_conductance(
+      std::move(pencil), stage.port_chord_conductances(tech.vdd));
+  std::printf("effective load: %zu nodes -> ", pencil.g.rows());
+
+  mor::PactOptions popt;
+  popt.internal_modes = 6;
+  const mor::ReducedModel rom = mor::pact_reduce(pencil, popt).model;
+  std::printf("reduced order %zu\n", rom.order());
+
+  mor::StabilizationReport rep;
+  const mor::PoleResidueModel z =
+      mor::stabilize(mor::extract_pole_residue(rom), &rep);
+  std::printf("pole/residue model: %zu poles (%zu unstable filtered)\n",
+              z.num_poles(), rep.dropped_poles);
+
+  // --- 4. TETA waveform evaluation -------------------------------------
+  teta::TetaOptions topt;
+  topt.tstop = 2e-9;
+  topt.dt = 1e-12;
+  topt.vdd = tech.vdd;
+  const teta::TetaResult res = teta::simulate_stage(stage, z, topt);
+  if (!res.converged) {
+    std::printf("simulation failed: %s\n", res.failure.c_str());
+    return 1;
+  }
+
+  const auto far = timing::measure_ramp(res.waveform(1), tech.vdd, false);
+  std::printf("far-end 50%% arrival: %.1f ps  (stage delay %.1f ps)\n",
+              far.m * 1e12, (far.m - 150e-12) * 1e12);
+  std::printf("far-end slew: %.1f ps\n", far.s * 1e12);
+  std::printf("successive-chord iterations: %ld over %zu timesteps\n",
+              res.total_sc_iterations, res.time.size() - 1);
+  return 0;
+}

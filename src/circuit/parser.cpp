@@ -1,0 +1,326 @@
+#include "circuit/parser.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <sstream>
+#include <vector>
+
+namespace lcsf::circuit {
+
+ParseError::ParseError(std::size_t line, const std::string& what)
+    : std::runtime_error("netlist line " + std::to_string(line) + ": " +
+                         what),
+      line_(line) {}
+
+namespace {
+
+std::string lower(std::string s) {
+  std::transform(s.begin(), s.end(), s.begin(),
+                 [](unsigned char c) { return std::tolower(c); });
+  return s;
+}
+
+/// Split a (joined) card into whitespace/comma/paren-separated tokens;
+/// "(" and ")" are dropped so "PWL(0 0 1n 1)" tokenizes uniformly.
+std::vector<std::string> tokenize(const std::string& text) {
+  std::vector<std::string> out;
+  std::string cur;
+  for (char c : text) {
+    if (std::isspace(static_cast<unsigned char>(c)) || c == ',' ||
+        c == '(' || c == ')' || c == '=') {
+      if (c == '=') {
+        // keep key=value visible as "key" "=" "value"
+        if (!cur.empty()) out.push_back(cur);
+        out.push_back("=");
+        cur.clear();
+        continue;
+      }
+      if (!cur.empty()) out.push_back(cur);
+      cur.clear();
+    } else {
+      cur.push_back(c);
+    }
+  }
+  if (!cur.empty()) out.push_back(cur);
+  return out;
+}
+
+}  // namespace
+
+double parse_value(const std::string& token) {
+  if (token.empty()) throw ParseError(0, "empty value");
+  std::size_t pos = 0;
+  double v = 0.0;
+  try {
+    v = std::stod(token, &pos);
+  } catch (const std::exception&) {
+    throw ParseError(0, "bad numeric value '" + token + "'");
+  }
+  const std::string suffix = lower(token.substr(pos));
+  if (suffix.empty()) return v;
+  if (suffix == "f") return v * 1e-15;
+  if (suffix == "p") return v * 1e-12;
+  if (suffix == "n") return v * 1e-9;
+  if (suffix == "u") return v * 1e-6;
+  if (suffix == "m") return v * 1e-3;
+  if (suffix == "k") return v * 1e3;
+  if (suffix == "meg") return v * 1e6;
+  if (suffix == "g") return v * 1e9;
+  if (suffix == "t") return v * 1e12;
+  // SPICE ignores trailing unit letters after a recognized suffix
+  // ("2.5pF", "10kohm"); accept a letter tail.
+  static const std::pair<const char*, double> prefixes[] = {
+      {"meg", 1e6}, {"f", 1e-15}, {"p", 1e-12}, {"n", 1e-9}, {"u", 1e-6},
+      {"m", 1e-3},  {"k", 1e3},   {"g", 1e9},   {"t", 1e12}};
+  for (const auto& [pre, scale] : prefixes) {
+    const std::size_t len = std::string(pre).size();
+    if (suffix.rfind(pre, 0) == 0 &&
+        std::all_of(suffix.begin() + static_cast<long>(len), suffix.end(),
+                    [](unsigned char c) { return std::isalpha(c); })) {
+      return v * scale;
+    }
+  }
+  if (std::all_of(suffix.begin(), suffix.end(),
+                  [](unsigned char c) { return std::isalpha(c); })) {
+    return v;  // bare unit like "5V"
+  }
+  throw ParseError(0, "bad value suffix '" + token + "'");
+}
+
+namespace {
+
+SourceWaveform parse_source(const std::vector<std::string>& tok,
+                            std::size_t start, std::size_t lineno) {
+  if (start >= tok.size()) {
+    throw ParseError(lineno, "source needs a value");
+  }
+  const std::string kind = lower(tok[start]);
+  auto val = [&](std::size_t i) {
+    if (i >= tok.size()) throw ParseError(lineno, "truncated source spec");
+    try {
+      return parse_value(tok[i]);
+    } catch (const ParseError& e) {
+      throw ParseError(lineno, e.what());
+    }
+  };
+  if (kind == "dc") return SourceWaveform::dc(val(start + 1));
+  if (kind == "pwl") {
+    std::vector<std::pair<double, double>> pts;
+    for (std::size_t i = start + 1; i < tok.size(); i += 2) {
+      if (i + 1 >= tok.size()) {
+        throw ParseError(lineno, "PWL needs (time, value) pairs");
+      }
+      pts.emplace_back(val(i), val(i + 1));
+    }
+    if (pts.empty()) throw ParseError(lineno, "PWL needs points");
+    try {
+      return SourceWaveform::pwl(std::move(pts));
+    } catch (const std::invalid_argument& e) {
+      throw ParseError(lineno, e.what());
+    }
+  }
+  if (kind == "pulse") {
+    // PULSE(v0 v1 tdelay trise thigh tfall)
+    return SourceWaveform::pulse(val(start + 1), val(start + 2),
+                                 val(start + 3), val(start + 4),
+                                 val(start + 5), val(start + 6));
+  }
+  // Bare value = DC.
+  try {
+    return SourceWaveform::dc(parse_value(tok[start]));
+  } catch (const ParseError&) {
+    throw ParseError(lineno, "unknown source kind '" + tok[start] + "'");
+  }
+}
+
+}  // namespace
+
+Netlist parse_netlist(std::istream& in, const Technology& tech) {
+  Netlist nl;
+  std::string raw;
+  std::vector<std::pair<std::size_t, std::string>> cards;
+  std::size_t lineno = 0;
+  // Join continuation lines first.
+  while (std::getline(in, raw)) {
+    ++lineno;
+    // Strip comments.
+    if (!raw.empty() && raw[0] == '*') continue;
+    const auto semi = raw.find(';');
+    if (semi != std::string::npos) raw.erase(semi);
+    // Trim.
+    const auto first = raw.find_first_not_of(" \t\r");
+    if (first == std::string::npos) continue;
+    const auto last = raw.find_last_not_of(" \t\r");
+    std::string body = raw.substr(first, last - first + 1);
+    if (body[0] == '+') {
+      if (cards.empty()) throw ParseError(lineno, "continuation first");
+      cards.back().second += " " + body.substr(1);
+    } else {
+      cards.emplace_back(lineno, std::move(body));
+    }
+  }
+
+  for (const auto& [ln, card] : cards) {
+    const auto tok = tokenize(card);
+    if (tok.empty()) continue;
+    const std::string head = lower(tok[0]);
+    if (head[0] == '.') {
+      if (head == ".end" || head == ".ends") break;
+      continue;  // other dot-cards ignored (.tran etc. are runner options)
+    }
+    auto need = [&](std::size_t n) {
+      if (tok.size() < n) throw ParseError(ln, "too few fields: " + card);
+    };
+    auto value_at = [&](std::size_t i) {
+      try {
+        return parse_value(tok[i]);
+      } catch (const ParseError& e) {
+        throw ParseError(ln, e.what());
+      }
+    };
+    switch (head[0]) {
+      case 'r': {
+        need(4);
+        nl.add_resistor(nl.node(tok[1]), nl.node(tok[2]), value_at(3));
+        break;
+      }
+      case 'c': {
+        need(4);
+        nl.add_capacitor(nl.node(tok[1]), nl.node(tok[2]), value_at(3));
+        break;
+      }
+      case 'l': {
+        need(4);
+        nl.add_inductor(nl.node(tok[1]), nl.node(tok[2]), value_at(3));
+        break;
+      }
+      case 'v': {
+        need(4);
+        nl.add_vsource(nl.node(tok[1]), nl.node(tok[2]),
+                       parse_source(tok, 3, ln));
+        break;
+      }
+      case 'i': {
+        need(4);
+        nl.add_isource(nl.node(tok[1]), nl.node(tok[2]),
+                       parse_source(tok, 3, ln));
+        break;
+      }
+      case 'm': {
+        // Mname d g s NMOS|PMOS [W= v] [L= v] [DVT= v] [DL= v]
+        need(5);
+        const std::string model = lower(tok[4]);
+        Mosfet m;
+        if (model == "nmos") {
+          m = tech.make_nmos(nl.node(tok[1]), nl.node(tok[2]),
+                             nl.node(tok[3]));
+        } else if (model == "pmos") {
+          m = tech.make_pmos(nl.node(tok[1]), nl.node(tok[2]),
+                             nl.node(tok[3]));
+        } else {
+          throw ParseError(ln, "unknown MOS model '" + tok[4] + "'");
+        }
+        for (std::size_t i = 5; i < tok.size(); i += 3) {
+          if (i + 2 >= tok.size()) {
+            throw ParseError(ln, "truncated key=value near '" + tok[i] + "'");
+          }
+          if (tok[i + 1] != "=") {
+            throw ParseError(ln, "expected key=value near '" + tok[i] + "'");
+          }
+          const std::string key = lower(tok[i]);
+          const double v = value_at(i + 2);
+          if (key == "w") {
+            m.w = v;
+          } else if (key == "l") {
+            m.l = v;
+          } else if (key == "dvt") {
+            m.delta_vt = v;
+          } else if (key == "dl") {
+            m.delta_l = v;
+          } else {
+            throw ParseError(ln, "unknown MOS parameter '" + tok[i] + "'");
+          }
+        }
+        nl.add_mosfet(std::move(m));
+        break;
+      }
+      default:
+        throw ParseError(ln, "unknown card '" + card + "'");
+    }
+  }
+  return nl;
+}
+
+Netlist parse_netlist(const std::string& text, const Technology& tech) {
+  std::istringstream in(text);
+  return parse_netlist(in, tech);
+}
+
+namespace {
+
+void append_source(std::ostringstream& os, const SourceWaveform& w) {
+  if (w.is_dc()) {
+    os << " DC " << w.value(0.0);
+    return;
+  }
+  os << " PWL(";
+  bool first = true;
+  for (const auto& [t, v] : w.points()) {
+    if (!first) os << " ";
+    first = false;
+    os << t << " " << v;
+  }
+  os << ")";
+}
+
+}  // namespace
+
+std::string to_spice_deck(const Netlist& nl, const std::string& title) {
+  std::ostringstream os;
+  os.precision(12);
+  os << "* " << title << "\n";
+  const auto name = [&nl](NodeId n) -> std::string {
+    return n == kGround ? "0" : nl.node_name(n);
+  };
+  std::size_t k = 0;
+  for (const auto& r : nl.resistors()) {
+    os << "R" << k++ << " " << name(r.a) << " " << name(r.b) << " "
+       << r.ohms << "\n";
+  }
+  k = 0;
+  for (const auto& c : nl.capacitors()) {
+    os << "C" << k++ << " " << name(c.a) << " " << name(c.b) << " "
+       << c.farads << "\n";
+  }
+  k = 0;
+  for (const auto& l : nl.inductors()) {
+    os << "L" << k++ << " " << name(l.a) << " " << name(l.b) << " "
+       << l.henries << "\n";
+  }
+  k = 0;
+  for (const auto& v : nl.vsources()) {
+    os << "V" << k++ << " " << name(v.pos) << " " << name(v.neg);
+    append_source(os, v.wave);
+    os << "\n";
+  }
+  k = 0;
+  for (const auto& i : nl.isources()) {
+    os << "I" << k++ << " " << name(i.from) << " " << name(i.into);
+    append_source(os, i.wave);
+    os << "\n";
+  }
+  k = 0;
+  for (const auto& m : nl.mosfets()) {
+    os << "M" << k++ << " " << name(m.drain) << " " << name(m.gate) << " "
+       << name(m.source) << " "
+       << (m.type == MosType::kNmos ? "NMOS" : "PMOS") << " W=" << m.w
+       << " L=" << m.l;
+    if (m.delta_vt != 0.0) os << " DVT=" << m.delta_vt;
+    if (m.delta_l != 0.0) os << " DL=" << m.delta_l;
+    os << "\n";
+  }
+  os << ".end\n";
+  return os.str();
+}
+
+}  // namespace lcsf::circuit

@@ -1,0 +1,57 @@
+// SPICE-format netlist parser.
+//
+// Decks are the lingua franca of the domain; the parser accepts the subset
+// every experiment here needs:
+//
+//   * comment, blank lines, leading + continuation lines
+//   Rname n1 n2 value
+//   Cname n1 n2 value
+//   Lname n1 n2 value            (accepted so RC(L) decks load; see mna)
+//   Vname n+ n- DC v
+//   Vname n+ n- PWL(t1 v1 t2 v2 ...)
+//   Vname n+ n- PULSE(v0 v1 tdelay trise thigh tfall)
+//   Iname n+ n- <same source forms>
+//   Mname d g s NMOS|PMOS [W=v] [L=v] [DVT=v] [DL=v]
+//   .end
+//
+// Values take engineering suffixes (f p n u m k meg g t, case
+// insensitive). MOSFET model parameters come from the Technology card
+// passed in; W/L default to the technology minimums. Node "0" and "gnd"
+// are ground; all other names allocate nodes on first use.
+#pragma once
+
+#include <iosfwd>
+#include <stdexcept>
+#include <string>
+
+#include "circuit/netlist.hpp"
+#include "circuit/technology.hpp"
+
+namespace lcsf::circuit {
+
+/// Thrown with a message containing the line number and the offending
+/// text.
+class ParseError : public std::runtime_error {
+ public:
+  ParseError(std::size_t line, const std::string& what);
+  std::size_t line() const { return line_; }
+
+ private:
+  std::size_t line_;
+};
+
+/// Parse a full deck. Throws ParseError on malformed input.
+Netlist parse_netlist(std::istream& in, const Technology& tech);
+Netlist parse_netlist(const std::string& text, const Technology& tech);
+
+/// Parse one engineering-notation value ("2.5p", "1MEG", "100").
+/// Throws ParseError (line 0) on garbage.
+double parse_value(const std::string& token);
+
+/// Serialize a netlist as a deck the parser round-trips. Sources emit as
+/// PWL cards (or DC when constant); MOSFETs carry W/L/DVT/DL explicitly.
+/// `title` becomes the leading comment line.
+std::string to_spice_deck(const Netlist& nl,
+                          const std::string& title = "lcsf netlist");
+
+}  // namespace lcsf::circuit

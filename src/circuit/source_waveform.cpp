@@ -1,0 +1,65 @@
+#include "circuit/source_waveform.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace lcsf::circuit {
+
+SourceWaveform SourceWaveform::dc(double value) {
+  SourceWaveform w;
+  w.points_ = {{0.0, value}};
+  return w;
+}
+
+SourceWaveform SourceWaveform::ramp(double v0, double v1, double t_start,
+                                    double t_rise) {
+  if (t_rise <= 0.0) throw std::invalid_argument("ramp: t_rise must be > 0");
+  SourceWaveform w;
+  w.points_ = {{t_start, v0}, {t_start + t_rise, v1}};
+  return w;
+}
+
+SourceWaveform SourceWaveform::pulse(double v0, double v1, double t_start,
+                                     double t_rise, double t_high,
+                                     double t_fall) {
+  if (t_rise <= 0.0 || t_fall <= 0.0) {
+    throw std::invalid_argument("pulse: edges must be > 0");
+  }
+  SourceWaveform w;
+  w.points_ = {{t_start, v0},
+               {t_start + t_rise, v1},
+               {t_start + t_rise + t_high, v1},
+               {t_start + t_rise + t_high + t_fall, v0}};
+  return w;
+}
+
+SourceWaveform SourceWaveform::pwl(
+    std::vector<std::pair<double, double>> points) {
+  if (points.empty()) throw std::invalid_argument("pwl: empty point list");
+  if (!std::is_sorted(points.begin(), points.end(),
+                      [](const auto& a, const auto& b) {
+                        return a.first < b.first;
+                      })) {
+    throw std::invalid_argument("pwl: breakpoints must be time-sorted");
+  }
+  SourceWaveform w;
+  w.points_ = std::move(points);
+  return w;
+}
+
+double SourceWaveform::value(double t) const {
+  if (points_.empty()) return 0.0;
+  if (t <= points_.front().first) return points_.front().second;
+  if (t >= points_.back().first) return points_.back().second;
+  // Find the segment containing t and interpolate.
+  auto hi = std::upper_bound(
+      points_.begin(), points_.end(), t,
+      [](double tt, const auto& p) { return tt < p.first; });
+  auto lo = hi - 1;
+  const double dt = hi->first - lo->first;
+  if (dt <= 0.0) return hi->second;
+  const double frac = (t - lo->first) / dt;
+  return lo->second + frac * (hi->second - lo->second);
+}
+
+}  // namespace lcsf::circuit

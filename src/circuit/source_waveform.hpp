@@ -1,0 +1,39 @@
+// Time-domain stimulus descriptions for independent sources.
+#pragma once
+
+#include <utility>
+#include <vector>
+
+namespace lcsf::circuit {
+
+/// Piecewise-linear stimulus with convenience factories for the waveforms
+/// used throughout the experiments (DC levels, saturated ramps, pulses).
+class SourceWaveform {
+ public:
+  SourceWaveform() = default;
+
+  static SourceWaveform dc(double value);
+  /// Hold v0 until t_start, ramp linearly to v1 over t_rise, then hold v1.
+  static SourceWaveform ramp(double v0, double v1, double t_start,
+                             double t_rise);
+  /// Rise at t_start over t_rise, stay high for t_high, fall over t_fall.
+  static SourceWaveform pulse(double v0, double v1, double t_start,
+                              double t_rise, double t_high, double t_fall);
+  /// Arbitrary (time, value) breakpoints; must be time-sorted.
+  static SourceWaveform pwl(std::vector<std::pair<double, double>> points);
+
+  /// Value at time t (clamped to the first/last breakpoint outside range).
+  double value(double t) const;
+
+  /// True if the waveform never changes (pure DC).
+  bool is_dc() const { return points_.size() <= 1; }
+
+  const std::vector<std::pair<double, double>>& points() const {
+    return points_;
+  }
+
+ private:
+  std::vector<std::pair<double, double>> points_;  // sorted by time
+};
+
+}  // namespace lcsf::circuit

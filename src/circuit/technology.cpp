@@ -1,0 +1,61 @@
+#include "circuit/technology.hpp"
+
+namespace lcsf::circuit {
+
+Mosfet Technology::make_nmos(int d, int g, int s, double w_over_l) const {
+  Mosfet m;
+  m.drain = d;
+  m.gate = g;
+  m.source = s;
+  m.type = MosType::kNmos;
+  m.l = lmin;
+  m.w = w_over_l * lmin;
+  m.model = nmos;
+  return m;
+}
+
+Mosfet Technology::make_pmos(int d, int g, int s, double w_over_l) const {
+  Mosfet m;
+  m.drain = d;
+  m.gate = g;
+  m.source = s;
+  m.type = MosType::kPmos;
+  m.l = lmin;
+  m.w = w_over_l * lmin;
+  m.model = pmos;
+  return m;
+}
+
+Technology technology_180nm() {
+  Technology t;
+  t.name = "0.18um";
+  t.vdd = 1.8;
+  t.lmin = 0.18e-6;
+  t.nmos = MosfetModel{/*vt0=*/0.45, /*kp=*/260e-6, /*lambda=*/0.08,
+                       /*cox=*/8.5e-3, /*cj=*/1.0e-3};
+  t.pmos = MosfetModel{/*vt0=*/0.45, /*kp=*/100e-6, /*lambda=*/0.10,
+                       /*cox=*/8.5e-3, /*cj=*/1.1e-3};
+  t.wire = WireGeometry{0.28e-6, 0.45e-6, 0.28e-6, 0.65e-6, 2.2e-8, 3.9};
+  t.wire_tol = WireTolerances{0.25, 0.20, 0.25, 0.20, 0.15};
+  t.sigma3_dl_frac = 0.10;
+  t.sigma3_vt_frac = 0.10;
+  return t;
+}
+
+Technology technology_600nm() {
+  Technology t;
+  t.name = "0.6um";
+  t.vdd = 5.0;
+  t.lmin = 0.6e-6;
+  t.nmos = MosfetModel{/*vt0=*/0.75, /*kp=*/120e-6, /*lambda=*/0.03,
+                       /*cox=*/2.9e-3, /*cj=*/0.6e-3};
+  t.pmos = MosfetModel{/*vt0=*/0.85, /*kp=*/40e-6, /*lambda=*/0.05,
+                       /*cox=*/2.9e-3, /*cj=*/0.7e-3};
+  t.wire = WireGeometry{0.9e-6, 0.9e-6, 0.9e-6, 1.0e-6, 3.0e-8, 3.9};
+  t.wire_tol = WireTolerances{0.15, 0.15, 0.15, 0.15, 0.10};
+  t.sigma3_dl_frac = 0.08;
+  t.sigma3_vt_frac = 0.08;
+  return t;
+}
+
+}  // namespace lcsf::circuit

@@ -1,0 +1,64 @@
+// Technology cards: device model parameters, supply, interconnect geometry
+// and the 3-sigma manufacturing tolerances the statistical experiments
+// sample from.
+//
+// The paper takes the 0.18um values and tolerances from Nassif, CICC 2001
+// [14], which is proprietary; the values below are representative public
+// numbers for the same nodes (see DESIGN.md "Substitutions"). Experiments
+// only depend on tolerance *ratios*.
+#pragma once
+
+#include <string>
+
+#include "circuit/mosfet.hpp"
+
+namespace lcsf::circuit {
+
+/// Nominal interconnect geometry for a minimum-width wire on an
+/// intermediate metal layer.
+struct WireGeometry {
+  double width = 0.28e-6;        ///< W [m]
+  double thickness = 0.45e-6;    ///< T [m]
+  double spacing = 0.28e-6;      ///< S [m]
+  double ild_thickness = 0.65e-6;///< H, inter-layer-dielectric [m]
+  double resistivity = 2.2e-8;   ///< rho [ohm m] (Al/Cu alloy)
+  double eps_rel = 3.9;          ///< SiO2 relative permittivity
+};
+
+/// Relative 3-sigma tolerances for the geometry parameters (fraction of
+/// nominal). Example 2 samples these with uniform distributions, Example 3
+/// with normals.
+struct WireTolerances {
+  double width = 0.25;
+  double thickness = 0.20;
+  double spacing = 0.25;
+  double ild_thickness = 0.20;
+  double resistivity = 0.15;
+};
+
+/// A full technology card.
+struct Technology {
+  std::string name;
+  double vdd = 1.8;       ///< supply [V]
+  double lmin = 0.18e-6;  ///< minimum channel length [m]
+  MosfetModel nmos;
+  MosfetModel pmos;
+  WireGeometry wire;
+  WireTolerances wire_tol;
+
+  // Device-parameter 3-sigma tolerances (fractions of nominal) for the
+  // statistical experiments: channel-length reduction and threshold shift.
+  double sigma3_dl_frac = 0.10;  ///< 3-sigma of delta_L relative to lmin
+  double sigma3_vt_frac = 0.10;  ///< 3-sigma of delta_VT relative to vt0
+
+  /// NMOS/PMOS device factory at given width multiple of lmin.
+  Mosfet make_nmos(int d, int g, int s, double w_over_l = 2.0) const;
+  Mosfet make_pmos(int d, int g, int s, double w_over_l = 4.0) const;
+};
+
+/// 0.18 um card used by Examples 2 and 3.
+Technology technology_180nm();
+/// 0.6 um card used by Example 1's "large inverter".
+Technology technology_600nm();
+
+}  // namespace lcsf::circuit

@@ -1,0 +1,599 @@
+#include "core/path.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <stdexcept>
+
+#include "interconnect/coupled_lines.hpp"
+#include "spice/transient.hpp"
+#include "teta/stage.hpp"
+
+namespace lcsf::core {
+
+using circuit::kGround;
+using circuit::SourceWaveform;
+using numeric::Vector;
+using timing::RampParams;
+using timing::Samples;
+
+PathSpec PathSpec::from_benchmark(const circuit::Technology& tech,
+                                  const timing::GateNetlist& nl,
+                                  const timing::TimingPath& path,
+                                  std::size_t linear_elements) {
+  PathSpec spec;
+  spec.tech = tech;
+  spec.linear_elements_per_stage = linear_elements;
+  for (std::size_t g : path.gates) {
+    spec.cells.push_back(nl.gates[g].cell);
+  }
+  return spec;
+}
+
+double PathAnalyzer::input_pin_cap(const timing::CellTemplate& cell,
+                                   const circuit::Technology& tech) {
+  double cap = 0.0;
+  for (const auto& t : cell.transistors) {
+    if (t.gate.kind == timing::CellNode::Kind::kInput &&
+        t.gate.index == 0) {
+      const circuit::Mosfet m =
+          t.type == circuit::MosType::kNmos
+              ? tech.make_nmos(0, 0, 0, t.w_over_l)
+              : tech.make_pmos(0, 0, 0, t.w_over_l);
+      // Miller factor on the receiver's gate-drain cap (it sees part of
+      // the opposing output swing while the receiver switches).
+      cap += m.cgs() + 1.5 * m.cgd();
+    }
+  }
+  return cap;
+}
+
+namespace {
+
+/// Chord conductances of one driver cell (port 0 = its output).
+Vector driver_chords(const timing::CellTemplate& cell,
+                     const circuit::Technology& tech) {
+  teta::StageCircuit probe;
+  const std::size_t out = probe.add_port();
+  const std::size_t in = probe.add_input(SourceWaveform::dc(0.0));
+  const std::size_t vdd = probe.add_rail(tech.vdd);
+  const std::size_t gnd = probe.add_rail(0.0);
+  timing::instantiate_cell(cell, tech, probe, out, in, vdd, gnd);
+  return probe.port_chord_conductances(tech.vdd);
+}
+
+/// Build the stage's wire as a ports-first pencil: near end (driver) and
+/// far end (receiver) are the two ports; the receiver pin cap loads the
+/// far end.
+interconnect::PortedPencil stage_wire_pencil(
+    const circuit::WireGeometry& geom, std::size_t segments,
+    double receiver_cap) {
+  interconnect::CoupledLineSpec spec;
+  spec.num_lines = 1;
+  spec.segment_length = 1e-6;
+  spec.length = static_cast<double>(segments) * 1e-6;
+  spec.geometry = geom;
+  auto bundle = interconnect::build_coupled_lines(spec);
+  bundle.netlist.add_capacitor(bundle.far_ends[0], kGround, receiver_cap);
+  return interconnect::build_ported_pencil(
+      bundle.netlist, {bundle.near_ends[0], bundle.far_ends[0]});
+}
+
+/// Shift a sampled waveform in time.
+Samples shifted(const Samples& w, double dt0) {
+  Samples out;
+  out.reserve(w.size());
+  for (const auto& [t, v] : w) out.emplace_back(t + dt0, v);
+  return out;
+}
+
+}  // namespace
+
+PathAnalyzer::PathAnalyzer(PathSpec spec) : spec_(std::move(spec)) {
+  if (spec_.cells.empty()) {
+    throw std::invalid_argument("PathAnalyzer: empty path");
+  }
+  // linear elements per stage ~ segments (R) + segments + 1 (C) + receiver.
+  segments_per_stage_ = std::max<std::size_t>(
+      1, (spec_.linear_elements_per_stage > 2
+              ? (spec_.linear_elements_per_stage - 2) / 2
+              : 1));
+
+  const auto& lib = timing::cell_library();
+  bool rising = spec_.input.rising;
+  // Stages with the same (driver cell, receiver cell) have identical
+  // effective loads; characterize each combination once.
+  std::map<std::pair<std::size_t, std::size_t>, mor::VariationalRom>
+      rom_cache;
+  for (std::size_t k = 0; k < spec_.cells.size(); ++k) {
+    Stage st;
+    st.cell = &lib.at(spec_.cells[k]);
+    rising = st.cell->inverting ? !rising : rising;
+    st.output_rising_if_input_rising = rising;
+
+    const std::size_t receiver_idx =
+        (k + 1 < spec_.cells.size())
+            ? spec_.cells[k + 1]
+            : static_cast<std::size_t>(
+                  &timing::find_cell("INV") - lib.data());
+    const timing::CellTemplate& receiver = lib.at(receiver_idx);
+    st.receiver_cap = input_pin_cap(receiver, spec_.tech);
+
+    const auto cache_key = std::make_pair(spec_.cells[k], receiver_idx);
+    if (auto it = rom_cache.find(cache_key); it != rom_cache.end()) {
+      st.load = it->second;
+      stages_.push_back(std::move(st));
+      continue;
+    }
+
+    // Effective-load pre-characterization (Table 1): chords folded in,
+    // variational over the global wire parameters (W, H) in normalized
+    // 3-sigma-tolerance units.
+    const Vector chords = driver_chords(*st.cell, spec_.tech);
+    const Vector gout{chords[0], 0.0};
+    const circuit::Technology tech = spec_.tech;
+    const double rc = st.receiver_cap;
+    const std::size_t segs = segments_per_stage_;
+    mor::PencilFamily family = [tech, rc, segs, gout](const Vector& w) {
+      interconnect::WireVariation wv;
+      wv.width = w[0] * tech.wire_tol.width;
+      wv.ild_thickness = w[1] * tech.wire_tol.ild_thickness;
+      const circuit::WireGeometry geom =
+          interconnect::apply_variation(tech.wire, wv);
+      return mor::with_port_conductance(stage_wire_pencil(geom, segs, rc),
+                                        gout);
+    };
+    mor::VariationalOptions vopt;
+    vopt.method = mor::ReductionMethod::kPact;
+    vopt.library = mor::LibraryMode::kFullReduction;
+    vopt.pact.internal_modes = spec_.rom_internal_modes;
+    vopt.fd_step = 0.2;
+    st.load = mor::build_variational_rom(family, 2, vopt);
+    rom_cache.emplace(cache_key, st.load);
+    stages_.push_back(std::move(st));
+  }
+}
+
+Samples PathAnalyzer::simulate_stage(
+    std::size_t k, const SourceWaveform& input,
+    const timing::DeviceVariation& dev,
+    const interconnect::WireVariation& wire, double window_scale) const {
+  const Stage& st = stages_[k];
+  // Normalized wire sample for the ROM library.
+  const Vector w{
+      spec_.tech.wire_tol.width > 0.0
+          ? wire.width / spec_.tech.wire_tol.width
+          : 0.0,
+      spec_.tech.wire_tol.ild_thickness > 0.0
+          ? wire.ild_thickness / spec_.tech.wire_tol.ild_thickness
+          : 0.0};
+  mor::ReducedModel rom = st.load.evaluate(w);
+  mor::PoleResidueModel z =
+      mor::stabilize(mor::extract_pole_residue(rom), nullptr,
+                     mor::StabilizePolicy::kDirectCompensation);
+
+  teta::StageCircuit stage;
+  const std::size_t out = stage.add_port();
+  (void)stage.add_port();  // far port (receiver side), observed
+  const std::size_t in = stage.add_input(input);
+  const std::size_t vdd = stage.add_rail(spec_.tech.vdd);
+  const std::size_t gnd = stage.add_rail(0.0);
+  timing::instantiate_cell(*st.cell, spec_.tech, stage, out, in, vdd, gnd,
+                           dev);
+  stage.freeze_device_capacitances();
+
+  teta::TetaOptions opt;
+  opt.dt = spec_.dt;
+  opt.tstop = spec_.stage_window * window_scale;
+  opt.vdd = spec_.tech.vdd;
+  teta::TetaResult res = teta::simulate_stage(stage, z, opt);
+  if (!res.converged) {
+    throw std::runtime_error("PathAnalyzer: TETA failed: " + res.failure);
+  }
+  return res.waveform(1);  // far port
+}
+
+RampParams PathAnalyzer::measure_with_retry(
+    std::size_t k, const SourceWaveform& input, double shift,
+    const timing::DeviceVariation& dev,
+    const interconnect::WireVariation& wire, bool out_rising,
+    Samples* out_samples) const {
+  // The stage window is a heuristic; if the output transition does not
+  // complete inside it, re-simulate with a doubled window (bounded).
+  std::string last_error;
+  for (double scale : {1.0, 2.0, 4.0}) {
+    try {
+      Samples out = simulate_stage(k, input, dev, wire, scale);
+      RampParams p = timing::measure_ramp(out, spec_.tech.vdd, out_rising);
+      p.m += shift;
+      if (out_samples != nullptr) *out_samples = shifted(out, shift);
+      return p;
+    } catch (const std::runtime_error& e) {
+      last_error = e.what();
+    }
+  }
+  throw std::runtime_error("PathAnalyzer: stage " + std::to_string(k) +
+                           " did not complete: " + last_error);
+}
+
+PathDelayResult PathAnalyzer::framework_delay(const PathSample& sample)
+    const {
+  return run_chain(sample, nullptr);
+}
+
+PathDelayResult PathAnalyzer::run_chain(
+    const PathSample& sample,
+    std::vector<timing::RampParams>* stage_inputs) const {
+  if (sample.device.size() != stages_.size()) {
+    throw std::invalid_argument("framework_delay: sample size mismatch");
+  }
+  const double vdd = spec_.tech.vdd;
+  bool rising = spec_.input.rising;
+  SourceWaveform wave = spec_.input.to_source(vdd);
+  double m_current = spec_.input.m;
+
+  RampParams out_params;
+  for (std::size_t k = 0; k < stages_.size(); ++k) {
+    // Localize time so the transition sits at ~1/4 of the stage window.
+    const double shift =
+        std::max(0.0, m_current - 0.25 * spec_.stage_window);
+    SourceWaveform local =
+        shift > 0.0 ? SourceWaveform::pwl(shifted(wave.points(), -shift))
+                    : wave;
+    const bool out_rising = rising != stages_[k].cell->inverting;
+    if (stage_inputs != nullptr) {
+      // Ramp-equivalent parameters of this stage's input (for GA).
+      stage_inputs->push_back(
+          timing::measure_ramp(wave.points(), vdd, rising));
+    }
+    Samples out;
+    out_params = measure_with_retry(k, local, shift, sample.device[k],
+                                    sample.wire, out_rising, &out);
+
+    // Propagate the fine-resolution PWL (adaptively compressed).
+    wave = SourceWaveform::pwl(teta::compress_pwl(out, 1e-4 * vdd));
+    m_current = out_params.m;
+    rising = out_rising;
+  }
+  PathDelayResult res;
+  res.delay = out_params.m - spec_.input.m;
+  res.output_slew = out_params.s;
+  return res;
+}
+
+PathDelayResult PathAnalyzer::spice_delay(const PathSample& sample) const {
+  if (sample.device.size() != stages_.size()) {
+    throw std::invalid_argument("spice_delay: sample size mismatch");
+  }
+  const double vdd_v = spec_.tech.vdd;
+  const circuit::WireGeometry geom =
+      interconnect::apply_variation(spec_.tech.wire, sample.wire);
+  const auto pul = interconnect::sakurai_parasitics(geom);
+  const double seg_r = pul.resistance * 1e-6;
+  const double seg_c = pul.ground_capacitance * 1e-6;
+
+  circuit::Netlist nl;
+  const auto vdd = nl.add_node("vdd");
+  nl.add_vsource(vdd, kGround, SourceWaveform::dc(vdd_v));
+  const auto in0 = nl.add_node("in0");
+  nl.add_vsource(in0, kGround, spec_.input.to_source(vdd_v));
+
+  circuit::NodeId prev = in0;
+  circuit::NodeId last_far = prev;
+  for (std::size_t k = 0; k < stages_.size(); ++k) {
+    const timing::CellTemplate& cell = *stages_[k].cell;
+    const auto out = nl.add_node("s" + std::to_string(k) + "_out");
+    // Side inputs tied to the sensitizing rails.
+    std::vector<circuit::NodeId> ins(cell.num_inputs);
+    ins[0] = prev;
+    for (std::size_t pin = 1; pin < cell.num_inputs; ++pin) {
+      ins[pin] = cell.side_values[pin] ? vdd : kGround;
+    }
+    timing::instantiate_cell(cell, spec_.tech, nl, out, ins, vdd,
+                             sample.device[k]);
+    // Wire ladder to the next stage.
+    circuit::NodeId node = out;
+    nl.add_capacitor(node, kGround, 0.5 * seg_c);
+    for (std::size_t s = 0; s < segments_per_stage_; ++s) {
+      const auto next = nl.add_node();
+      nl.add_resistor(node, next, seg_r);
+      nl.add_capacitor(next, kGround,
+                       s + 1 == segments_per_stage_ ? 0.5 * seg_c : seg_c);
+      node = next;
+    }
+    // Interior stages are loaded by the next cell's real gate caps (added
+    // by freeze_device_capacitances); only the last stage's receiver needs
+    // an explicit model.
+    if (k + 1 == stages_.size()) {
+      nl.add_capacitor(node, kGround, stages_[k].receiver_cap);
+    }
+    last_far = node;
+    prev = node;
+  }
+  nl.freeze_device_capacitances();
+
+  spice::TransientSimulator sim(nl);
+  spice::TransientOptions opt;
+  opt.dt = spec_.dt;
+  // The whole transition must march down the path inside one window.
+  opt.tstop = spec_.input.m + 0.5 * spec_.input.s +
+              static_cast<double>(stages_.size()) * spec_.stage_window;
+  spice::TransientResult res = sim.run(opt);
+  if (!res.converged) {
+    throw std::runtime_error("PathAnalyzer: SPICE failed: " + res.failure);
+  }
+  bool rising = spec_.input.rising;
+  for (const Stage& st : stages_) {
+    rising = st.cell->inverting ? !rising : rising;
+  }
+  const RampParams out =
+      timing::measure_ramp(res.waveform(last_far), vdd_v, rising);
+  PathDelayResult r;
+  r.delay = out.m - spec_.input.m;
+  r.output_slew = out.s;
+  return r;
+}
+
+PathSample PathAnalyzer::sample_from_sources(const PathVariationModel& model,
+                                             const Vector& w) const {
+  const std::size_t per_stage = model.sources_per_stage();
+  const std::size_t expected =
+      per_stage * stages_.size() + model.global_sources();
+  if (w.size() != expected) {
+    throw std::invalid_argument("sample_from_sources: wrong source count");
+  }
+  PathSample s;
+  s.device.resize(stages_.size());
+  std::size_t idx = 0;
+  for (std::size_t k = 0; k < stages_.size(); ++k) {
+    if (model.std_dl > 0.0) {
+      s.device[k].delta_l =
+          w[idx++] * spec_.tech.sigma3_dl_frac * spec_.tech.lmin;
+    }
+    if (model.std_vt > 0.0) {
+      s.device[k].delta_vt =
+          w[idx++] * spec_.tech.sigma3_vt_frac * spec_.tech.nmos.vt0;
+    }
+  }
+  if (model.std_wire_w > 0.0) {
+    s.wire.width = w[idx++] * spec_.tech.wire_tol.width;
+  }
+  if (model.std_wire_h > 0.0) {
+    s.wire.ild_thickness = w[idx++] * spec_.tech.wire_tol.ild_thickness;
+  }
+  return s;
+}
+
+std::vector<stats::VariationSource> PathAnalyzer::sources(
+    const PathVariationModel& model) const {
+  std::vector<stats::VariationSource> src;
+  for (std::size_t k = 0; k < stages_.size(); ++k) {
+    if (model.std_dl > 0.0) src.push_back({.sigma = model.std_dl});
+    if (model.std_vt > 0.0) src.push_back({.sigma = model.std_vt});
+  }
+  if (model.std_wire_w > 0.0) src.push_back({.sigma = model.std_wire_w});
+  if (model.std_wire_h > 0.0) src.push_back({.sigma = model.std_wire_h});
+  for (auto& s : src) s.kind = stats::VariationSource::Kind::kNormal;
+  return src;
+}
+
+stats::MonteCarloResult PathAnalyzer::monte_carlo(
+    const PathVariationModel& model,
+    const stats::MonteCarloOptions& opt) const {
+  auto f = [this, &model](const Vector& w) {
+    return framework_delay(sample_from_sources(model, w)).delay;
+  };
+  return stats::monte_carlo(f, sources(model), opt);
+}
+
+PathAnalyzer::CorrelatedMcResult PathAnalyzer::monte_carlo_correlated(
+    const PathVariationModel& model, double rho,
+    const stats::MonteCarloOptions& opt) const {
+  const auto src = sources(model);
+  const std::size_t nsrc = src.size();
+  if (nsrc == 0) {
+    throw std::invalid_argument("monte_carlo_correlated: no sources");
+  }
+
+  // Correlation structure: the per-stage device sources of the same kind
+  // share a common factor with pairwise correlation rho (spatially
+  // correlated manufacturing); different kinds and the global wire
+  // sources stay independent. Build the block covariance and run PCA.
+  const std::size_t per_stage = model.sources_per_stage();
+  numeric::Matrix cov(nsrc, nsrc);
+  for (std::size_t i = 0; i < nsrc; ++i) {
+    for (std::size_t j = 0; j < nsrc; ++j) {
+      double c = 0.0;
+      if (i == j) {
+        c = 1.0;
+      } else if (per_stage > 0 && i < per_stage * stages_.size() &&
+                 j < per_stage * stages_.size() &&
+                 (i % per_stage) == (j % per_stage)) {
+        c = rho;  // same parameter kind, different stage
+      }
+      cov(i, j) = c * src[i].sigma * src[j].sigma;
+    }
+  }
+  stats::Pca pca(cov, Vector(nsrc, 0.0));
+  const std::size_t nfactors = pca.factors_for(0.95);
+
+  // Sample the leading independent factors; reverse-transform to the
+  // physical sources (Sec. 4.1.1's "by-product reverse transformation").
+  std::vector<stats::VariationSource> factor_src(nfactors);
+  auto f = [this, &model, &pca](const Vector& z) {
+    const Vector w = pca.from_factors(z);
+    return framework_delay(sample_from_sources(model, w)).delay;
+  };
+  CorrelatedMcResult res;
+  res.mc = stats::monte_carlo(f, factor_src, opt);
+  res.total_sources = nsrc;
+  res.factors_used = nfactors;
+  return res;
+}
+
+PathAnalyzer::GaResult PathAnalyzer::gradient_analysis(
+    const PathVariationModel& model) const {
+  const double vdd = spec_.tech.vdd;
+  const double m_local = 0.25 * spec_.stage_window;
+  std::size_t sims = 0;
+
+  // Stage transfer at the saturated-ramp abstraction (Eq. 30): returns
+  // (delay D, output slew F) for input slew s_in and stage-local sources.
+  auto stage_dsf = [&](std::size_t k, double s_in, bool rising_in,
+                       const timing::DeviceVariation& dev,
+                       const interconnect::WireVariation& wire) {
+    RampParams in{m_local, s_in, rising_in};
+    ++sims;
+    const bool out_rising = rising_in != stages_[k].cell->inverting;
+    RampParams o = measure_with_retry(k, in.to_source(vdd), 0.0, dev, wire,
+                                      out_rising, nullptr);
+    return std::pair<double, double>{o.m - m_local, o.s};
+  };
+
+  // Source layout identical to sample_from_sources.
+  const std::size_t per_stage = model.sources_per_stage();
+  const std::size_t nsrc =
+      per_stage * stages_.size() + model.global_sources();
+  // Sensitivity state propagated along the path (Eq. 31).
+  Vector dm(nsrc, 0.0);
+  Vector ds(nsrc, 0.0);
+
+  // Nominal chain with the true propagated waveform: gives the unbiased
+  // nominal delay (the paper's GA means coincide with MC means) and the
+  // per-stage nominal input slews about which the derivatives are taken.
+  std::vector<RampParams> stage_in;
+  PathSample nominal_sample;
+  nominal_sample.device.resize(stages_.size());
+  const PathDelayResult nominal_chain = run_chain(nominal_sample, &stage_in);
+  sims += stages_.size();
+  bool rising = spec_.input.rising;
+
+  const double h_w = 0.2;   // normalized FD step for variation sources
+  const double h_s = 0.1;   // relative FD step for the input slew
+
+  for (std::size_t k = 0; k < stages_.size(); ++k) {
+    const double s_in = stage_in[k].s;
+    const timing::DeviceVariation dev0{};
+    const interconnect::WireVariation wire0{};
+
+    // dD/dS, dF/dS by central difference.
+    const double hs = h_s * std::max(s_in, 10 * spec_.dt);
+    const auto [dp, fp] = stage_dsf(k, s_in + hs, rising, dev0, wire0);
+    const auto [dmn, fmn] = stage_dsf(k, s_in - hs, rising, dev0, wire0);
+    const double dD_dS = (dp - dmn) / (2 * hs);
+    const double dF_dS = (fp - fmn) / (2 * hs);
+
+    // Local derivative of each source at this stage.
+    Vector dD_dw(nsrc, 0.0), dF_dw(nsrc, 0.0);
+    auto central = [&](auto&& make_plus, auto&& make_minus,
+                       std::size_t src_idx) {
+      const auto [dpl, fpl] = make_plus();
+      const auto [dmi, fmi] = make_minus();
+      dD_dw[src_idx] = (dpl - dmi) / (2 * h_w);
+      dF_dw[src_idx] = (fpl - fmi) / (2 * h_w);
+    };
+    std::size_t idx = k * per_stage;
+    if (model.std_dl > 0.0) {
+      const double step = h_w * spec_.tech.sigma3_dl_frac * spec_.tech.lmin;
+      central(
+          [&] {
+            timing::DeviceVariation d{step, 0.0};
+            return stage_dsf(k, s_in, rising, d, wire0);
+          },
+          [&] {
+            timing::DeviceVariation d{-step, 0.0};
+            return stage_dsf(k, s_in, rising, d, wire0);
+          },
+          idx++);
+    }
+    if (model.std_vt > 0.0) {
+      const double step =
+          h_w * spec_.tech.sigma3_vt_frac * spec_.tech.nmos.vt0;
+      central(
+          [&] {
+            timing::DeviceVariation d{0.0, step};
+            return stage_dsf(k, s_in, rising, d, wire0);
+          },
+          [&] {
+            timing::DeviceVariation d{0.0, -step};
+            return stage_dsf(k, s_in, rising, d, wire0);
+          },
+          idx++);
+    }
+    std::size_t gidx = per_stage * stages_.size();
+    if (model.std_wire_w > 0.0) {
+      central(
+          [&] {
+            interconnect::WireVariation wv;
+            wv.width = h_w * spec_.tech.wire_tol.width;
+            return stage_dsf(k, s_in, rising, dev0, wv);
+          },
+          [&] {
+            interconnect::WireVariation wv;
+            wv.width = -h_w * spec_.tech.wire_tol.width;
+            return stage_dsf(k, s_in, rising, dev0, wv);
+          },
+          gidx++);
+    }
+    if (model.std_wire_h > 0.0) {
+      central(
+          [&] {
+            interconnect::WireVariation wv;
+            wv.ild_thickness = h_w * spec_.tech.wire_tol.ild_thickness;
+            return stage_dsf(k, s_in, rising, dev0, wv);
+          },
+          [&] {
+            interconnect::WireVariation wv;
+            wv.ild_thickness = -h_w * spec_.tech.wire_tol.ild_thickness;
+            return stage_dsf(k, s_in, rising, dev0, wv);
+          },
+          gidx++);
+    }
+
+    // Recurrence of Eq. 31 with dM_out/dM_in = 1 (time invariance):
+    //   dM_out/dw = dD/dw + dM_in/dw + dD/dS dS_in/dw
+    //   dS_out/dw = dF/dw + dF/dS dS_in/dw.
+    for (std::size_t l = 0; l < nsrc; ++l) {
+      dm[l] = dm[l] + dD_dw[l] + dD_dS * ds[l];
+      ds[l] = dF_dw[l] + dF_dS * ds[l];
+    }
+    rising = rising != stages_[k].cell->inverting;
+  }
+
+  // Eq. 24 over the normalized sources; the FD steps above were taken in
+  // *physical* units scaled by h_w, so dD_dw is per normalized unit.
+  const auto src = sources(model);
+  double var = 0.0;
+  for (std::size_t l = 0; l < nsrc; ++l) {
+    var += src[l].sigma * src[l].sigma * dm[l] * dm[l];
+  }
+
+  GaResult res;
+  res.nominal_delay = nominal_chain.delay;
+  res.stddev = std::sqrt(var);
+  res.simulations = sims;
+  res.gradient = dm;
+  return res;
+}
+
+PathAnalyzer::CornerResult PathAnalyzer::worst_case_corner(
+    const PathVariationModel& model, double k_sigma) const {
+  const auto ga = gradient_analysis(model);
+  const auto src = sources(model);
+  CornerResult res;
+  res.corner.resize(src.size());
+  for (std::size_t l = 0; l < src.size(); ++l) {
+    const double direction = ga.gradient[l] >= 0.0 ? 1.0 : -1.0;
+    res.corner[l] = direction * k_sigma * src[l].sigma;
+  }
+  res.delay =
+      framework_delay(sample_from_sources(model, res.corner)).delay;
+  return res;
+}
+
+std::size_t PathAnalyzer::total_linear_elements() const {
+  // Per stage: wire R (segments) + wire C (segments + 1) + receiver cap.
+  return stages_.size() * (2 * segments_per_stage_ + 2);
+}
+
+}  // namespace lcsf::core

@@ -1,0 +1,186 @@
+// The framework facade: statistical path-delay analysis (paper Sec. 4).
+//
+// A path is a chain of logic stages; between consecutive stages lies an RC
+// wire (segmented per micron, parasitics from Sakurai's formulas). The
+// analyzer pre-characterizes each stage's effective load ONCE -- driver
+// chord conductances folded in (Table 1), variational over the global wire
+// parameters -- and then evaluates:
+//   * framework_delay(): stage-by-stage TETA simulation propagating a
+//     fine-resolution piecewise-linear waveform (Sec. 4.3.1), and
+//   * spice_delay(): the conventional whole-path Newton simulation the
+//     paper benchmarks against.
+// On top sit monte_carlo() and gradient_analysis() (Secs. 4.1/4.3).
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <vector>
+
+#include "circuit/technology.hpp"
+#include "interconnect/sakurai.hpp"
+#include "mor/poleres.hpp"
+#include "mor/variational.hpp"
+#include "stats/analysis.hpp"
+#include "stats/pca.hpp"
+#include "stats/descriptive.hpp"
+#include "timing/cells.hpp"
+#include "timing/sta.hpp"
+#include "timing/waveform.hpp"
+
+namespace lcsf::core {
+
+struct PathSpec {
+  circuit::Technology tech;
+  /// Cell of each stage (indices into timing::cell_library()).
+  std::vector<std::size_t> cells;
+  /// Target "number of linear circuit elements between stages" (the
+  /// Table 4 knob); converted to a wire length at 1 um RC segmentation.
+  std::size_t linear_elements_per_stage = 10;
+  /// Input stimulus of the first stage.
+  timing::RampParams input{0.2e-9, 0.1e-9, true};
+  double dt = 2e-12;              ///< timestep for both engines
+  double stage_window = 2.0e-9;   ///< simulated window per stage [s]
+  std::size_t rom_internal_modes = 6;  ///< PACT order per stage load
+
+  /// Convenience: build from a generated benchmark's longest path.
+  static PathSpec from_benchmark(const circuit::Technology& tech,
+                                 const timing::GateNetlist& nl,
+                                 const timing::TimingPath& path,
+                                 std::size_t linear_elements);
+};
+
+/// One parameter sample: per-stage device fluctuations plus global wire
+/// variation.
+struct PathSample {
+  std::vector<timing::DeviceVariation> device;  ///< size = #stages
+  interconnect::WireVariation wire;
+};
+
+/// Which variation sources a statistical analysis sweeps, in the
+/// normalized units of PathVariationModel (w = 1 means "at the 3-sigma
+/// tolerance" of the technology card).
+struct PathVariationModel {
+  double std_dl = 0.0;  ///< per-stage channel-length reduction (Table 5 DL)
+  double std_vt = 0.0;  ///< per-stage threshold shift (Table 5 VT)
+  double std_wire_w = 0.0;  ///< global wire width
+  double std_wire_h = 0.0;  ///< global ILD thickness
+
+  std::size_t sources_per_stage() const {
+    return (std_dl > 0.0 ? 1 : 0) + (std_vt > 0.0 ? 1 : 0);
+  }
+  std::size_t global_sources() const {
+    return (std_wire_w > 0.0 ? 1 : 0) + (std_wire_h > 0.0 ? 1 : 0);
+  }
+};
+
+struct PathDelayResult {
+  double delay = 0.0;        ///< 50% input to 50% final output [s]
+  double output_slew = 0.0;  ///< full-swing-equivalent slew [s]
+};
+
+class PathAnalyzer {
+ public:
+  explicit PathAnalyzer(PathSpec spec);
+
+  std::size_t num_stages() const { return spec_.cells.size(); }
+  const PathSpec& spec() const { return spec_; }
+
+  /// Stage-by-stage TETA evaluation at one parameter sample.
+  PathDelayResult framework_delay(const PathSample& sample) const;
+
+  /// Conventional whole-path transient (the SPICE baseline).
+  PathDelayResult spice_delay(const PathSample& sample) const;
+
+  /// Map a normalized source vector w (layout: [dl_0, vt_0, dl_1, vt_1,
+  /// ..., wire_w, wire_h], entries present per the model) to a sample.
+  PathSample sample_from_sources(const PathVariationModel& model,
+                                 const numeric::Vector& w) const;
+  std::vector<stats::VariationSource> sources(
+      const PathVariationModel& model) const;
+
+  /// Monte-Carlo path statistics (Sec. 4.3.1) using the framework engine.
+  stats::MonteCarloResult monte_carlo(const PathVariationModel& model,
+                                      const stats::MonteCarloOptions& opt)
+      const;
+
+  struct CorrelatedMcResult {
+    stats::MonteCarloResult mc;
+    std::size_t total_sources = 0;
+    std::size_t factors_used = 0;  ///< PCA factors explaining >= 95%
+  };
+  /// Monte-Carlo with spatially-correlated per-stage device parameters
+  /// (correlation `rho` between any two stages, the common-factor model of
+  /// Sec. 4.1.1). PCA turns the correlated sources into a smaller set of
+  /// independent factors which are then sampled.
+  CorrelatedMcResult monte_carlo_correlated(
+      const PathVariationModel& model, double rho,
+      const stats::MonteCarloOptions& opt) const;
+
+  struct GaResult {
+    double nominal_delay = 0.0;
+    double stddev = 0.0;
+    std::size_t simulations = 0;
+    /// dD/dw per normalized source (layout of sample_from_sources).
+    numeric::Vector gradient;
+  };
+  /// Gradient Analysis (Sec. 4.3.2): per-stage waveform-parameter
+  /// sensitivity propagation, Eq. 30-32 + Eq. 24.
+  GaResult gradient_analysis(const PathVariationModel& model) const;
+
+  struct CornerResult {
+    double delay = 0.0;
+    numeric::Vector corner;  ///< the normalized source vector used
+  };
+  /// Classic worst-case corner: every source at +/- k_sigma, oriented in
+  /// its delay-increasing direction by the GA gradient (the "true worst
+  /// case" of the paper's ref [3]). The introduction argues this is overly
+  /// pessimistic; bench_yield quantifies by how much.
+  CornerResult worst_case_corner(const PathVariationModel& model,
+                                 double k_sigma) const;
+
+  /// Total linear-element count of the full path netlist (Fig. 5 x-axis).
+  std::size_t total_linear_elements() const;
+
+ private:
+  struct Stage {
+    const timing::CellTemplate* cell = nullptr;
+    bool output_rising_if_input_rising = false;
+    /// Variational ROM of the effective load (wire + receiver gate cap +
+    /// driver chords), over the global wire parameters (W, H).
+    mor::VariationalRom load;
+    double receiver_cap = 0.0;
+  };
+
+  /// Simulate one stage with TETA: input waveform (local time), device
+  /// variation, wire parameters; returns far-port samples (local time).
+  timing::Samples simulate_stage(std::size_t k,
+                                 const circuit::SourceWaveform& input,
+                                 const timing::DeviceVariation& dev,
+                                 const interconnect::WireVariation& wire,
+                                 double window_scale = 1.0) const;
+
+  /// framework_delay() plus optional capture of each stage's input ramp
+  /// parameters (consumed by gradient_analysis).
+  PathDelayResult run_chain(const PathSample& sample,
+                            std::vector<timing::RampParams>* stage_inputs)
+      const;
+
+  /// Run a stage and extract the output ramp parameters, doubling the
+  /// simulation window (up to 4x) if the transition does not complete.
+  /// `shift` is added back to the measured arrival.
+  timing::RampParams measure_with_retry(
+      std::size_t k, const circuit::SourceWaveform& input, double shift,
+      const timing::DeviceVariation& dev,
+      const interconnect::WireVariation& wire, bool out_rising,
+      timing::Samples* out_samples) const;
+
+  /// Gate capacitance presented by a cell's switching input pin.
+  static double input_pin_cap(const timing::CellTemplate& cell,
+                              const circuit::Technology& tech);
+
+  PathSpec spec_;
+  std::size_t segments_per_stage_ = 1;
+  std::vector<Stage> stages_;
+};
+
+}  // namespace lcsf::core

@@ -1,0 +1,117 @@
+#include "interconnect/coupled_lines.hpp"
+
+#include <cmath>
+#include <stdexcept>
+#include <string>
+
+namespace lcsf::interconnect {
+
+using circuit::kGround;
+using circuit::NodeId;
+
+std::vector<NodeId> CoupledLineBundle::ports() const {
+  std::vector<NodeId> p = near_ends;
+  p.insert(p.end(), far_ends.begin(), far_ends.end());
+  return p;
+}
+
+CoupledLineBundle build_coupled_lines(const CoupledLineSpec& spec) {
+  if (spec.num_lines == 0) {
+    throw std::invalid_argument("build_coupled_lines: need >= 1 line");
+  }
+  if (spec.length <= 0.0 || spec.segment_length <= 0.0) {
+    throw std::invalid_argument("build_coupled_lines: bad lengths");
+  }
+  const auto nseg = static_cast<std::size_t>(
+      std::ceil(spec.length / spec.segment_length - 1e-9));
+  const double seg_len = spec.length / static_cast<double>(nseg);
+  const UnitLengthParasitics pul = sakurai_parasitics(spec.geometry);
+  const double rseg = pul.resistance * seg_len;
+  const double cseg = pul.ground_capacitance * seg_len;
+  const double ccseg = pul.coupling_capacitance * seg_len;
+
+  CoupledLineBundle bundle;
+  bundle.segments = nseg;
+  auto& nl = bundle.netlist;
+
+  // nodes[line][k]: k = 0 is the near end, k = nseg is the far end.
+  // Node ids are allocated segment-major (all lines of segment k before
+  // segment k+1) so the MNA matrix is banded with bandwidth ~num_lines --
+  // the natural-order sparse LU then has minimal fill.
+  std::vector<std::vector<NodeId>> nodes(spec.num_lines);
+  for (std::size_t l = 0; l < spec.num_lines; ++l) nodes[l].resize(nseg + 1);
+  for (std::size_t k = 0; k <= nseg; ++k) {
+    for (std::size_t l = 0; l < spec.num_lines; ++l) {
+      nodes[l][k] =
+          nl.add_node("w" + std::to_string(l) + "_" + std::to_string(k));
+    }
+  }
+  for (std::size_t l = 0; l < spec.num_lines; ++l) {
+    bundle.near_ends.push_back(nodes[l][0]);
+    bundle.far_ends.push_back(nodes[l][nseg]);
+  }
+
+  for (std::size_t l = 0; l < spec.num_lines; ++l) {
+    for (std::size_t k = 0; k < nseg; ++k) {
+      nl.add_resistor(nodes[l][k], nodes[l][k + 1], rseg);
+      // Ground capacitance lumped at the downstream node; half segment at
+      // the near end keeps the total charge exact.
+      nl.add_capacitor(nodes[l][k + 1], kGround,
+                       (k + 1 == nseg) ? 0.5 * cseg : cseg);
+      if (k == 0) nl.add_capacitor(nodes[l][0], kGround, 0.5 * cseg);
+    }
+    // Lateral coupling to the next line.
+    if (l + 1 < spec.num_lines && ccseg > 0.0) {
+      for (std::size_t k = 0; k <= nseg; ++k) {
+        const double cc =
+            (k == 0 || k == nseg) ? 0.5 * ccseg : ccseg;
+        nl.add_capacitor(nodes[l][k], nodes[l + 1][k], cc);
+      }
+    }
+  }
+  return bundle;
+}
+
+PortedPencil build_ported_pencil(const circuit::Netlist& nl,
+                                 const std::vector<NodeId>& ports) {
+  const circuit::NodePencil raw = circuit::build_node_pencil(nl);
+  const std::size_t n = raw.g.rows();
+  if (ports.empty() || ports.size() > n) {
+    throw std::invalid_argument("build_ported_pencil: bad port list");
+  }
+
+  // Permutation: ports first (in the given order), then remaining nodes in
+  // id order.
+  std::vector<bool> is_port(n + 1, false);
+  PortedPencil out;
+  out.num_ports = ports.size();
+  out.row_to_node.reserve(n);
+  for (NodeId p : ports) {
+    if (p <= 0 || static_cast<std::size_t>(p) > n) {
+      throw std::invalid_argument("build_ported_pencil: port not a node");
+    }
+    if (is_port[static_cast<std::size_t>(p)]) {
+      throw std::invalid_argument("build_ported_pencil: duplicate port");
+    }
+    is_port[static_cast<std::size_t>(p)] = true;
+    out.row_to_node.push_back(p);
+  }
+  for (std::size_t id = 1; id <= n; ++id) {
+    if (!is_port[id]) out.row_to_node.push_back(static_cast<NodeId>(id));
+  }
+
+  out.g = numeric::Matrix(n, n);
+  out.c = numeric::Matrix(n, n);
+  // row_to_node maps pencil row -> node id; raw row of node id is id-1.
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto ri = static_cast<std::size_t>(out.row_to_node[i] - 1);
+    for (std::size_t j = 0; j < n; ++j) {
+      const auto rj = static_cast<std::size_t>(out.row_to_node[j] - 1);
+      out.g(i, j) = raw.g(ri, rj);
+      out.c(i, j) = raw.c(ri, rj);
+    }
+  }
+  return out;
+}
+
+}  // namespace lcsf::interconnect

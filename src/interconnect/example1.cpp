@@ -1,0 +1,67 @@
+#include "interconnect/example1.hpp"
+
+namespace lcsf::interconnect {
+
+using circuit::kGround;
+using circuit::NodeId;
+
+Example1Values example1_values(double p) {
+  // Table 2 anchors: value(p) = v(0) + (v(0.1) - v(0)) * (p / 0.1).
+  auto lerp = [p](double v0, double v1) { return v0 + (v1 - v0) * p / 0.1; };
+  Example1Values v;
+  v.r1 = lerp(10.0, 15.0);
+  v.r2 = lerp(2.0, 2.0);
+  v.r3 = lerp(30.0, 40.0);
+  v.c1 = lerp(2e-12, 3e-12);
+  v.c2 = lerp(2e-12, 2e-12);
+  v.c3 = lerp(2e-12, 3e-12);
+  v.cc1 = lerp(2e-12, 3e-12);
+  v.cc2 = lerp(2e-12, 2e-12);
+  v.cc3 = lerp(2e-12, 3e-12);
+  return v;
+}
+
+Example1Circuit example1_circuit(double p, double shunt_ohms) {
+  const Example1Values v = example1_values(p);
+  Example1Circuit out;
+  auto& nl = out.netlist;
+  out.port1 = nl.add_node("port1");
+  out.port2 = nl.add_node("port2");
+  const NodeId a1 = nl.add_node("a1");
+  const NodeId a2 = nl.add_node("a2");
+  const NodeId a3 = nl.add_node("a3");
+  const NodeId b1 = nl.add_node("b1");
+  const NodeId b2 = nl.add_node("b2");
+  const NodeId b3 = nl.add_node("b3");
+
+  // Line A.
+  nl.add_resistor(out.port1, a1, v.r1);
+  nl.add_resistor(a1, a2, v.r2);
+  nl.add_resistor(a2, a3, v.r3);
+  nl.add_capacitor(a1, kGround, v.c1);
+  nl.add_capacitor(a2, kGround, v.c2);
+  nl.add_capacitor(a3, kGround, v.c3);
+  // Line B (symmetric).
+  nl.add_resistor(out.port2, b1, v.r1);
+  nl.add_resistor(b1, b2, v.r2);
+  nl.add_resistor(b2, b3, v.r3);
+  nl.add_capacitor(b1, kGround, v.c1);
+  nl.add_capacitor(b2, kGround, v.c2);
+  nl.add_capacitor(b3, kGround, v.c3);
+  // Coupling.
+  nl.add_capacitor(a1, b1, v.cc1);
+  nl.add_capacitor(a2, b2, v.cc2);
+  nl.add_capacitor(a3, b3, v.cc3);
+  // Shunt on the second port makes it a one-port load.
+  nl.add_resistor(out.port2, kGround, shunt_ohms);
+  return out;
+}
+
+std::function<PortedPencil(double)> example1_pencil_family(double shunt_ohms) {
+  return [shunt_ohms](double p) {
+    Example1Circuit c = example1_circuit(p, shunt_ohms);
+    return build_ported_pencil(c.netlist, {c.port1});
+  };
+}
+
+}  // namespace lcsf::interconnect

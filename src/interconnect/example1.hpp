@@ -1,0 +1,41 @@
+// The coupled RC line of the paper's Example 1 (Fig. 2 / Table 2).
+//
+// A symmetric two-port line modeled as three coupled RC segments whose
+// element values depend linearly on a normalized spatial parameter p
+// (p = 0 nominal, p = 0.1 extreme). For the experiments the second port is
+// shunted with 100 ohms, turning the structure into a one-port load.
+#pragma once
+
+#include <functional>
+
+#include "circuit/netlist.hpp"
+#include "interconnect/coupled_lines.hpp"
+
+namespace lcsf::interconnect {
+
+/// Element values at parameter p (linear in p, anchored at Table 2's p=0
+/// and p=0.1 rows).
+struct Example1Values {
+  double r1, r2, r3;     ///< [ohm]
+  double c1, c2, c3;     ///< ground caps [F]
+  double cc1, cc2, cc3;  ///< coupling caps [F]
+};
+
+Example1Values example1_values(double p);
+
+/// Bundle with the two coupled 3-segment lines and the 100-ohm shunt on the
+/// second port. Ports: {port1} (one-port form used throughout Example 1).
+struct Example1Circuit {
+  circuit::Netlist netlist;
+  circuit::NodeId port1 = 0;
+  circuit::NodeId port2 = 0;
+};
+
+Example1Circuit example1_circuit(double p, double shunt_ohms = 100.0);
+
+/// Pencil factory for the variational MOR library: w is the scalar p.
+/// Ports-first ordering with port1 as the single port.
+std::function<PortedPencil(double)> example1_pencil_family(
+    double shunt_ohms = 100.0);
+
+}  // namespace lcsf::interconnect

@@ -1,0 +1,160 @@
+#include "interconnect/rc_tree.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <string>
+
+namespace lcsf::interconnect {
+
+using circuit::kGround;
+using circuit::NodeId;
+
+RcTree build_rc_tree(const RcTreeSpec& spec) {
+  if (spec.branches.empty()) {
+    throw std::invalid_argument("build_rc_tree: no branches");
+  }
+  const UnitLengthParasitics pul = sakurai_parasitics(spec.geometry);
+
+  RcTree tree;
+  auto& nl = tree.netlist;
+  tree.root = nl.add_node("root");
+  tree.branch_ends.resize(spec.branches.size());
+
+  std::vector<bool> has_children(spec.branches.size(), false);
+  for (std::size_t b = 0; b < spec.branches.size(); ++b) {
+    const TreeBranch& br = spec.branches[b];
+    if (br.parent >= static_cast<int>(b)) {
+      throw std::invalid_argument(
+          "build_rc_tree: branches must be listed parent-first");
+    }
+    if (br.length <= 0.0 || spec.segment_length <= 0.0) {
+      throw std::invalid_argument("build_rc_tree: bad lengths");
+    }
+    const NodeId start =
+        br.parent < 0 ? tree.root
+                      : tree.branch_ends[static_cast<std::size_t>(br.parent)];
+    if (br.parent >= 0) has_children[static_cast<std::size_t>(br.parent)] =
+        true;
+
+    const auto nseg = static_cast<std::size_t>(
+        std::ceil(br.length / spec.segment_length - 1e-9));
+    const double seg_len = br.length / static_cast<double>(nseg);
+    const double rseg = pul.resistance * seg_len;
+    const double cseg = pul.ground_capacitance * seg_len;
+
+    NodeId prev = start;
+    nl.add_capacitor(prev, kGround, 0.5 * cseg);
+    for (std::size_t s = 0; s < nseg; ++s) {
+      const NodeId next = nl.add_node(
+          "b" + std::to_string(b) + "_" + std::to_string(s));
+      nl.add_resistor(prev, next, rseg);
+      nl.add_capacitor(next, kGround,
+                       s + 1 == nseg ? 0.5 * cseg : cseg);
+      prev = next;
+    }
+    tree.branch_ends[b] = prev;
+  }
+  for (std::size_t b = 0; b < spec.branches.size(); ++b) {
+    if (!has_children[b]) {
+      tree.leaves.push_back(tree.branch_ends[b]);
+      if (spec.leaf_cap > 0.0) {
+        nl.add_capacitor(tree.branch_ends[b], kGround, spec.leaf_cap);
+      }
+    }
+  }
+  return tree;
+}
+
+double elmore_delay(const circuit::Netlist& nl, NodeId root, NodeId node) {
+  const std::size_t n = nl.node_count();
+  // Build the resistor adjacency and check tree-ness via BFS from root.
+  struct Edge {
+    NodeId to;
+    double ohms;
+  };
+  std::vector<std::vector<Edge>> adj(n);
+  for (const auto& r : nl.resistors()) {
+    adj[static_cast<std::size_t>(r.a)].push_back({r.b, r.ohms});
+    adj[static_cast<std::size_t>(r.b)].push_back({r.a, r.ohms});
+  }
+
+  // Parent pointers from BFS; any edge to an already-visited node other
+  // than the BFS parent closes a cycle, so the graph is not a tree.
+  std::vector<int> parent(n, -2);
+  std::vector<double> parent_r(n, 0.0);
+  std::vector<NodeId> queue{root};
+  parent[static_cast<std::size_t>(root)] = -1;
+  for (std::size_t head = 0; head < queue.size(); ++head) {
+    const NodeId u = queue[head];
+    for (const Edge& e : adj[static_cast<std::size_t>(u)]) {
+      auto& p = parent[static_cast<std::size_t>(e.to)];
+      if (p != -2) {
+        if (parent[static_cast<std::size_t>(u)] != e.to) {
+          throw std::invalid_argument(
+              "elmore_delay: resistor graph is not a tree");
+        }
+        continue;
+      }
+      p = u;
+      parent_r[static_cast<std::size_t>(e.to)] = e.ohms;
+      queue.push_back(e.to);
+    }
+  }
+  if (parent[static_cast<std::size_t>(node)] == -2) {
+    throw std::invalid_argument("elmore_delay: node unreachable from root");
+  }
+
+  // Path from root to the observation node.
+  auto path_of = [&](NodeId v) {
+    std::vector<NodeId> path;
+    while (v != root) {
+      path.push_back(v);
+      v = static_cast<NodeId>(parent[static_cast<std::size_t>(v)]);
+    }
+    path.push_back(root);
+    std::reverse(path.begin(), path.end());
+    return path;
+  };
+  const auto target_path = path_of(node);
+  std::vector<int> depth_on_path(n, -1);
+  for (std::size_t d = 0; d < target_path.size(); ++d) {
+    depth_on_path[static_cast<std::size_t>(target_path[d])] =
+        static_cast<int>(d);
+  }
+
+  // Shared-path resistance for every capacitor node: walk to the root,
+  // recording the deepest ancestor on the target path, then sum the
+  // target-path resistances up to that ancestor.
+  std::vector<double> r_to_path_depth(target_path.size(), 0.0);
+  for (std::size_t d = 1; d < target_path.size(); ++d) {
+    r_to_path_depth[d] =
+        r_to_path_depth[d - 1] +
+        parent_r[static_cast<std::size_t>(target_path[d])];
+  }
+  auto shared_r = [&](NodeId v) {
+    while (depth_on_path[static_cast<std::size_t>(v)] < 0) {
+      v = static_cast<NodeId>(parent[static_cast<std::size_t>(v)]);
+    }
+    return r_to_path_depth[static_cast<std::size_t>(
+        depth_on_path[static_cast<std::size_t>(v)])];
+  };
+
+  double delay = 0.0;
+  for (const auto& c : nl.capacitors()) {
+    // Only ground caps contribute to the classic Elmore form.
+    NodeId v = kGround;
+    if (c.a == kGround) {
+      v = c.b;
+    } else if (c.b == kGround) {
+      v = c.a;
+    } else {
+      continue;
+    }
+    if (parent[static_cast<std::size_t>(v)] == -2) continue;  // detached
+    delay += c.farads * shared_r(v);
+  }
+  return delay;
+}
+
+}  // namespace lcsf::interconnect

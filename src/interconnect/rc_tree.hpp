@@ -1,0 +1,52 @@
+// RC-tree interconnect builder and the Elmore delay metric.
+//
+// Real nets are branching trees, not single lines; the builder produces a
+// tree netlist the MOR/TETA flow consumes unchanged. Elmore delay (the
+// first moment of the impulse response) has a closed form on RC trees:
+//   T_D(leaf) = sum_k R(path(root,k) \cap path(root,leaf)) * C_k,
+// which makes it an independent cross-check of the MNA assembly, the
+// moment computation, and the reductions.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "circuit/netlist.hpp"
+#include "circuit/technology.hpp"
+#include "interconnect/sakurai.hpp"
+
+namespace lcsf::interconnect {
+
+/// One branch of the tree: parent index (-1 = root attaches to the driver
+/// port) and geometric length.
+struct TreeBranch {
+  int parent = -1;
+  double length = 50e-6;
+};
+
+struct RcTreeSpec {
+  std::vector<TreeBranch> branches;
+  double segment_length = 1e-6;
+  circuit::WireGeometry geometry;
+  /// Extra capacitance at every leaf (receiver pins).
+  double leaf_cap = 0.0;
+};
+
+struct RcTree {
+  circuit::Netlist netlist;
+  circuit::NodeId root = 0;                 ///< driver attachment node
+  std::vector<circuit::NodeId> branch_ends; ///< far node of each branch
+  std::vector<circuit::NodeId> leaves;      ///< ends with no children
+};
+
+/// Build the tree. Branch k starts at the end of branch `parent` (or at
+/// the root) and runs `length` metres of segmented wire.
+RcTree build_rc_tree(const RcTreeSpec& spec);
+
+/// Elmore delay from `root` to `node` computed directly on the R/C
+/// elements of a tree netlist (throws if the resistor graph is not a tree
+/// rooted at `root`).
+double elmore_delay(const circuit::Netlist& nl, circuit::NodeId root,
+                    circuit::NodeId node);
+
+}  // namespace lcsf::interconnect

@@ -1,0 +1,45 @@
+#include "interconnect/sakurai.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace lcsf::interconnect {
+
+namespace {
+constexpr double kEps0 = 8.854187817e-12;  // vacuum permittivity [F/m]
+}
+
+UnitLengthParasitics sakurai_parasitics(const circuit::WireGeometry& g) {
+  if (g.width <= 0.0 || g.thickness <= 0.0 || g.spacing <= 0.0 ||
+      g.ild_thickness <= 0.0 || g.resistivity <= 0.0 || g.eps_rel <= 0.0) {
+    throw std::invalid_argument("sakurai_parasitics: non-physical geometry");
+  }
+  const double eps = kEps0 * g.eps_rel;
+  const double woh = g.width / g.ild_thickness;
+  const double toh = g.thickness / g.ild_thickness;
+  const double soh = g.spacing / g.ild_thickness;
+
+  UnitLengthParasitics p;
+  p.resistance = g.resistivity / (g.width * g.thickness);
+  p.ground_capacitance = eps * (1.15 * woh + 2.80 * std::pow(toh, 0.222));
+  const double cc =
+      eps * (0.03 * woh + 0.83 * toh - 0.07 * std::pow(toh, 0.222)) *
+      std::pow(soh, -1.34);
+  // The fitted expression can go slightly negative for extreme geometry
+  // corners; clamp at zero (no coupling) rather than emit a negative cap.
+  p.coupling_capacitance = std::max(cc, 0.0);
+  return p;
+}
+
+circuit::WireGeometry apply_variation(const circuit::WireGeometry& nominal,
+                                      const WireVariation& w) {
+  circuit::WireGeometry g = nominal;
+  g.width *= 1.0 + w.width;
+  g.thickness *= 1.0 + w.thickness;
+  g.spacing *= 1.0 + w.spacing;
+  g.ild_thickness *= 1.0 + w.ild_thickness;
+  g.resistivity *= 1.0 + w.resistivity;
+  return g;
+}
+
+}  // namespace lcsf::interconnect

@@ -1,0 +1,43 @@
+// Sakurai's closed-form parasitic formulas (T. Sakurai, IEEE Trans. ED,
+// Jan 1993), which the paper uses to turn wire geometry into electrical
+// circuit elements in Examples 2 and 3.
+//
+// All values are per unit length; the wire builders multiply by the segment
+// length (the paper segments "at each micron length").
+#pragma once
+
+#include "circuit/technology.hpp"
+
+namespace lcsf::interconnect {
+
+/// Per-unit-length electrical parameters of one wire in an array of
+/// identical parallel wires.
+struct UnitLengthParasitics {
+  double resistance = 0.0;       ///< [ohm/m]
+  double ground_capacitance = 0.0;  ///< to the plane below [F/m]
+  double coupling_capacitance = 0.0;///< to each adjacent neighbour [F/m]
+};
+
+/// Evaluate Sakurai's formulas for the given geometry.
+///   R    = rho / (W T)
+///   Cg   = eps (1.15 (W/H) + 2.80 (T/H)^0.222)
+///   Cc   = eps (0.03 (W/H) + 0.83 (T/H) - 0.07 (T/H)^0.222) (S/H)^-1.34
+/// Throws std::invalid_argument on non-physical geometry.
+UnitLengthParasitics sakurai_parasitics(const circuit::WireGeometry& g);
+
+/// The five global wire parameters the paper varies in Example 2 (W, T, S,
+/// H, rho), as multipliers applied to a nominal geometry. A value of w
+/// means parameter = nominal * (1 + w).
+struct WireVariation {
+  double width = 0.0;
+  double thickness = 0.0;
+  double spacing = 0.0;
+  double ild_thickness = 0.0;
+  double resistivity = 0.0;
+};
+
+/// Apply a relative variation to a nominal geometry.
+circuit::WireGeometry apply_variation(const circuit::WireGeometry& nominal,
+                                      const WireVariation& w);
+
+}  // namespace lcsf::interconnect

@@ -1,0 +1,123 @@
+#include "mor/awe.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "numeric/eigen_real.hpp"
+#include "numeric/lu.hpp"
+
+namespace lcsf::mor {
+
+using numeric::Complex;
+using numeric::ComplexMatrix;
+using numeric::Matrix;
+using numeric::Vector;
+
+Vector impedance_moments(const interconnect::PortedPencil& pencil,
+                         std::size_t port_i, std::size_t port_j,
+                         std::size_t count) {
+  const std::size_t n = pencil.g.rows();
+  if (port_i >= pencil.num_ports || port_j >= pencil.num_ports) {
+    throw std::invalid_argument("impedance_moments: bad port");
+  }
+  numeric::LuFactorization lu(pencil.g);
+  Vector ej(n, 0.0);
+  ej[port_j] = 1.0;
+  Vector x = lu.solve(ej);  // G^{-1} e_j
+  Vector m(count);
+  for (std::size_t k = 0; k < count; ++k) {
+    m[k] = x[port_i];
+    if (k + 1 < count) {
+      x = lu.solve(pencil.c * x);
+      for (double& v : x) v = -v;  // (-G^{-1} C) applied
+    }
+  }
+  return m;
+}
+
+PoleResidueModel awe_approximation(const interconnect::PortedPencil& pencil,
+                                   std::size_t port_i, std::size_t port_j,
+                                   std::size_t q) {
+  if (q == 0) throw std::invalid_argument("awe: q must be >= 1");
+  Vector m = impedance_moments(pencil, port_i, port_j, 2 * q);
+
+  // Frequency-scale the moments (s' = s / w0) so the Hankel system is
+  // workably conditioned -- the standard AWE practice. w0 is the
+  // dominant-pole estimate |m0/m1|.
+  if (m[0] == 0.0 || m[1] == 0.0) {
+    throw std::runtime_error("awe_approximation: degenerate leading moments");
+  }
+  const double w0 = std::abs(m[0] / m[1]);
+  {
+    double scale = 1.0;
+    for (std::size_t k = 0; k < m.size(); ++k) {
+      m[k] *= scale;
+      scale *= w0;
+    }
+  }
+
+  // Hankel system for the Pade denominator Q(s') = 1 + b1 s' + ... +
+  // bq s'^q:
+  //   sum_i b_i m_{q+r-i} = -m_{q+r},   r = 0..q-1.
+  Matrix h(q, q);
+  Vector rhs(q);
+  for (std::size_t r = 0; r < q; ++r) {
+    for (std::size_t i = 1; i <= q; ++i) {
+      h(r, i - 1) = m[q + r - i];
+    }
+    rhs[r] = -m[q + r];
+  }
+  Vector b;
+  try {
+    b = numeric::solve(h, rhs);
+  } catch (const std::runtime_error&) {
+    throw std::runtime_error(
+        "awe_approximation: singular moment (Hankel) system -- the classic "
+        "AWE order limit");
+  }
+  if (b[q - 1] == 0.0) {
+    throw std::runtime_error("awe_approximation: degenerate denominator");
+  }
+
+  // Poles: roots of Q via the companion matrix of the monic polynomial
+  //   s^q + (b_{q-1}/b_q) s^{q-1} + ... + (1/b_q).
+  Matrix comp(q, q);
+  for (std::size_t r = 1; r < q; ++r) comp(r, r - 1) = 1.0;
+  for (std::size_t r = 0; r < q; ++r) {
+    // Coefficient of s^r in Q/b_q: (r==0 ? 1 : b_r) / b_q.
+    const double coef = (r == 0 ? 1.0 : b[r - 1]) / b[q - 1];
+    comp(r, q - 1) = -coef;
+  }
+  // Scaled poles back to real frequency: p = w0 p'.
+  auto poles = numeric::eigenvalues_real(comp);
+  for (auto& p : poles) p *= w0;
+
+  // Residues from the first q (unscaled) moment relations:
+  //   m_l = -sum_k r_k / p_k^{l+1}.
+  const Vector m_raw = impedance_moments(pencil, port_i, port_j, q);
+  ComplexMatrix vand(q, q);
+  numeric::CVector mrhs(q);
+  for (std::size_t l = 0; l < q; ++l) {
+    for (std::size_t k = 0; k < q; ++k) {
+      Complex pk_pow = 1.0;
+      for (std::size_t e = 0; e <= l; ++e) pk_pow *= poles[k];
+      vand(l, k) = -1.0 / pk_pow;
+    }
+    mrhs[l] = m_raw[l];
+  }
+  const numeric::CVector res = numeric::ComplexLu(vand).solve(mrhs);
+
+  Matrix direct(1, 1);
+  std::vector<Complex> ps;
+  std::vector<ComplexMatrix> rs;
+  for (std::size_t k = 0; k < q; ++k) {
+    ComplexMatrix r(1, 1);
+    r(0, 0) = res[k];
+    ps.push_back(poles[k]);
+    rs.push_back(std::move(r));
+  }
+  return PoleResidueModel(1, std::move(direct), std::move(ps),
+                          std::move(rs));
+}
+
+}  // namespace lcsf::mor

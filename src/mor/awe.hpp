@@ -1,0 +1,35 @@
+// AWE: Asymptotic Waveform Evaluation (Pillage & Rohrer) -- explicit
+// moment matching through a Pade approximation.
+//
+// Included as the historical baseline the projection methods replaced: the
+// paper's ref [8] (Anastasakis et al., "On the stability of approximations
+// in asymptotic waveform evaluation") documents how Pade-based reductions
+// go unstable as the order grows, which is why PACT/PRIMA exist and why
+// the paper's pole/residue filter mirrors AWE-era practice. The
+// implementation computes impedance moments from the pencil, solves the
+// Hankel system for the denominator, and extracts poles from the companion
+// matrix.
+#pragma once
+
+#include <cstddef>
+
+#include "interconnect/coupled_lines.hpp"
+#include "mor/poleres.hpp"
+
+namespace lcsf::mor {
+
+/// q-pole Pade approximation of one port-impedance entry Z_ij(s) of a
+/// ports-first pencil. Throws std::runtime_error if the Hankel system is
+/// singular (moment degeneracy), which in AWE practice limits usable
+/// orders to single digits.
+PoleResidueModel awe_approximation(const interconnect::PortedPencil& pencil,
+                                   std::size_t port_i, std::size_t port_j,
+                                   std::size_t q);
+
+/// The 2q impedance moments m_0..m_{2q-1} of Z_ij (helper, also used by
+/// tests).
+numeric::Vector impedance_moments(const interconnect::PortedPencil& pencil,
+                                  std::size_t port_i, std::size_t port_j,
+                                  std::size_t count);
+
+}  // namespace lcsf::mor

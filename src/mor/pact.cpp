@@ -1,0 +1,179 @@
+#include "mor/pact.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <stdexcept>
+
+#include "numeric/cholesky.hpp"
+#include "numeric/eigen_sym.hpp"
+#include "numeric/lu.hpp"
+
+namespace lcsf::mor {
+
+using numeric::CholeskyFactorization;
+using numeric::Matrix;
+using numeric::Vector;
+
+namespace {
+
+struct Partition {
+  std::size_t np, ni;
+  Matrix gpp, gpi, gii;
+  Matrix cpp, cpi, cii;
+};
+
+Partition partition(const interconnect::PortedPencil& pencil) {
+  const std::size_t n = pencil.g.rows();
+  const std::size_t np = pencil.num_ports;
+  if (np == 0 || np > n) {
+    throw std::invalid_argument("pact: invalid port count");
+  }
+  const std::size_t ni = n - np;
+  Partition p;
+  p.np = np;
+  p.ni = ni;
+  p.gpp = pencil.g.block(0, 0, np, np);
+  p.gpi = pencil.g.block(0, np, np, ni);
+  p.gii = pencil.g.block(np, np, ni, ni);
+  p.cpp = pencil.c.block(0, 0, np, np);
+  p.cpi = pencil.c.block(0, np, np, ni);
+  p.cii = pencil.c.block(np, np, ni, ni);
+  return p;
+}
+
+/// Apply the first PACT congruence V = [I 0; X I], X = -Gii^{-1} Gip.
+/// Returns A (reduced port conductance) plus the transformed C blocks.
+struct FirstCongruence {
+  Matrix a;       // Gpp - Gpi Gii^{-1} Gip
+  Matrix cpp_t;   // transformed port C block
+  Matrix cpi_t;   // transformed port/internal C coupling
+  Matrix x;       // Ni x Np
+};
+
+FirstCongruence first_congruence(const Partition& p) {
+  FirstCongruence f;
+  if (p.ni == 0) {
+    f.a = p.gpp;
+    f.cpp_t = p.cpp;
+    f.cpi_t = Matrix(p.np, 0);
+    f.x = Matrix(0, p.np);
+    return f;
+  }
+  // X = -Gii^{-1} Gip; Gii SPD for the effective loads we build.
+  CholeskyFactorization gii(p.gii);
+  const Matrix gip = p.gpi.transposed();
+  Matrix x(p.ni, p.np);
+  for (std::size_t j = 0; j < p.np; ++j) {
+    Vector col = gii.solve(gip.col(j));
+    for (double& v : col) v = -v;
+    x.set_col(j, col);
+  }
+  f.x = x;
+  f.a = p.gpp + p.gpi * x;
+  // C' = V^T C V with V = [I 0; X I]:
+  //   C'_pp = Cpp + Cpi X + X^T Cip + X^T Cii X
+  //   C'_pi = Cpi + X^T Cii
+  const Matrix xt = x.transposed();
+  f.cpp_t = p.cpp + p.cpi * x + xt * p.cpi.transposed() + xt * (p.cii * x);
+  f.cpp_t.symmetrize();
+  f.cpi_t = p.cpi + xt * p.cii;
+  return f;
+}
+
+ReducedModel assemble(const Matrix& a, const Matrix& cpp_t, const Matrix& r,
+                      const Matrix& d, const Matrix& e, std::size_t np) {
+  const std::size_t q = d.rows();
+  ReducedModel m;
+  m.num_ports = np;
+  m.g = Matrix(np + q, np + q);
+  m.c = Matrix(np + q, np + q);
+  m.g.set_block(0, 0, a);
+  m.g.set_block(np, np, d);
+  m.c.set_block(0, 0, cpp_t);
+  m.c.set_block(0, np, r);
+  m.c.set_block(np, 0, r.transposed());
+  m.c.set_block(np, np, e);
+  m.b = Matrix(np + q, np);
+  for (std::size_t p = 0; p < np; ++p) m.b(p, p) = 1.0;
+  return m;
+}
+
+}  // namespace
+
+PactResult pact_reduce(const interconnect::PortedPencil& pencil,
+                       const PactOptions& opt) {
+  const Partition p = partition(pencil);
+  const FirstCongruence f = first_congruence(p);
+  const std::size_t q = std::min(opt.internal_modes, p.ni);
+
+  if (p.ni == 0 || q == 0) {
+    PactResult res;
+    res.model = assemble(f.a, f.cpp_t, Matrix(p.np, 0), Matrix(0, 0),
+                         Matrix(0, 0), p.np);
+    res.basis = PactBasis{Matrix(p.ni, 0), p.np};
+    return res;
+  }
+
+  // Internal dynamics: Cii u = lambda Gii u; vectors Gii-orthonormal.
+  const auto eig = numeric::eigen_symmetric_generalized(p.cii, p.gii);
+
+  // Rank modes. lambda_k is the time constant of internal pole -1/lambda.
+  std::vector<std::size_t> order(p.ni);
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  if (opt.selection == PactModeSelection::kSlowestPoles) {
+    std::stable_sort(order.begin(), order.end(),
+                     [&](std::size_t a2, std::size_t b2) {
+                       return eig.values[a2] > eig.values[b2];
+                     });
+  } else {
+    // Residue weight: |lambda_k| * ||C'_pi u_k||^2.
+    Vector weight(p.ni, 0.0);
+    for (std::size_t k = 0; k < p.ni; ++k) {
+      const Vector ck = f.cpi_t * eig.vectors.col(k);
+      weight[k] = std::abs(eig.values[k]) * numeric::dot(ck, ck);
+    }
+    std::stable_sort(order.begin(), order.end(),
+                     [&](std::size_t a2, std::size_t b2) {
+                       return weight[a2] > weight[b2];
+                     });
+  }
+
+  Matrix u(p.ni, q);
+  Vector lam(q);
+  for (std::size_t k = 0; k < q; ++k) {
+    u.set_col(k, eig.vectors.col(order[k]));
+    lam[k] = eig.values[order[k]];
+  }
+
+  // Reduced blocks: D = U^T Gii U = I, E = U^T Cii U = diag(lam),
+  // R = C'_pi U.
+  const Matrix r = f.cpi_t * u;
+  PactResult res;
+  res.model = assemble(f.a, f.cpp_t, r, Matrix::identity(q),
+                       Matrix::diagonal(lam), p.np);
+  res.basis = PactBasis{u, p.np};
+  return res;
+}
+
+ReducedModel pact_reduce_with_basis(const interconnect::PortedPencil& pencil,
+                                    const PactBasis& basis) {
+  const Partition p = partition(pencil);
+  if (p.np != basis.num_ports || p.ni != basis.u.rows()) {
+    throw std::invalid_argument("pact_reduce_with_basis: basis mismatch");
+  }
+  const FirstCongruence f = first_congruence(p);
+  const std::size_t q = basis.u.cols();
+  if (q == 0) {
+    return assemble(f.a, f.cpp_t, Matrix(p.np, 0), Matrix(0, 0), Matrix(0, 0),
+                    p.np);
+  }
+  // Exact congruence with the frozen internal basis: the internal blocks
+  // are no longer exactly I/diagonal for a perturbed pencil, which is fine.
+  const Matrix ut = basis.u.transposed();
+  const Matrix d = ut * (p.gii * basis.u);
+  const Matrix e = ut * (p.cii * basis.u);
+  const Matrix r = f.cpi_t * basis.u;
+  return assemble(f.a, f.cpp_t, r, d, e, p.np);
+}
+
+}  // namespace lcsf::mor

@@ -1,0 +1,61 @@
+// PACT: Pole Analysis via Congruence Transformations (Kerns & Yang, TCAD
+// 1997) -- the reduction algorithm the paper uses in Example 1 and the one
+// whose output has exactly the block structure of paper Eq. (5):
+//   Gr = [A 0; 0 D],   Cr = [B R; R^T E].
+//
+// Steps: (1) a congruence eliminates the port/internal conductance
+// coupling, (2) the internal (C_II, G_II) generalized symmetric
+// eigenproblem diagonalizes the internal dynamics, (3) the slowest internal
+// modes are kept. Both steps are congruences, so the *nominal* reduced
+// model of an RC pencil is provably passive -- it is the first-order
+// variational expansion (variational.hpp) that loses this property.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+
+#include "interconnect/coupled_lines.hpp"
+#include "mor/reduced_model.hpp"
+
+namespace lcsf::mor {
+
+/// How internal modes are ranked for truncation.
+enum class PactModeSelection {
+  kSlowestPoles,     ///< largest time constants lambda_k
+  kResidueWeighted,  ///< lambda_k scaled by port-coupling strength
+};
+
+struct PactOptions {
+  std::size_t internal_modes = 4;  ///< q, the reduced internal order
+  PactModeSelection selection = PactModeSelection::kSlowestPoles;
+};
+
+/// The reusable part of a nominal reduction: the projection that maps the
+/// original pencil to the reduced one. Applying it to a *perturbed* pencil
+/// gives the pre-characterization samples for the variational library
+/// without re-solving (and re-ordering) the eigenproblem.
+struct PactBasis {
+  numeric::Matrix u;  ///< Ni x q internal eigenbasis kept at nominal
+  std::size_t num_ports = 0;
+};
+
+struct PactResult {
+  ReducedModel model;
+  PactBasis basis;
+};
+
+/// Reduce a ports-first pencil. Requires the internal conductance block to
+/// be SPD (every internal node must have a resistive path to a port or
+/// ground) -- true for the effective loads of the framework because driver
+/// output conductances are folded in first (Table 1, step 2).
+PactResult pact_reduce(const interconnect::PortedPencil& pencil,
+                       const PactOptions& opt);
+
+/// Reduce a (perturbed) pencil re-using a nominal basis. The port/internal
+/// congruence X(w) = -Gii^{-1} Gip is recomputed exactly for this pencil;
+/// only the internal eigenbasis is frozen. The result is still an exact
+/// congruence of the given pencil.
+ReducedModel pact_reduce_with_basis(const interconnect::PortedPencil& pencil,
+                                    const PactBasis& basis);
+
+}  // namespace lcsf::mor

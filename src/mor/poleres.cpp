@@ -1,0 +1,209 @@
+#include "mor/poleres.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "numeric/eigen_real.hpp"
+#include "numeric/lu.hpp"
+
+namespace lcsf::mor {
+
+using numeric::Complex;
+using numeric::ComplexLu;
+using numeric::ComplexMatrix;
+using numeric::Matrix;
+
+PoleResidueModel::PoleResidueModel(std::size_t num_ports, Matrix direct,
+                                   std::vector<Complex> poles,
+                                   std::vector<ComplexMatrix> residues)
+    : num_ports_(num_ports),
+      direct_(std::move(direct)),
+      poles_(std::move(poles)),
+      residues_(std::move(residues)) {
+  if (poles_.size() != residues_.size()) {
+    throw std::invalid_argument("PoleResidueModel: pole/residue mismatch");
+  }
+  if (direct_.rows() != num_ports_ || direct_.cols() != num_ports_) {
+    throw std::invalid_argument("PoleResidueModel: bad direct term");
+  }
+  for (const auto& r : residues_) {
+    if (r.rows() != num_ports_ || r.cols() != num_ports_) {
+      throw std::invalid_argument("PoleResidueModel: bad residue shape");
+    }
+  }
+}
+
+Complex PoleResidueModel::eval(std::size_t i, std::size_t j,
+                               Complex s) const {
+  Complex z = direct_(i, j);
+  for (std::size_t k = 0; k < poles_.size(); ++k) {
+    z += residues_[k](i, j) / (s - poles_[k]);
+  }
+  return z;
+}
+
+ComplexMatrix PoleResidueModel::eval(Complex s) const {
+  ComplexMatrix z(num_ports_, num_ports_);
+  for (std::size_t i = 0; i < num_ports_; ++i) {
+    for (std::size_t j = 0; j < num_ports_; ++j) z(i, j) = eval(i, j, s);
+  }
+  return z;
+}
+
+std::size_t PoleResidueModel::count_unstable(double tol) const {
+  std::size_t n = 0;
+  for (const Complex& p : poles_) {
+    if (p.real() > tol) ++n;
+  }
+  return n;
+}
+
+double PoleResidueModel::max_unstable_real() const {
+  double m = 0.0;
+  for (const Complex& p : poles_) m = std::max(m, p.real());
+  return m;
+}
+
+PoleResidueModel extract_pole_residue(const ReducedModel& rom,
+                                      double fast_pole_tol) {
+  const std::size_t n = rom.order();
+  const std::size_t np = rom.num_ports;
+  if (n == 0) throw std::invalid_argument("extract_pole_residue: empty model");
+
+  // T = -Gr^{-1} Cr (paper Eq. 16); Gr^{-1} Br for the nu factors.
+  numeric::LuFactorization glu(rom.g);
+  Matrix t = glu.solve(rom.c);
+  t *= -1.0;
+  const Matrix ginv_b = glu.solve(rom.b);
+
+  const numeric::RealEigen eig = numeric::eigen_real(t);
+
+  // Complex eigenvector matrix S, its inverse applied to Gr^{-1} Br, and
+  // the port rows of Br^T S.
+  ComplexMatrix s_mat(n, n);
+  for (std::size_t k = 0; k < n; ++k) {
+    const auto vk = eig.vector(k);
+    for (std::size_t i = 0; i < n; ++i) s_mat(i, k) = vk[i];
+  }
+  ComplexLu slu(s_mat);
+  ComplexMatrix nu = slu.solve(ComplexMatrix{ginv_b});  // n x np
+
+  // mu = Br^T S (np x n).
+  ComplexMatrix mu(np, n);
+  for (std::size_t i = 0; i < np; ++i) {
+    for (std::size_t k = 0; k < n; ++k) {
+      Complex sum = 0.0;
+      for (std::size_t r = 0; r < n; ++r) sum += rom.b(r, i) * s_mat(r, k);
+      mu(i, k) = sum;
+    }
+  }
+
+  double dmax = 0.0;
+  for (const Complex& d : eig.values) dmax = std::max(dmax, std::abs(d));
+
+  Matrix direct(np, np);
+  std::vector<Complex> poles;
+  std::vector<ComplexMatrix> residues;
+  for (std::size_t k = 0; k < n; ++k) {
+    const Complex d = eig.values[k];
+    if (std::abs(d) <= fast_pole_tol * dmax) {
+      // Infinitely-fast mode: constant contribution mu nu.
+      for (std::size_t i = 0; i < np; ++i) {
+        for (std::size_t j = 0; j < np; ++j) {
+          direct(i, j) += (mu(i, k) * nu(k, j)).real();
+        }
+      }
+      continue;
+    }
+    // term/(1 - s d) = (-term/d) / (s - 1/d).
+    const Complex p = 1.0 / d;
+    ComplexMatrix r(np, np);
+    for (std::size_t i = 0; i < np; ++i) {
+      for (std::size_t j = 0; j < np; ++j) {
+        r(i, j) = -mu(i, k) * nu(k, j) / d;
+      }
+    }
+    poles.push_back(p);
+    residues.push_back(std::move(r));
+  }
+  return PoleResidueModel(np, std::move(direct), std::move(poles),
+                          std::move(residues));
+}
+
+PoleResidueModel stabilize(const PoleResidueModel& model,
+                           StabilizationReport* report,
+                           StabilizePolicy policy) {
+  const std::size_t np = model.num_ports();
+
+  // DC sums over all vs. stable poles, per port pair (Eq. 23 computes
+  // beta from the r_k/p_k sums; contribution of r/(s-p) at s=0 is -r/p).
+  ComplexMatrix sum_all(np, np);
+  ComplexMatrix sum_stable(np, np);
+  std::size_t dropped = 0;
+  double max_unstable = 0.0;
+  std::vector<std::size_t> keep;
+  for (std::size_t k = 0; k < model.num_poles(); ++k) {
+    const Complex p = model.poles()[k];
+    const bool stable = p.real() <= 0.0;
+    for (std::size_t i = 0; i < np; ++i) {
+      for (std::size_t j = 0; j < np; ++j) {
+        const Complex rp = model.residue(k)(i, j) / p;
+        sum_all(i, j) += rp;
+        if (stable) sum_stable(i, j) += rp;
+      }
+    }
+    if (stable) {
+      keep.push_back(k);
+    } else {
+      ++dropped;
+      max_unstable = std::max(max_unstable, p.real());
+    }
+  }
+
+  Matrix beta(np, np);
+  Matrix direct = model.direct();
+  if (policy == StabilizePolicy::kBetaScaling) {
+    // Per-entry beta (Eq. 23); guard degenerate denominators.
+    for (std::size_t i = 0; i < np; ++i) {
+      for (std::size_t j = 0; j < np; ++j) {
+        const double num = sum_all(i, j).real();
+        const double den = sum_stable(i, j).real();
+        beta(i, j) =
+            (std::abs(den) > 1e-300 && std::abs(num / den) < 1e6) ? num / den
+                                                                  : 1.0;
+      }
+    }
+  } else {
+    // Direct compensation: each dropped pole contributes the constant
+    // -r/p for |s| << |p|; keep that part so DC and mid-band survive.
+    for (std::size_t i = 0; i < np; ++i) {
+      for (std::size_t j = 0; j < np; ++j) {
+        beta(i, j) = 1.0;
+        direct(i, j) -= (sum_all(i, j) - sum_stable(i, j)).real();
+      }
+    }
+  }
+
+  std::vector<Complex> poles;
+  std::vector<ComplexMatrix> residues;
+  poles.reserve(keep.size());
+  for (std::size_t k : keep) {
+    poles.push_back(model.poles()[k]);
+    ComplexMatrix r = model.residue(k);
+    for (std::size_t i = 0; i < np; ++i) {
+      for (std::size_t j = 0; j < np; ++j) r(i, j) *= beta(i, j);
+    }
+    residues.push_back(std::move(r));
+  }
+
+  if (report != nullptr) {
+    report->dropped_poles = dropped;
+    report->max_unstable_real = max_unstable;
+    report->beta = beta;
+  }
+  return PoleResidueModel(np, std::move(direct), std::move(poles),
+                          std::move(residues));
+}
+
+}  // namespace lcsf::mor

@@ -1,0 +1,90 @@
+// Pole/residue transformation and the two-step stabilization strategy
+// (paper Eq. 13-23).
+//
+// The reduced pencil is diagonalized through T = -Gr^{-1} Cr = S D S^{-1},
+// giving Z_ij(s) = sum_k mu_ik nu_kj / (1 - s d_k): pole p_k = 1/d_k with
+// matrix residues. Instability manifests as poles with positive real part;
+// the filter drops them and rescales the surviving residues by a common
+// per-entry factor beta so the DC (first-moment) behaviour of the original
+// model is preserved (Eq. 21-23).
+#pragma once
+
+#include <complex>
+#include <cstddef>
+#include <vector>
+
+#include "mor/reduced_model.hpp"
+#include "numeric/complex_matrix.hpp"
+
+namespace lcsf::mor {
+
+/// Z(s) = direct + sum_k residues[k] / (s - poles[k]), entrywise over the
+/// Np x Np port matrix. Complex poles appear in conjugate pairs with
+/// conjugate residues, so time-domain responses are real.
+class PoleResidueModel {
+ public:
+  PoleResidueModel() = default;
+  PoleResidueModel(std::size_t num_ports, numeric::Matrix direct,
+                   std::vector<numeric::Complex> poles,
+                   std::vector<numeric::ComplexMatrix> residues);
+
+  std::size_t num_ports() const { return num_ports_; }
+  std::size_t num_poles() const { return poles_.size(); }
+  const std::vector<numeric::Complex>& poles() const { return poles_; }
+  const numeric::ComplexMatrix& residue(std::size_t k) const {
+    return residues_[k];
+  }
+  const numeric::Matrix& direct() const { return direct_; }
+
+  numeric::Complex eval(std::size_t i, std::size_t j,
+                        numeric::Complex s) const;
+  /// Full port matrix at s.
+  numeric::ComplexMatrix eval(numeric::Complex s) const;
+
+  /// Stability queries (paper: "macromodel instability manifests itself
+  /// with positive poles").
+  std::size_t count_unstable(double tol = 0.0) const;
+  /// Largest positive real part among poles; 0 if stable. Table 3 reports
+  /// this value.
+  double max_unstable_real() const;
+
+ private:
+  std::size_t num_ports_ = 0;
+  numeric::Matrix direct_;
+  std::vector<numeric::Complex> poles_;
+  std::vector<numeric::ComplexMatrix> residues_;
+};
+
+/// Diagonalize the reduced model into pole/residue form. Eigenvalues d_k of
+/// T with |d_k| below `fast_pole_tol` * max|d| are folded into the direct
+/// (constant) term -- they represent poles far beyond the band of interest.
+PoleResidueModel extract_pole_residue(const ReducedModel& rom,
+                                      double fast_pole_tol = 1e-12);
+
+struct StabilizationReport {
+  std::size_t dropped_poles = 0;
+  double max_unstable_real = 0.0;  ///< largest Re(p) among dropped poles
+  numeric::Matrix beta;            ///< per-entry DC correction factors
+};
+
+/// How the DC behaviour is restored after dropping unstable poles.
+enum class StabilizePolicy {
+  /// Paper Eq. 22-23: rescale every surviving residue by a common
+  /// per-entry factor beta. Exact for far-out unstable poles with small
+  /// residues (the common case the paper observed).
+  kBetaScaling,
+  /// Fold each dropped pole's below-band contribution -r/p into the direct
+  /// term. Preserves DC exactly *and* leaves the surviving poles untouched,
+  /// which keeps mid-band accuracy when a dropped pole carried significant
+  /// weight. (beta is reported as 1.)
+  kDirectCompensation,
+};
+
+/// The paper's two-step filter: drop right-half-plane poles, then restore
+/// the DC (first-moment) behaviour per the chosen policy.
+PoleResidueModel stabilize(const PoleResidueModel& model,
+                           StabilizationReport* report = nullptr,
+                           StabilizePolicy policy =
+                               StabilizePolicy::kDirectCompensation);
+
+}  // namespace lcsf::mor

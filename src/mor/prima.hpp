@@ -1,0 +1,35 @@
+// PRIMA: Passive Reduced-order Interconnect Macromodeling Algorithm
+// (Odabasioglu et al., TCAD 1998). Block Arnoldi Krylov projection with a
+// congruence transform; the nominal reduction of an RC pencil is passive
+// and moment-matching.
+//
+// Used alongside PACT as the second projection method named by the paper
+// (Sec. 2), and as the reference reduction in tests/ablation benches.
+#pragma once
+
+#include <cstddef>
+
+#include "interconnect/coupled_lines.hpp"
+#include "mor/reduced_model.hpp"
+
+namespace lcsf::mor {
+
+struct PrimaOptions {
+  std::size_t block_moments = 2;  ///< Krylov block iterations (q = Np * this)
+  double expansion_point = 0.0;   ///< s0; use > 0 if G alone is singular
+};
+
+struct PrimaResult {
+  ReducedModel model;
+  numeric::Matrix projection;  ///< n x q orthonormal basis X
+};
+
+/// Reduce a ports-first pencil with block Arnoldi at s0.
+PrimaResult prima_reduce(const interconnect::PortedPencil& pencil,
+                         const PrimaOptions& opt);
+
+/// Congruence-project a (perturbed) pencil through a frozen basis X.
+ReducedModel prima_project(const interconnect::PortedPencil& pencil,
+                           const numeric::Matrix& projection);
+
+}  // namespace lcsf::mor

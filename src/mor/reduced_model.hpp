@@ -1,0 +1,45 @@
+// Reduced-order macromodel representation shared by PACT and PRIMA.
+//
+// A reduced model is the pencil (Gr + s Cr) together with the port
+// injection matrix Br, so the port impedance is
+//   Z(s) = Br^T (Gr + s Cr)^{-1} Br.
+// PACT produces the ports-first form of paper Eq. (5)-(7) where
+// Br = [I; 0]; PRIMA produces a dense projected Br.
+#pragma once
+
+#include <complex>
+#include <cstddef>
+
+#include "numeric/complex_matrix.hpp"
+#include "numeric/matrix.hpp"
+
+namespace lcsf::mor {
+
+struct ReducedModel {
+  numeric::Matrix g;  ///< reduced conductance
+  numeric::Matrix c;  ///< reduced capacitance
+  numeric::Matrix b;  ///< order x num_ports injection matrix
+  std::size_t num_ports = 0;
+
+  std::size_t order() const { return g.rows(); }
+
+  /// Z(s) over the ports (dense complex solve; fine at reduced sizes).
+  numeric::ComplexMatrix port_impedance(numeric::Complex s) const;
+
+  /// k-th port-impedance moment: Z(s) = m0 + m1 s + m2 s^2 + ...
+  /// moment(k) = Br^T (-G^{-1} C)^k G^{-1} Br.
+  numeric::Matrix moment(std::size_t k) const;
+};
+
+/// Port impedance of a full (unreduced) ports-first pencil.
+numeric::ComplexMatrix pencil_port_impedance(const numeric::Matrix& g,
+                                             const numeric::Matrix& c,
+                                             std::size_t num_ports,
+                                             numeric::Complex s);
+
+/// Moment of a full ports-first pencil (ports are the first rows).
+numeric::Matrix pencil_moment(const numeric::Matrix& g,
+                              const numeric::Matrix& c,
+                              std::size_t num_ports, std::size_t k);
+
+}  // namespace lcsf::mor

@@ -1,0 +1,153 @@
+#include "mor/variational.hpp"
+
+#include <memory>
+#include <stdexcept>
+#include <utility>
+
+namespace lcsf::mor {
+
+using numeric::Matrix;
+using numeric::Vector;
+
+VariationalRom::VariationalRom(ReducedModel nominal,
+                               std::vector<ReducedModel> sensitivity)
+    : nominal_(std::move(nominal)), sensitivity_(std::move(sensitivity)) {
+  for (const ReducedModel& s : sensitivity_) {
+    if (s.order() != nominal_.order() ||
+        s.num_ports != nominal_.num_ports) {
+      throw std::invalid_argument("VariationalRom: inconsistent library");
+    }
+  }
+}
+
+ReducedModel VariationalRom::evaluate(const Vector& w) const {
+  if (w.size() != sensitivity_.size()) {
+    throw std::invalid_argument("VariationalRom::evaluate: wrong w size");
+  }
+  ReducedModel m = nominal_;
+  for (std::size_t i = 0; i < w.size(); ++i) {
+    if (w[i] == 0.0) continue;
+    const ReducedModel& d = sensitivity_[i];
+    m.g += w[i] * d.g;
+    m.c += w[i] * d.c;
+    m.b += w[i] * d.b;
+  }
+  return m;
+}
+
+VariationalRom build_variational_rom(const PencilFamily& family,
+                                     std::size_t num_params,
+                                     const VariationalOptions& opt) {
+  if (opt.fd_step <= 0.0) {
+    throw std::invalid_argument("build_variational_rom: fd_step must be > 0");
+  }
+  const Vector w0(num_params, 0.0);
+  const interconnect::PortedPencil p0 = family(w0);
+
+  ReducedModel nominal;
+  // Reduction applied to each perturbed pencil sample.
+  std::function<ReducedModel(const interconnect::PortedPencil&)> project;
+
+  if (opt.method == ReductionMethod::kPact) {
+    PactResult r = pact_reduce(p0, opt.pact);
+    nominal = std::move(r.model);
+    if (opt.library == LibraryMode::kFullReduction) {
+      project = [pact = opt.pact](const interconnect::PortedPencil& p) {
+        return pact_reduce(p, pact).model;
+      };
+    } else {
+      project = [basis = std::move(r.basis)](
+                    const interconnect::PortedPencil& p) {
+        return pact_reduce_with_basis(p, basis);
+      };
+    }
+  } else {
+    PrimaResult r = prima_reduce(p0, opt.prima);
+    nominal = std::move(r.model);
+    if (opt.library == LibraryMode::kFullReduction) {
+      project = [prima = opt.prima](const interconnect::PortedPencil& p) {
+        return prima_reduce(p, prima).model;
+      };
+    } else {
+      project = [x = std::move(r.projection)](
+                    const interconnect::PortedPencil& p) {
+        return prima_project(p, x);
+      };
+    }
+  }
+
+  std::vector<ReducedModel> sens;
+  sens.reserve(num_params);
+  for (std::size_t i = 0; i < num_params; ++i) {
+    Vector wp = w0, wm = w0;
+    wp[i] = opt.fd_step;
+    wm[i] = -opt.fd_step;
+    const ReducedModel mp = project(family(wp));
+    const ReducedModel mm = project(family(wm));
+    ReducedModel d;
+    d.num_ports = nominal.num_ports;
+    const double inv2h = 1.0 / (2.0 * opt.fd_step);
+    d.g = (mp.g - mm.g) * inv2h;
+    d.c = (mp.c - mm.c) * inv2h;
+    d.b = (mp.b - mm.b) * inv2h;
+    sens.push_back(std::move(d));
+  }
+  return VariationalRom(std::move(nominal), std::move(sens));
+}
+
+PencilFamily scalar_family(
+    std::function<interconnect::PortedPencil(double)> f) {
+  return [f = std::move(f)](const Vector& w) {
+    if (w.size() != 1) {
+      throw std::invalid_argument("scalar_family: expected 1 parameter");
+    }
+    return f(w[0]);
+  };
+}
+
+PencilFamily linear_matrix_family(const PencilFamily& base,
+                                  const Vector& anchors) {
+  const std::size_t nw = anchors.size();
+  auto p0 = std::make_shared<interconnect::PortedPencil>(
+      base(Vector(nw, 0.0)));
+  auto dg = std::make_shared<std::vector<Matrix>>();
+  auto dc = std::make_shared<std::vector<Matrix>>();
+  for (std::size_t i = 0; i < nw; ++i) {
+    if (anchors[i] == 0.0) {
+      throw std::invalid_argument("linear_matrix_family: zero anchor");
+    }
+    Vector w(nw, 0.0);
+    w[i] = anchors[i];
+    const interconnect::PortedPencil pi = base(w);
+    dg->push_back((pi.g - p0->g) * (1.0 / anchors[i]));
+    dc->push_back((pi.c - p0->c) * (1.0 / anchors[i]));
+  }
+  return [p0, dg, dc, nw](const Vector& w) {
+    if (w.size() != nw) {
+      throw std::invalid_argument("linear_matrix_family: wrong w size");
+    }
+    interconnect::PortedPencil out = *p0;
+    for (std::size_t i = 0; i < nw; ++i) {
+      if (w[i] == 0.0) continue;
+      out.g += w[i] * (*dg)[i];
+      out.c += w[i] * (*dc)[i];
+    }
+    return out;
+  };
+}
+
+interconnect::PortedPencil with_port_conductance(
+    interconnect::PortedPencil pencil, const Vector& gout) {
+  if (gout.size() != pencil.num_ports) {
+    throw std::invalid_argument("with_port_conductance: size mismatch");
+  }
+  for (std::size_t k = 0; k < gout.size(); ++k) {
+    if (gout[k] < 0.0) {
+      throw std::invalid_argument("with_port_conductance: negative G");
+    }
+    pencil.g(k, k) += gout[k];
+  }
+  return pencil;
+}
+
+}  // namespace lcsf::mor

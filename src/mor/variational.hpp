@@ -1,0 +1,108 @@
+// Variational reduced-order model library (paper Sec. 2, Eq. 3-11).
+//
+// The library is pre-characterized from a pencil *family* G(w), C(w): the
+// nominal pencil is reduced exactly (PACT or PRIMA), and the sensitivity of
+// every reduced matrix to each global parameter w_i is measured by central
+// finite differences *through the frozen nominal projection*, the "design
+// of experiments" pre-characterization of [1]. Evaluation at a parameter
+// sample is then the first-order expansion
+//   Mr(w) = Mr0 + sum_i dMr_i w_i                       (paper Eq. 8/11)
+// which is cheap but -- as the paper proves -- no longer a congruence
+// transformation, so the evaluated model can be non-passive and unstable.
+// That defect is what Table 3 measures and what the stability filter
+// (poleres.hpp) repairs.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <vector>
+
+#include "interconnect/coupled_lines.hpp"
+#include "mor/pact.hpp"
+#include "mor/prima.hpp"
+#include "mor/reduced_model.hpp"
+
+namespace lcsf::mor {
+
+/// A pencil family maps a global-parameter sample w to the ports-first
+/// (G(w), C(w)) pencil. Structure (dimension, port order) must not depend
+/// on w.
+using PencilFamily =
+    std::function<interconnect::PortedPencil(const numeric::Vector& w)>;
+
+enum class ReductionMethod { kPact, kPrima };
+
+/// How the pre-characterization samples are reduced.
+enum class LibraryMode {
+  /// Difference *complete* reductions (eigenbasis / Krylov basis recomputed
+  /// at each perturbed sample). This is the paper's variational algebra
+  /// (X(w) = X0 + dX1 w1, Eq. 8-11) and reproduces its instability
+  /// phenomenon: the eigen-dependent derivative terms are ill-conditioned
+  /// for fast/near-degenerate modes, so the evaluated model develops
+  /// right-half-plane poles (Table 3).
+  kFullReduction,
+  /// Freeze the nominal projection and re-project perturbed pencils
+  /// through it. Numerically robust (each sample is an exact congruence);
+  /// the first-order evaluation can still lose passivity, but much further
+  /// from nominal. Used as the ablation baseline.
+  kFrozenProjection,
+};
+
+struct VariationalOptions {
+  ReductionMethod method = ReductionMethod::kPact;
+  LibraryMode library = LibraryMode::kFullReduction;
+  PactOptions pact;
+  PrimaOptions prima;
+  double fd_step = 1e-3;  ///< central-difference step per parameter
+};
+
+/// The pre-characterized library: nominal model plus per-parameter
+/// sensitivities of (Gr, Cr, Br).
+class VariationalRom {
+ public:
+  VariationalRom() = default;
+  VariationalRom(ReducedModel nominal, std::vector<ReducedModel> sensitivity);
+
+  std::size_t num_params() const { return sensitivity_.size(); }
+  std::size_t num_ports() const { return nominal_.num_ports; }
+  std::size_t order() const { return nominal_.order(); }
+
+  const ReducedModel& nominal() const { return nominal_; }
+  const ReducedModel& sensitivity(std::size_t i) const {
+    return sensitivity_[i];
+  }
+
+  /// First-order evaluation at a parameter sample (paper Eq. 11). The
+  /// returned model is generally NOT passive; feed it through
+  /// extract_pole_residue + stabilize before time-domain use.
+  ReducedModel evaluate(const numeric::Vector& w) const;
+
+ private:
+  ReducedModel nominal_;
+  std::vector<ReducedModel> sensitivity_;
+};
+
+/// Pre-characterize a variational ROM library for a family with
+/// `num_params` global parameters (w = 0 is nominal).
+VariationalRom build_variational_rom(const PencilFamily& family,
+                                     std::size_t num_params,
+                                     const VariationalOptions& opt);
+
+/// Adapter: single-parameter family from a scalar function.
+PencilFamily scalar_family(
+    std::function<interconnect::PortedPencil(double)> f);
+
+/// Materialize the literal variational form of paper Eq. (3)-(4): the
+/// returned family evaluates G(w) = G0 + sum_i dGi w_i (same for C) where
+/// dGi is the secant between w = 0 and w = anchors[i] * e_i. Use when the
+/// raw element values (not the matrix entries) are linear in w, so that the
+/// matrix family itself becomes exactly linear, as the paper assumes.
+PencilFamily linear_matrix_family(const PencilFamily& base,
+                                  const numeric::Vector& anchors);
+
+/// Fold driver output conductances into the port diagonal of a pencil:
+/// G_lin = G + G_sc (paper Table 1, step 2). `gout[k]` attaches to port k.
+interconnect::PortedPencil with_port_conductance(
+    interconnect::PortedPencil pencil, const numeric::Vector& gout);
+
+}  // namespace lcsf::mor

@@ -1,0 +1,65 @@
+// Minimal dense complex matrix with LU solve.
+//
+// Needed in two places: evaluating port impedances Z(s) at complex
+// frequencies, and inverting the (complex) eigenvector matrix S during the
+// pole/residue transformation (paper Eq. 16-20).
+#pragma once
+
+#include <complex>
+#include <vector>
+
+#include "numeric/matrix.hpp"
+
+namespace lcsf::numeric {
+
+using Complex = std::complex<double>;
+using CVector = std::vector<Complex>;
+
+class ComplexMatrix {
+ public:
+  ComplexMatrix() = default;
+  ComplexMatrix(std::size_t rows, std::size_t cols)
+      : rows_(rows), cols_(cols), data_(rows * cols) {}
+
+  /// Promote a real matrix.
+  explicit ComplexMatrix(const Matrix& m);
+
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+
+  Complex& operator()(std::size_t i, std::size_t j) {
+    return data_[i * cols_ + j];
+  }
+  Complex operator()(std::size_t i, std::size_t j) const {
+    return data_[i * cols_ + j];
+  }
+
+  ComplexMatrix& operator+=(const ComplexMatrix& rhs);
+  friend ComplexMatrix operator*(const ComplexMatrix& a,
+                                 const ComplexMatrix& b);
+  CVector operator*(const CVector& x) const;
+
+  double max_abs() const;
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  CVector data_;
+};
+
+/// a + scale * b for real matrices promoted to complex (used for G + sC).
+ComplexMatrix complex_pencil(const Matrix& g, const Matrix& c, Complex s);
+
+/// Dense complex LU with partial pivoting.
+class ComplexLu {
+ public:
+  explicit ComplexLu(ComplexMatrix a);
+  CVector solve(const CVector& b) const;
+  ComplexMatrix solve(const ComplexMatrix& b) const;
+
+ private:
+  ComplexMatrix lu_;
+  std::vector<std::size_t> piv_;
+};
+
+}  // namespace lcsf::numeric

@@ -1,0 +1,484 @@
+#include "numeric/eigen_real.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace lcsf::numeric {
+namespace {
+
+// Complex scalar division (a+bi)/(c+di) avoiding overflow (Smith's method).
+void cdiv(double ar, double ai, double br, double bi, double& cr, double& ci) {
+  if (std::abs(br) > std::abs(bi)) {
+    const double r = bi / br;
+    const double d = br + r * bi;
+    cr = (ar + r * ai) / d;
+    ci = (ai - r * ar) / d;
+  } else {
+    const double r = br / bi;
+    const double d = bi + r * br;
+    cr = (r * ar + ai) / d;
+    ci = (r * ai - ar) / d;
+  }
+}
+
+// State for the EISPACK orthes/hqr2 pipeline operating on n x n storage.
+struct Hqr2Workspace {
+  std::size_t n;
+  Matrix h;    // Hessenberg form, later quasi-triangular
+  Matrix v;    // accumulated transformations -> eigenvectors
+  Vector d;    // real parts of eigenvalues
+  Vector e;    // imaginary parts of eigenvalues
+  Vector ort;  // Householder scratch
+
+  explicit Hqr2Workspace(Matrix a)
+      : n(a.rows()),
+        h(std::move(a)),
+        v(Matrix::identity(n)),
+        d(n, 0.0),
+        e(n, 0.0),
+        ort(n, 0.0) {}
+
+  // Householder reduction of h to upper Hessenberg with accumulation in v.
+  void orthes() {
+    if (n < 3) return;
+    const std::size_t low = 0;
+    const std::size_t high = n - 1;
+
+    for (std::size_t m = low + 1; m <= high - 1; ++m) {
+      double scale = 0.0;
+      for (std::size_t i = m; i <= high; ++i) scale += std::abs(h(i, m - 1));
+      if (scale == 0.0) continue;
+
+      double hsum = 0.0;
+      for (std::size_t i = high + 1; i-- > m;) {
+        ort[i] = h(i, m - 1) / scale;
+        hsum += ort[i] * ort[i];
+      }
+      double g = std::sqrt(hsum);
+      if (ort[m] > 0.0) g = -g;
+      hsum -= ort[m] * g;
+      ort[m] -= g;
+
+      // Apply Householder from both sides: (I - u u^T / hsum) H (I - ...).
+      for (std::size_t j = m; j < n; ++j) {
+        double f = 0.0;
+        for (std::size_t i = high + 1; i-- > m;) f += ort[i] * h(i, j);
+        f /= hsum;
+        for (std::size_t i = m; i <= high; ++i) h(i, j) -= f * ort[i];
+      }
+      for (std::size_t i = 0; i <= high; ++i) {
+        double f = 0.0;
+        for (std::size_t j = high + 1; j-- > m;) f += ort[j] * h(i, j);
+        f /= hsum;
+        for (std::size_t j = m; j <= high; ++j) h(i, j) -= f * ort[j];
+      }
+      ort[m] *= scale;
+      h(m, m - 1) = scale * g;
+    }
+
+    // Accumulate transformations into v.
+    for (std::size_t m = high - 1; m >= low + 1; --m) {
+      if (h(m, m - 1) != 0.0) {
+        for (std::size_t i = m + 1; i <= high; ++i) ort[i] = h(i, m - 1);
+        for (std::size_t j = m; j <= high; ++j) {
+          double g = 0.0;
+          for (std::size_t i = m; i <= high; ++i) g += ort[i] * v(i, j);
+          // double division avoids possible underflow (EISPACK note).
+          g = (g / ort[m]) / h(m, m - 1);
+          for (std::size_t i = m; i <= high; ++i) v(i, j) += g * ort[i];
+        }
+      }
+      if (m == low + 1) break;
+    }
+  }
+
+  // Francis double-shift QR on the Hessenberg matrix, then eigenvector
+  // back-substitution. Port of the EISPACK hqr2 routine.
+  void hqr2() {
+    const int nn = static_cast<int>(n);
+    int nIter = nn - 1;
+    const int low = 0;
+    const int high = nn - 1;
+    const double eps = std::pow(2.0, -52.0);
+    double exshift = 0.0;
+    double p = 0, q = 0, r = 0, s = 0, z = 0, t, w, x, y;
+
+    auto H = [&](int i, int j) -> double& {
+      return h(static_cast<std::size_t>(i), static_cast<std::size_t>(j));
+    };
+    auto V = [&](int i, int j) -> double& {
+      return v(static_cast<std::size_t>(i), static_cast<std::size_t>(j));
+    };
+
+    double norm = 0.0;
+    for (int i = 0; i < nn; ++i) {
+      for (int j = std::max(i - 1, 0); j < nn; ++j) norm += std::abs(H(i, j));
+    }
+
+    int iter = 0;
+    int total_iter = 0;
+    while (nIter >= low) {
+      if (++total_iter > 30 * nn * nn + 1000) {
+        throw std::runtime_error("eigen_real: QR iteration failed");
+      }
+      // Look for a single small subdiagonal element.
+      int l = nIter;
+      while (l > low) {
+        s = std::abs(H(l - 1, l - 1)) + std::abs(H(l, l));
+        if (s == 0.0) s = norm;
+        if (std::abs(H(l, l - 1)) < eps * s) break;
+        --l;
+      }
+
+      if (l == nIter) {
+        // One root found.
+        H(nIter, nIter) += exshift;
+        d[static_cast<std::size_t>(nIter)] = H(nIter, nIter);
+        e[static_cast<std::size_t>(nIter)] = 0.0;
+        --nIter;
+        iter = 0;
+      } else if (l == nIter - 1) {
+        // Two roots found.
+        w = H(nIter, nIter - 1) * H(nIter - 1, nIter);
+        p = (H(nIter - 1, nIter - 1) - H(nIter, nIter)) / 2.0;
+        q = p * p + w;
+        z = std::sqrt(std::abs(q));
+        H(nIter, nIter) += exshift;
+        H(nIter - 1, nIter - 1) += exshift;
+        x = H(nIter, nIter);
+
+        if (q >= 0) {
+          // Real pair.
+          z = (p >= 0) ? p + z : p - z;
+          d[static_cast<std::size_t>(nIter - 1)] = x + z;
+          d[static_cast<std::size_t>(nIter)] =
+              (z != 0.0) ? x - w / z : d[static_cast<std::size_t>(nIter - 1)];
+          e[static_cast<std::size_t>(nIter - 1)] = 0.0;
+          e[static_cast<std::size_t>(nIter)] = 0.0;
+          x = H(nIter, nIter - 1);
+          s = std::abs(x) + std::abs(z);
+          p = x / s;
+          q = z / s;
+          r = std::sqrt(p * p + q * q);
+          p /= r;
+          q /= r;
+          for (int j = nIter - 1; j < nn; ++j) {
+            z = H(nIter - 1, j);
+            H(nIter - 1, j) = q * z + p * H(nIter, j);
+            H(nIter, j) = q * H(nIter, j) - p * z;
+          }
+          for (int i = 0; i <= nIter; ++i) {
+            z = H(i, nIter - 1);
+            H(i, nIter - 1) = q * z + p * H(i, nIter);
+            H(i, nIter) = q * H(i, nIter) - p * z;
+          }
+          for (int i = low; i <= high; ++i) {
+            z = V(i, nIter - 1);
+            V(i, nIter - 1) = q * z + p * V(i, nIter);
+            V(i, nIter) = q * V(i, nIter) - p * z;
+          }
+        } else {
+          // Complex pair.
+          d[static_cast<std::size_t>(nIter - 1)] = x + p;
+          d[static_cast<std::size_t>(nIter)] = x + p;
+          e[static_cast<std::size_t>(nIter - 1)] = z;
+          e[static_cast<std::size_t>(nIter)] = -z;
+        }
+        nIter -= 2;
+        iter = 0;
+      } else {
+        // No convergence yet; form shift.
+        x = H(nIter, nIter);
+        y = 0.0;
+        w = 0.0;
+        if (l < nIter) {
+          y = H(nIter - 1, nIter - 1);
+          w = H(nIter, nIter - 1) * H(nIter - 1, nIter);
+        }
+
+        if (iter == 10 || iter == 20) {
+          // Exceptional shift.
+          exshift += x;
+          for (int i = low; i <= nIter; ++i) H(i, i) -= x;
+          s = std::abs(H(nIter, nIter - 1)) + std::abs(H(nIter - 1, nIter - 2));
+          x = y = 0.75 * s;
+          w = -0.4375 * s * s;
+        }
+        ++iter;
+
+        // Look for two consecutive small subdiagonal elements.
+        int m = nIter - 2;
+        while (m >= l) {
+          z = H(m, m);
+          r = x - z;
+          s = y - z;
+          p = (r * s - w) / H(m + 1, m) + H(m, m + 1);
+          q = H(m + 1, m + 1) - z - r - s;
+          r = H(m + 2, m + 1);
+          s = std::abs(p) + std::abs(q) + std::abs(r);
+          p /= s;
+          q /= s;
+          r /= s;
+          if (m == l) break;
+          if (std::abs(H(m, m - 1)) * (std::abs(q) + std::abs(r)) <
+              eps * (std::abs(p) * (std::abs(H(m - 1, m - 1)) + std::abs(z) +
+                                    std::abs(H(m + 1, m + 1))))) {
+            break;
+          }
+          --m;
+        }
+
+        for (int i = m + 2; i <= nIter; ++i) {
+          H(i, i - 2) = 0.0;
+          if (i > m + 2) H(i, i - 3) = 0.0;
+        }
+
+        // Double QR step on rows l..nIter, columns m..nIter.
+        for (int k = m; k <= nIter - 1; ++k) {
+          const bool notlast = (k != nIter - 1);
+          if (k != m) {
+            p = H(k, k - 1);
+            q = H(k + 1, k - 1);
+            r = notlast ? H(k + 2, k - 1) : 0.0;
+            x = std::abs(p) + std::abs(q) + std::abs(r);
+            if (x == 0.0) continue;
+            p /= x;
+            q /= x;
+            r /= x;
+          }
+
+          s = std::sqrt(p * p + q * q + r * r);
+          if (p < 0) s = -s;
+          if (s != 0) {
+            if (k != m) {
+              H(k, k - 1) = -s * x;
+            } else if (l != m) {
+              H(k, k - 1) = -H(k, k - 1);
+            }
+            p += s;
+            x = p / s;
+            y = q / s;
+            z = r / s;
+            q /= p;
+            r /= p;
+
+            // Row modification.
+            for (int j = k; j < nn; ++j) {
+              p = H(k, j) + q * H(k + 1, j);
+              if (notlast) {
+                p += r * H(k + 2, j);
+                H(k + 2, j) -= p * z;
+              }
+              H(k, j) -= p * x;
+              H(k + 1, j) -= p * y;
+            }
+            // Column modification.
+            for (int i = 0; i <= std::min(nIter, k + 3); ++i) {
+              p = x * H(i, k) + y * H(i, k + 1);
+              if (notlast) {
+                p += z * H(i, k + 2);
+                H(i, k + 2) -= p * r;
+              }
+              H(i, k) -= p;
+              H(i, k + 1) -= p * q;
+            }
+            // Accumulate transformations.
+            for (int i = low; i <= high; ++i) {
+              p = x * V(i, k) + y * V(i, k + 1);
+              if (notlast) {
+                p += z * V(i, k + 2);
+                V(i, k + 2) -= p * r;
+              }
+              V(i, k) -= p;
+              V(i, k + 1) -= p * q;
+            }
+          }
+        }
+      }
+    }
+
+    // Back-substitute to find vectors of the quasi-triangular form.
+    if (norm == 0.0) return;
+
+    for (int k = nn - 1; k >= 0; --k) {
+      p = d[static_cast<std::size_t>(k)];
+      q = e[static_cast<std::size_t>(k)];
+
+      if (q == 0.0) {
+        // Real eigenvector.
+        int l = k;
+        H(k, k) = 1.0;
+        for (int i = k - 1; i >= 0; --i) {
+          w = H(i, i) - p;
+          r = 0.0;
+          for (int j = l; j <= k; ++j) r += H(i, j) * H(j, k);
+          if (e[static_cast<std::size_t>(i)] < 0.0) {
+            z = w;
+            s = r;
+          } else {
+            l = i;
+            if (e[static_cast<std::size_t>(i)] == 0.0) {
+              H(i, k) = (w != 0.0) ? -r / w : -r / (eps * norm);
+            } else {
+              // Solve the 2x2 real block.
+              x = H(i, i + 1);
+              y = H(i + 1, i);
+              q = (d[static_cast<std::size_t>(i)] - p) *
+                      (d[static_cast<std::size_t>(i)] - p) +
+                  e[static_cast<std::size_t>(i)] *
+                      e[static_cast<std::size_t>(i)];
+              t = (x * s - z * r) / q;
+              H(i, k) = t;
+              H(i + 1, k) = (std::abs(x) > std::abs(z)) ? (-r - w * t) / x
+                                                        : (-s - y * t) / z;
+            }
+            // Overflow control.
+            t = std::abs(H(i, k));
+            if ((eps * t) * t > 1) {
+              for (int j = i; j <= k; ++j) H(j, k) /= t;
+            }
+          }
+        }
+      } else if (q < 0.0) {
+        // Complex eigenvector (for the pair k-1, k).
+        int l = k - 1;
+        if (std::abs(H(k, k - 1)) > std::abs(H(k - 1, k))) {
+          H(k - 1, k - 1) = q / H(k, k - 1);
+          H(k - 1, k) = -(H(k, k) - p) / H(k, k - 1);
+        } else {
+          double cr, ci;
+          cdiv(0.0, -H(k - 1, k), H(k - 1, k - 1) - p, q, cr, ci);
+          H(k - 1, k - 1) = cr;
+          H(k - 1, k) = ci;
+        }
+        H(k, k - 1) = 0.0;
+        H(k, k) = 1.0;
+        for (int i = k - 2; i >= 0; --i) {
+          double ra = 0.0, sa = 0.0;
+          for (int j = l; j <= k; ++j) {
+            ra += H(i, j) * H(j, k - 1);
+            sa += H(i, j) * H(j, k);
+          }
+          w = H(i, i) - p;
+
+          if (e[static_cast<std::size_t>(i)] < 0.0) {
+            z = w;
+            r = ra;
+            s = sa;
+          } else {
+            l = i;
+            if (e[static_cast<std::size_t>(i)] == 0.0) {
+              double cr, ci;
+              cdiv(-ra, -sa, w, q, cr, ci);
+              H(i, k - 1) = cr;
+              H(i, k) = ci;
+            } else {
+              // Solve complex 2x2 block.
+              x = H(i, i + 1);
+              y = H(i + 1, i);
+              double vr = (d[static_cast<std::size_t>(i)] - p) *
+                              (d[static_cast<std::size_t>(i)] - p) +
+                          e[static_cast<std::size_t>(i)] *
+                              e[static_cast<std::size_t>(i)] -
+                          q * q;
+              const double vi = (d[static_cast<std::size_t>(i)] - p) * 2.0 * q;
+              if (vr == 0.0 && vi == 0.0) {
+                vr = eps * norm *
+                     (std::abs(w) + std::abs(q) + std::abs(x) + std::abs(y) +
+                      std::abs(z));
+              }
+              double cr, ci;
+              cdiv(x * r - z * ra + q * sa, x * s - z * sa - q * ra, vr, vi,
+                   cr, ci);
+              H(i, k - 1) = cr;
+              H(i, k) = ci;
+              if (std::abs(x) > (std::abs(z) + std::abs(q))) {
+                H(i + 1, k - 1) =
+                    (-ra - w * H(i, k - 1) + q * H(i, k)) / x;
+                H(i + 1, k) = (-sa - w * H(i, k) - q * H(i, k - 1)) / x;
+              } else {
+                cdiv(-r - y * H(i, k - 1), -s - y * H(i, k), z, q, cr, ci);
+                H(i + 1, k - 1) = cr;
+                H(i + 1, k) = ci;
+              }
+            }
+            // Overflow control.
+            t = std::max(std::abs(H(i, k - 1)), std::abs(H(i, k)));
+            if ((eps * t) * t > 1) {
+              for (int j = i; j <= k; ++j) {
+                H(j, k - 1) /= t;
+                H(j, k) /= t;
+              }
+            }
+          }
+        }
+      }
+    }
+
+    // Multiply by transformation matrix to get vectors of the original
+    // matrix.
+    for (int j = nn - 1; j >= low; --j) {
+      for (int i = low; i <= high; ++i) {
+        z = 0.0;
+        for (int k = low; k <= std::min(j, high); ++k) {
+          z += V(i, k) * H(k, j);
+        }
+        V(i, j) = z;
+      }
+    }
+  }
+};
+
+}  // namespace
+
+std::vector<std::complex<double>> RealEigen::vector(std::size_t k) const {
+  const std::size_t n = packed_vectors.rows();
+  std::vector<std::complex<double>> v(n);
+  if (values[k].imag() == 0.0) {
+    for (std::size_t i = 0; i < n; ++i) v[i] = packed_vectors(i, k);
+  } else if (values[k].imag() > 0.0) {
+    // First of a conjugate pair: col(k) + i col(k+1).
+    for (std::size_t i = 0; i < n; ++i) {
+      v[i] = {packed_vectors(i, k), packed_vectors(i, k + 1)};
+    }
+  } else {
+    // Second of the pair: conjugate of col(k-1) + i col(k).
+    for (std::size_t i = 0; i < n; ++i) {
+      v[i] = {packed_vectors(i, k - 1), -packed_vectors(i, k)};
+    }
+  }
+  return v;
+}
+
+RealEigen eigen_real(Matrix a) {
+  if (!a.square()) throw std::invalid_argument("eigen_real: non-square");
+  const std::size_t n = a.rows();
+  RealEigen out;
+  if (n == 0) return out;
+  if (n == 1) {
+    out.values = {a(0, 0)};
+    out.packed_vectors = Matrix{{1.0}};
+    return out;
+  }
+
+  Hqr2Workspace ws(std::move(a));
+  ws.orthes();
+  // Zero out the sub-Hessenberg entries so hqr2 sees an exact Hessenberg
+  // matrix (orthes leaves Householder vectors there).
+  for (std::size_t i = 2; i < n; ++i) {
+    for (std::size_t j = 0; j + 1 < i; ++j) ws.h(i, j) = 0.0;
+  }
+  ws.hqr2();
+
+  out.values.resize(n);
+  for (std::size_t i = 0; i < n; ++i) out.values[i] = {ws.d[i], ws.e[i]};
+  out.packed_vectors = std::move(ws.v);
+  return out;
+}
+
+std::vector<std::complex<double>> eigenvalues_real(const Matrix& a) {
+  return eigen_real(a).values;
+}
+
+}  // namespace lcsf::numeric

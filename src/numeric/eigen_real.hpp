@@ -1,0 +1,38 @@
+// General real (nonsymmetric) eigensolver.
+//
+// The pole/residue transformation of the reduced-order macromodel (paper
+// Eq. 14-20) diagonalizes T = -Gr^{-1} Cr, which is a general real matrix
+// with complex-conjugate eigenpairs. We implement the classical EISPACK
+// pipeline: Householder reduction to upper Hessenberg form followed by the
+// Francis implicit double-shift QR iteration with accumulated
+// transformations and eigenvector back-substitution.
+#pragma once
+
+#include <complex>
+#include <vector>
+
+#include "numeric/matrix.hpp"
+
+namespace lcsf::numeric {
+
+struct RealEigen {
+  /// Eigenvalues; complex pairs appear adjacently as (a+bi, a-bi).
+  std::vector<std::complex<double>> values;
+  /// Eigenvector matrix in EISPACK packed real storage: for a real
+  /// eigenvalue k the vector is column k; for a complex pair (k, k+1) the
+  /// vector of values[k] is col(k) + i*col(k+1) and its conjugate belongs to
+  /// values[k+1].
+  Matrix packed_vectors;
+
+  /// Unpack eigenvector k as a complex vector.
+  std::vector<std::complex<double>> vector(std::size_t k) const;
+};
+
+/// Full eigendecomposition of a general real square matrix.
+/// Throws std::runtime_error if the QR iteration fails to converge.
+RealEigen eigen_real(Matrix a);
+
+/// Eigenvalues only (same algorithm, vectors skipped by the caller).
+std::vector<std::complex<double>> eigenvalues_real(const Matrix& a);
+
+}  // namespace lcsf::numeric

@@ -1,0 +1,122 @@
+#include "numeric/lu.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace lcsf::numeric {
+
+LuFactorization::LuFactorization(Matrix a) : lu_(std::move(a)) {
+  if (!lu_.square()) {
+    throw std::invalid_argument("LuFactorization: matrix must be square");
+  }
+  const std::size_t n = lu_.rows();
+  piv_.resize(n);
+  for (std::size_t i = 0; i < n; ++i) piv_[i] = i;
+
+  for (std::size_t k = 0; k < n; ++k) {
+    // Partial pivot: largest magnitude in column k at/below the diagonal.
+    std::size_t p = k;
+    double pmax = std::abs(lu_(k, k));
+    for (std::size_t i = k + 1; i < n; ++i) {
+      const double v = std::abs(lu_(i, k));
+      if (v > pmax) {
+        pmax = v;
+        p = i;
+      }
+    }
+    if (pmax == 0.0) {
+      throw std::runtime_error("LuFactorization: singular matrix");
+    }
+    if (p != k) {
+      for (std::size_t j = 0; j < n; ++j) std::swap(lu_(p, j), lu_(k, j));
+      std::swap(piv_[p], piv_[k]);
+      pivot_sign_ = -pivot_sign_;
+    }
+    const double ukk = lu_(k, k);
+    for (std::size_t i = k + 1; i < n; ++i) {
+      const double lik = lu_(i, k) / ukk;
+      lu_(i, k) = lik;
+      if (lik == 0.0) continue;
+      for (std::size_t j = k + 1; j < n; ++j) {
+        lu_(i, j) -= lik * lu_(k, j);
+      }
+    }
+  }
+}
+
+Vector LuFactorization::solve(const Vector& b) const {
+  const std::size_t n = size();
+  if (b.size() != n) throw std::invalid_argument("LU solve: size mismatch");
+  Vector x(n);
+  // Apply permutation and forward-substitute L y = P b.
+  for (std::size_t i = 0; i < n; ++i) {
+    double s = b[piv_[i]];
+    for (std::size_t j = 0; j < i; ++j) s -= lu_(i, j) * x[j];
+    x[i] = s;
+  }
+  // Back-substitute U x = y.
+  for (std::size_t ii = n; ii-- > 0;) {
+    double s = x[ii];
+    for (std::size_t j = ii + 1; j < n; ++j) s -= lu_(ii, j) * x[j];
+    x[ii] = s / lu_(ii, ii);
+  }
+  return x;
+}
+
+Matrix LuFactorization::solve(const Matrix& b) const {
+  if (b.rows() != size()) throw std::invalid_argument("LU solve: size");
+  Matrix x(b.rows(), b.cols());
+  for (std::size_t j = 0; j < b.cols(); ++j) {
+    x.set_col(j, solve(b.col(j)));
+  }
+  return x;
+}
+
+Vector LuFactorization::solve_transposed(const Vector& b) const {
+  // A^T = (P^T L U)^T = U^T L^T P. Solve U^T y = b, L^T z = y, x = P^T z.
+  const std::size_t n = size();
+  if (b.size() != n) throw std::invalid_argument("LU solve_T: size mismatch");
+  Vector y(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    double s = b[i];
+    for (std::size_t j = 0; j < i; ++j) s -= lu_(j, i) * y[j];
+    y[i] = s / lu_(i, i);
+  }
+  for (std::size_t ii = n; ii-- > 0;) {
+    double s = y[ii];
+    for (std::size_t j = ii + 1; j < n; ++j) s -= lu_(j, ii) * y[j];
+    y[ii] = s;
+  }
+  Vector x(n);
+  for (std::size_t i = 0; i < n; ++i) x[piv_[i]] = y[i];
+  return x;
+}
+
+double LuFactorization::determinant() const {
+  double d = pivot_sign_;
+  for (std::size_t i = 0; i < size(); ++i) d *= lu_(i, i);
+  return d;
+}
+
+double LuFactorization::rcond_estimate() const {
+  double umin = std::abs(lu_(0, 0));
+  double umax = umin;
+  for (std::size_t i = 1; i < size(); ++i) {
+    const double u = std::abs(lu_(i, i));
+    umin = std::min(umin, u);
+    umax = std::max(umax, u);
+  }
+  return umax > 0.0 ? umin / umax : 0.0;
+}
+
+Vector solve(Matrix a, const Vector& b) {
+  return LuFactorization(std::move(a)).solve(b);
+}
+
+Matrix inverse(const Matrix& a) {
+  LuFactorization lu(a);
+  return lu.solve(Matrix::identity(a.rows()));
+}
+
+}  // namespace lcsf::numeric

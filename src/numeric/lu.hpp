@@ -1,0 +1,49 @@
+// LU factorization with partial pivoting.
+//
+// The framework factorizes each effective-load admittance matrix once and
+// back-substitutes many times (successive-chord iterations, pole/residue
+// extraction, moment computation), so the factorization is a stored object.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "numeric/matrix.hpp"
+
+namespace lcsf::numeric {
+
+/// PA = LU factorization with partial (row) pivoting.
+class LuFactorization {
+ public:
+  /// Factorizes a (must be square). Throws std::runtime_error on exact
+  /// singularity; near-singularity is reported via condition_estimate().
+  explicit LuFactorization(Matrix a);
+
+  std::size_t size() const { return lu_.rows(); }
+
+  /// Solve A x = b.
+  Vector solve(const Vector& b) const;
+  /// Solve A X = B column-by-column.
+  Matrix solve(const Matrix& b) const;
+  /// Solve A^T x = b (needed for adjoint sensitivity computations).
+  Vector solve_transposed(const Vector& b) const;
+
+  /// det(A), with pivoting sign folded in.
+  double determinant() const;
+
+  /// Crude reciprocal-condition estimate: min|U_ii| / max|U_ii|. Good enough
+  /// to flag the near-singular variational macromodels the paper discusses.
+  double rcond_estimate() const;
+
+ private:
+  Matrix lu_;                     // combined L (unit lower) and U
+  std::vector<std::size_t> piv_;  // row permutation
+  int pivot_sign_ = 1;
+};
+
+/// Convenience: solve A x = b with a one-shot factorization.
+Vector solve(Matrix a, const Vector& b);
+/// Convenience: full inverse (used only on small reduced-order blocks).
+Matrix inverse(const Matrix& a);
+
+}  // namespace lcsf::numeric

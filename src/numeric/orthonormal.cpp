@@ -1,0 +1,60 @@
+#include "numeric/orthonormal.hpp"
+
+#include <cmath>
+
+namespace lcsf::numeric {
+
+OrthonormalizeResult orthonormalize(const Matrix& a, const Matrix* against,
+                                    double tol) {
+  const std::size_t n = a.rows();
+  OrthonormalizeResult res;
+  std::vector<Vector> kept;
+
+  for (std::size_t j = 0; j < a.cols(); ++j) {
+    Vector v = a.col(j);
+    const double v0 = norm(v);
+    if (v0 == 0.0) {
+      ++res.deflated;
+      continue;
+    }
+    // Two MGS passes for numerical orthogonality (Kahan's "twice is
+    // enough").
+    for (int pass = 0; pass < 2; ++pass) {
+      if (against != nullptr) {
+        for (std::size_t k = 0; k < against->cols(); ++k) {
+          Vector qk = against->col(k);
+          axpy(-dot(qk, v), qk, v);
+        }
+      }
+      for (const Vector& qk : kept) {
+        axpy(-dot(qk, v), qk, v);
+      }
+    }
+    const double vn = norm(v);
+    if (vn <= tol * v0) {
+      ++res.deflated;
+      continue;
+    }
+    for (double& x : v) x /= vn;
+    kept.push_back(std::move(v));
+  }
+
+  res.rank = kept.size();
+  res.q = Matrix(n, kept.size());
+  for (std::size_t k = 0; k < kept.size(); ++k) res.q.set_col(k, kept[k]);
+  return res;
+}
+
+double orthogonality_defect(const Matrix& q) {
+  const Matrix g = q.transposed() * q;
+  double defect = 0.0;
+  for (std::size_t i = 0; i < g.rows(); ++i) {
+    for (std::size_t j = 0; j < g.cols(); ++j) {
+      const double target = (i == j) ? 1.0 : 0.0;
+      defect = std::max(defect, std::abs(g(i, j) - target));
+    }
+  }
+  return defect;
+}
+
+}  // namespace lcsf::numeric

@@ -1,0 +1,33 @@
+// Deterministic modified Gram-Schmidt orthonormalization.
+//
+// Block Arnoldi (PRIMA) builds its projection basis through MGS. The
+// variational MOR library differentiates bases produced at perturbed
+// parameter values, so the orthonormalization must be continuous in its
+// input: plain MGS with first-nonzero-positive sign normalization is, as
+// long as no column is (near-)deflated, which deflate() reports explicitly.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+
+#include "numeric/matrix.hpp"
+
+namespace lcsf::numeric {
+
+struct OrthonormalizeResult {
+  Matrix q;                   ///< orthonormal columns spanning the input
+  std::size_t rank = 0;       ///< columns kept
+  std::size_t deflated = 0;   ///< columns dropped as linearly dependent
+};
+
+/// Orthonormalize the columns of a against themselves and (optionally)
+/// against the columns of an existing orthonormal basis `against`.
+/// Columns whose residual norm falls below tol * original-norm are dropped.
+OrthonormalizeResult orthonormalize(const Matrix& a,
+                                    const Matrix* against = nullptr,
+                                    double tol = 1e-10);
+
+/// Max |Q^T Q - I| — orthogonality defect, used by tests.
+double orthogonality_defect(const Matrix& q);
+
+}  // namespace lcsf::numeric

@@ -1,0 +1,133 @@
+#include "numeric/sparse.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+#include <stdexcept>
+
+namespace lcsf::numeric {
+
+void SparseMatrix::add(std::size_t i, std::size_t j, double v) {
+  if (i >= rows_.size() || j >= rows_.size()) {
+    throw std::out_of_range("SparseMatrix::add");
+  }
+  auto& row = rows_[i];
+  auto it = std::lower_bound(
+      row.begin(), row.end(), j,
+      [](const auto& e, std::size_t col) { return e.first < col; });
+  if (it != row.end() && it->first == j) {
+    it->second += v;
+  } else {
+    row.insert(it, {j, v});
+  }
+}
+
+Vector SparseMatrix::multiply(const Vector& x) const {
+  if (x.size() != size()) throw std::invalid_argument("SparseMatrix: size");
+  Vector y(size(), 0.0);
+  for (std::size_t i = 0; i < size(); ++i) {
+    double s = 0.0;
+    for (const auto& [j, v] : rows_[i]) s += v * x[j];
+    y[i] = s;
+  }
+  return y;
+}
+
+std::size_t SparseMatrix::nonzeros() const {
+  std::size_t n = 0;
+  for (const auto& r : rows_) n += r.size();
+  return n;
+}
+
+Matrix SparseMatrix::to_dense() const {
+  Matrix d(size(), size());
+  for (std::size_t i = 0; i < size(); ++i) {
+    for (const auto& [j, v] : rows_[i]) d(i, j) = v;
+  }
+  return d;
+}
+
+SparseLu::SparseLu(const SparseMatrix& a, double pivot_floor) {
+  const std::size_t n = a.size();
+  lrows_.resize(n);
+  urows_.resize(n);
+  // Dense scatter workspace reused across rows.
+  Vector work(n, 0.0);
+
+  for (std::size_t i = 0; i < n; ++i) {
+    // Structural pattern of row i, grown by fill as eliminations proceed.
+    std::set<std::size_t> pattern;
+    for (const auto& [j, v] : a.row(i)) {
+      work[j] = v;
+      pattern.insert(j);
+    }
+
+    // Eliminate columns k < i in ascending order. Inserting fill columns
+    // (> k) during iteration is safe for std::set.
+    for (auto it = pattern.begin(); it != pattern.end() && *it < i; ++it) {
+      const std::size_t k = *it;
+      const auto& urow = urows_[k];
+      const double ukk = urow.front().second;  // diagonal stored first
+      const double l = work[k] / ukk;
+      work[k] = l;
+      for (std::size_t e = 1; e < urow.size(); ++e) {
+        const auto [j, u] = urow[e];
+        if (pattern.insert(j).second) work[j] = 0.0;
+        work[j] -= l * u;
+      }
+    }
+
+    // Harvest L and U parts; reset workspace.
+    auto& lrow = lrows_[i];
+    auto& urow = urows_[i];
+    double diag = 0.0;
+    bool have_diag = false;
+    for (std::size_t j : pattern) {
+      if (j < i) {
+        lrow.emplace_back(j, work[j]);
+      } else if (j == i) {
+        diag = work[j];
+        have_diag = true;
+      } else {
+        urow.emplace_back(j, work[j]);
+      }
+      work[j] = 0.0;
+    }
+    if (!have_diag || std::abs(diag) <= pivot_floor) {
+      throw std::runtime_error("SparseLu: zero pivot at row " +
+                               std::to_string(i));
+    }
+    urow.insert(urow.begin(), {i, diag});
+  }
+}
+
+Vector SparseLu::solve(const Vector& b) const {
+  const std::size_t n = size();
+  if (b.size() != n) throw std::invalid_argument("SparseLu::solve: size");
+  Vector x = b;
+  // Forward: L y = b (unit diagonal).
+  for (std::size_t i = 0; i < n; ++i) {
+    double s = x[i];
+    for (const auto& [j, l] : lrows_[i]) s -= l * x[j];
+    x[i] = s;
+  }
+  // Backward: U x = y.
+  for (std::size_t ii = n; ii-- > 0;) {
+    double s = x[ii];
+    const auto& urow = urows_[ii];
+    for (std::size_t e = 1; e < urow.size(); ++e) {
+      s -= urow[e].second * x[urow[e].first];
+    }
+    x[ii] = s / urow.front().second;
+  }
+  return x;
+}
+
+std::size_t SparseLu::factor_nonzeros() const {
+  std::size_t nnz = 0;
+  for (const auto& r : lrows_) nnz += r.size();
+  for (const auto& r : urows_) nnz += r.size();
+  return nnz;
+}
+
+}  // namespace lcsf::numeric

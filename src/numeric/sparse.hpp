@@ -1,0 +1,66 @@
+// Sparse matrix and sparse LU for the SPICE-substitute baseline.
+//
+// Circuit Jacobians are nearly banded when nodes are numbered along wires,
+// so a natural-order (no pivot permutation) row-wise elimination with
+// on-the-fly fill tracking is both simple and fast. The simulator
+// guarantees nonzero diagonals by eliminating ideal-source nodes and adding
+// gmin, and the factorization reports tiny pivots instead of silently
+// producing garbage.
+#pragma once
+
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+#include "numeric/matrix.hpp"
+
+namespace lcsf::numeric {
+
+/// Row-major sparse matrix with sorted per-row (col, value) entries.
+class SparseMatrix {
+ public:
+  explicit SparseMatrix(std::size_t n = 0) : rows_(n) {}
+
+  std::size_t size() const { return rows_.size(); }
+
+  /// Accumulate a value at (i, j).
+  void add(std::size_t i, std::size_t j, double v);
+
+  const std::vector<std::pair<std::size_t, double>>& row(std::size_t i) const {
+    return rows_[i];
+  }
+
+  /// y = A x
+  Vector multiply(const Vector& x) const;
+
+  std::size_t nonzeros() const;
+
+  /// Dense copy (tests / tiny systems only).
+  Matrix to_dense() const;
+
+ private:
+  // rows_[i] kept sorted by column index.
+  std::vector<std::vector<std::pair<std::size_t, double>>> rows_;
+};
+
+/// LU factorization in natural order (no row permutation). Intended for
+/// diagonally-dominant-ish circuit matrices; throws std::runtime_error on a
+/// (near-)zero pivot.
+class SparseLu {
+ public:
+  explicit SparseLu(const SparseMatrix& a, double pivot_floor = 1e-300);
+
+  std::size_t size() const { return lrows_.size(); }
+  Vector solve(const Vector& b) const;
+
+  /// Fill-in statistics (for tests and the micro benches).
+  std::size_t factor_nonzeros() const;
+
+ private:
+  // lrows_[i]: (col < i, l value); urows_[i]: (col >= i, u value) with the
+  // diagonal first.
+  std::vector<std::vector<std::pair<std::size_t, double>>> lrows_;
+  std::vector<std::vector<std::pair<std::size_t, double>>> urows_;
+};
+
+}  // namespace lcsf::numeric

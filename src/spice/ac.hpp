@@ -1,0 +1,45 @@
+// Small-signal AC analysis.
+//
+// Linearizes the MOSFETs at the DC operating point and solves the complex
+// MNA system (G_op + jw C) x = b at each frequency. Used to validate
+// reduced-order macromodels against full netlists through the same
+// simulator-level interface, and as a standard capability of the baseline
+// engine.
+#pragma once
+
+#include <complex>
+#include <vector>
+
+#include "circuit/netlist.hpp"
+#include "numeric/complex_matrix.hpp"
+
+namespace lcsf::spice {
+
+struct AcOptions {
+  /// Index into netlist.vsources() of the source carrying the unit AC
+  /// stimulus (all other sources are AC-grounded).
+  std::size_t ac_source = 0;
+  std::vector<double> frequencies;  ///< [Hz]
+  double gmin = 1e-12;
+};
+
+struct AcResult {
+  std::vector<double> frequencies;
+  /// response[k][n] = complex node voltage phasor of node n at
+  /// frequencies[k], normalized to the unit stimulus.
+  std::vector<numeric::CVector> response;
+
+  numeric::Complex at(std::size_t freq_index, circuit::NodeId node) const {
+    return response.at(freq_index).at(static_cast<std::size_t>(node));
+  }
+};
+
+/// Run the AC sweep. Grounded voltage sources only (as the transient
+/// engine). Throws std::runtime_error if the DC operating point fails.
+AcResult ac_analysis(const circuit::Netlist& nl, const AcOptions& opt);
+
+/// Logarithmically spaced frequency grid [f_lo, f_hi], n points.
+std::vector<double> log_frequencies(double f_lo, double f_hi,
+                                    std::size_t n);
+
+}  // namespace lcsf::spice

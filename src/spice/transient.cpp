@@ -1,0 +1,439 @@
+#include "spice/transient.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "circuit/mosfet.hpp"
+
+namespace lcsf::spice {
+
+using circuit::kGround;
+using circuit::NodeId;
+using numeric::SparseLu;
+using numeric::SparseMatrix;
+using numeric::Vector;
+
+namespace {
+constexpr int kGroundMark = -1;
+// DC approximation of an inductor: a strong short [S].
+constexpr double kInductorDcShort = 1e3;
+}  // namespace
+
+std::vector<std::pair<double, double>> TransientResult::waveform(
+    NodeId n) const {
+  std::vector<std::pair<double, double>> w;
+  w.reserve(time.size());
+  for (std::size_t k = 0; k < time.size(); ++k) {
+    w.emplace_back(time[k], node_voltages[k][static_cast<std::size_t>(n)]);
+  }
+  return w;
+}
+
+double TransientResult::final_voltage(NodeId n) const {
+  if (node_voltages.empty()) {
+    throw std::runtime_error("TransientResult: no stored waveforms");
+  }
+  return node_voltages.back()[static_cast<std::size_t>(n)];
+}
+
+TransientSimulator::TransientSimulator(const circuit::Netlist& nl) : nl_(nl) {
+  node_to_unknown_.assign(nl.node_count(), 0);
+  node_to_unknown_[kGround] = kGroundMark;
+  for (std::size_t k = 0; k < nl.vsources().size(); ++k) {
+    const auto& v = nl.vsources()[k];
+    if (v.neg != kGround) {
+      throw std::invalid_argument(
+          "TransientSimulator: only grounded voltage sources supported");
+    }
+    if (v.pos == kGround) {
+      throw std::invalid_argument("TransientSimulator: source shorted");
+    }
+    if (node_to_unknown_[v.pos] < 0) {
+      throw std::invalid_argument(
+          "TransientSimulator: node driven by two sources");
+    }
+    node_to_unknown_[v.pos] = -2 - static_cast<int>(k);
+  }
+  num_node_unknowns_ = 0;
+  for (std::size_t n = 1; n < nl.node_count(); ++n) {
+    if (node_to_unknown_[n] >= 0) {
+      node_to_unknown_[n] = static_cast<int>(num_node_unknowns_++);
+    }
+  }
+  num_unknowns_ = num_node_unknowns_;
+}
+
+void TransientSimulator::add_macromodel(MacromodelStamp stamp) {
+  if (structure_built_) {
+    throw std::logic_error("add_macromodel: simulation already started");
+  }
+  if (!stamp.g.square() || stamp.g.rows() != stamp.c.rows() ||
+      stamp.ports.size() > stamp.g.rows()) {
+    throw std::invalid_argument("add_macromodel: inconsistent dimensions");
+  }
+  macromodels_.push_back(std::move(stamp));
+}
+
+void TransientSimulator::build_structure() {
+  if (structure_built_) return;
+  structure_built_ = true;
+
+  num_unknowns_ = num_node_unknowns_;
+  // Assign unknown indices to macromodel internal variables.
+  std::vector<std::size_t> mm_base;
+  for (const auto& mm : macromodels_) {
+    mm_base.push_back(num_unknowns_);
+    num_unknowns_ += mm.num_internal();
+  }
+
+  auto add_pair = [this](std::vector<Entry>& uu, std::vector<KnownEntry>& uk,
+                         int row_code, int col_code, double val) {
+    if (row_code < 0 || val == 0.0) return;  // ground or known row: no eqn
+    const auto row = static_cast<std::size_t>(row_code);
+    if (col_code >= 0) {
+      uu.push_back({row, static_cast<std::size_t>(col_code), val});
+    } else if (col_code <= -2) {
+      uk.push_back({row, static_cast<std::size_t>(-2 - col_code), val});
+    }
+    // ground column: contributes nothing
+  };
+
+  auto stamp_two_terminal = [&](std::vector<Entry>& uu,
+                                std::vector<KnownEntry>& uk, NodeId a,
+                                NodeId b, double val) {
+    const int ca = node_to_unknown_[a];
+    const int cb = node_to_unknown_[b];
+    add_pair(uu, uk, ca, ca, val);
+    add_pair(uu, uk, cb, cb, val);
+    add_pair(uu, uk, ca, cb, -val);
+    add_pair(uu, uk, cb, ca, -val);
+  };
+
+  for (const auto& r : nl_.resistors()) {
+    stamp_two_terminal(g_uu_, g_uk_, r.a, r.b, 1.0 / r.ohms);
+  }
+  for (const auto& c : nl_.capacitors()) {
+    stamp_two_terminal(c_uu_, c_uk_, c.a, c.b, c.farads);
+  }
+  for (const auto& l : nl_.inductors()) {
+    inductors_.push_back({l.a, l.b, l.henries});
+  }
+
+  for (std::size_t m = 0; m < macromodels_.size(); ++m) {
+    const auto& mm = macromodels_[m];
+    const std::size_t np = mm.ports.size();
+    auto code_of = [&](std::size_t k) -> int {
+      if (k < np) return node_to_unknown_[mm.ports[k]];
+      return static_cast<int>(mm_base[m] + (k - np));
+    };
+    for (std::size_t i = 0; i < mm.g.rows(); ++i) {
+      for (std::size_t j = 0; j < mm.g.cols(); ++j) {
+        add_pair(g_uu_, g_uk_, code_of(i), code_of(j), mm.g(i, j));
+        add_pair(c_uu_, c_uk_, code_of(i), code_of(j), mm.c(i, j));
+      }
+    }
+  }
+}
+
+Vector TransientSimulator::known_voltages(double t, double scale) const {
+  Vector vk(nl_.vsources().size());
+  for (std::size_t k = 0; k < vk.size(); ++k) {
+    vk[k] = scale * nl_.vsources()[k].wave.value(t);
+  }
+  return vk;
+}
+
+Vector TransientSimulator::isource_rhs(double t, double scale) const {
+  Vector b(num_unknowns_, 0.0);
+  for (const auto& i : nl_.isources()) {
+    const double val = scale * i.wave.value(t);
+    const int into = node_to_unknown_[i.into];
+    const int from = node_to_unknown_[i.from];
+    if (into >= 0) b[static_cast<std::size_t>(into)] += val;
+    if (from >= 0) b[static_cast<std::size_t>(from)] -= val;
+  }
+  return b;
+}
+
+Vector TransientSimulator::assemble_node_voltages(const Vector& x,
+                                                  const Vector& vk) const {
+  Vector v(nl_.node_count(), 0.0);
+  for (std::size_t n = 0; n < nl_.node_count(); ++n) {
+    const int code = node_to_unknown_[n];
+    if (code >= 0) {
+      v[n] = x[static_cast<std::size_t>(code)];
+    } else if (code <= -2) {
+      v[n] = vk[static_cast<std::size_t>(-2 - code)];
+    }
+  }
+  return v;
+}
+
+double TransientSimulator::newton_iteration(double ceff, const Vector& vk,
+                                            const Vector& rhs_const,
+                                            double src_scale,
+                                            const TransientOptions& opt,
+                                            Vector& x) {
+  SparseMatrix a(num_unknowns_);
+  for (const auto& e : g_uu_) a.add(e.row, e.col, e.val);
+  if (ceff != 0.0) {
+    for (const auto& e : c_uu_) a.add(e.row, e.col, ceff * e.val);
+  }
+  for (std::size_t i = 0; i < num_unknowns_; ++i) a.add(i, i, opt.gmin);
+
+  Vector b = rhs_const;
+
+  // Inductor companions: geq = dt/2L for trapezoidal steps; a strong short
+  // at DC (conventional-simulator initial condition).
+  for (const auto& l : inductors_) {
+    const double geq =
+        (ceff != 0.0) ? 1.0 / (ceff * l.henries) : kInductorDcShort;
+    const int ca = node_to_unknown_[l.a];
+    const int cb = node_to_unknown_[l.b];
+    if (ca >= 0) a.add(static_cast<std::size_t>(ca),
+                       static_cast<std::size_t>(ca), geq);
+    if (cb >= 0) a.add(static_cast<std::size_t>(cb),
+                       static_cast<std::size_t>(cb), geq);
+    if (ca >= 0 && cb >= 0) {
+      a.add(static_cast<std::size_t>(ca), static_cast<std::size_t>(cb),
+            -geq);
+      a.add(static_cast<std::size_t>(cb), static_cast<std::size_t>(ca),
+            -geq);
+    }
+    // Known-node columns move to the RHS.
+    if (ca >= 0 && cb <= -2) {
+      b[static_cast<std::size_t>(ca)] +=
+          geq * vk[static_cast<std::size_t>(-2 - cb)];
+    }
+    if (cb >= 0 && ca <= -2) {
+      b[static_cast<std::size_t>(cb)] +=
+          geq * vk[static_cast<std::size_t>(-2 - ca)];
+    }
+  }
+
+  // Nonlinear device stamps, re-linearized at the current iterate -- the
+  // conventional Newton approach the paper contrasts with chord models.
+  const Vector vnode = assemble_node_voltages(x, vk);
+  for (const auto& m : nl_.mosfets()) {
+    const double vg = vnode[static_cast<std::size_t>(m.gate)];
+    const double vd = vnode[static_cast<std::size_t>(m.drain)];
+    const double vs = vnode[static_cast<std::size_t>(m.source)];
+    const auto op = circuit::mosfet_eval(m, vg, vd, vs);
+    const double ieq = op.ids - op.gm * (vg - vs) - op.gds * (vd - vs);
+
+    const int rd = node_to_unknown_[m.drain];
+    const int rs = node_to_unknown_[m.source];
+    // Column contributions: +gm at gate, +gds at drain, -(gm+gds) at source.
+    const struct {
+      NodeId node;
+      double coeff;
+    } cols[3] = {{m.gate, op.gm}, {m.drain, op.gds},
+                 {m.source, -(op.gm + op.gds)}};
+    for (int sign : {+1, -1}) {
+      const int row = (sign > 0) ? rd : rs;
+      if (row < 0) continue;
+      const auto r = static_cast<std::size_t>(row);
+      for (const auto& cc : cols) {
+        const int col = node_to_unknown_[cc.node];
+        const double val = sign * cc.coeff;
+        if (val == 0.0) continue;
+        if (col >= 0) {
+          a.add(r, static_cast<std::size_t>(col), val);
+        } else if (col <= -2) {
+          b[r] -= val * vk[static_cast<std::size_t>(-2 - col)];
+        }
+      }
+      b[r] -= sign * ieq;
+    }
+  }
+
+  // Linear coupling to known nodes (assembled fresh because vk is fixed
+  // inside a timestep but the stamps above also write into b).
+  (void)src_scale;
+
+  SparseLu lu(a);
+  Vector xn = lu.solve(b);
+
+  double dmax = 0.0;
+  for (std::size_t i = 0; i < num_unknowns_; ++i) {
+    double d = xn[i] - x[i];
+    dmax = std::max(dmax, std::abs(d));
+    d = std::clamp(d, -opt.damping, opt.damping);
+    x[i] += d;
+  }
+  return dmax;
+}
+
+bool TransientSimulator::newton_loop(double ceff, const Vector& vk,
+                                     const Vector& rhs_const,
+                                     double src_scale,
+                                     const TransientOptions& opt, Vector& x,
+                                     long* iter_accum) {
+  for (int it = 0; it < opt.max_newton; ++it) {
+    const double dmax = newton_iteration(ceff, vk, rhs_const, src_scale, opt,
+                                         x);
+    if (iter_accum != nullptr) ++(*iter_accum);
+    if (!std::isfinite(dmax)) return false;
+    if (dmax < opt.vtol) return true;
+  }
+  return false;
+}
+
+Vector TransientSimulator::dc_operating_point(const TransientOptions& opt) {
+  build_structure();
+  Vector x(num_unknowns_, 0.0);
+
+  auto try_solve = [&](double scale, Vector& xv) {
+    const Vector vk = known_voltages(0.0, scale);
+    Vector rhs = isource_rhs(0.0, scale);
+    for (const auto& e : g_uk_) {
+      rhs[e.row] -= e.val * vk[e.vsrc];
+    }
+    return newton_loop(0.0, vk, rhs, scale, opt, xv, nullptr);
+  };
+
+  if (try_solve(1.0, x)) {
+    return assemble_node_voltages(x, known_voltages(0.0, 1.0));
+  }
+  // Source-stepping homotopy.
+  x.assign(num_unknowns_, 0.0);
+  bool ok = true;
+  for (int step = 1; step <= 20 && ok; ++step) {
+    ok = try_solve(step / 20.0, x);
+  }
+  if (!ok) {
+    // Gmin-stepping homotopy: a strong conductance floor makes every node
+    // well-determined; relax it gradually while carrying the solution.
+    x.assign(num_unknowns_, 0.0);
+    ok = true;
+    TransientOptions gopt = opt;
+    for (double gmin : {1e-2, 1e-4, 1e-6, 1e-8, 1e-10, opt.gmin}) {
+      gopt.gmin = gmin;
+      const Vector vk = known_voltages(0.0, 1.0);
+      Vector rhs = isource_rhs(0.0, 1.0);
+      for (const auto& e : g_uk_) rhs[e.row] -= e.val * vk[e.vsrc];
+      ok = newton_loop(0.0, vk, rhs, 1.0, gopt, x, nullptr);
+      if (!ok) break;
+    }
+  }
+  if (!ok) {
+    throw std::runtime_error(
+        "dc_operating_point: Newton failed even with source/gmin stepping");
+  }
+  return assemble_node_voltages(x, known_voltages(0.0, 1.0));
+}
+
+TransientResult TransientSimulator::run(const TransientOptions& opt) {
+  build_structure();
+  TransientResult res;
+
+  // DC start point.
+  Vector x(num_unknowns_, 0.0);
+  {
+    TransientOptions dcopt = opt;
+    try {
+      const Vector vfull = dc_operating_point(dcopt);
+      for (std::size_t n = 0; n < nl_.node_count(); ++n) {
+        const int code = node_to_unknown_[n];
+        if (code >= 0) x[static_cast<std::size_t>(code)] = vfull[n];
+      }
+    } catch (const std::runtime_error& e) {
+      res.failure = std::string("DC failed: ") + e.what();
+      return res;
+    }
+  }
+
+  const double ceff = 2.0 / opt.dt;
+  Vector vk_prev = known_voltages(0.0, 1.0);
+  Vector ic(num_unknowns_, 0.0);  // capacitor currents C dv/dt
+
+  // Inductor branch states, initialized from the DC short approximation.
+  std::vector<double> il(inductors_.size(), 0.0);
+  std::vector<double> ul(inductors_.size(), 0.0);
+  {
+    const Vector v0 = assemble_node_voltages(x, vk_prev);
+    for (std::size_t k = 0; k < inductors_.size(); ++k) {
+      ul[k] = v0[static_cast<std::size_t>(inductors_[k].a)] -
+              v0[static_cast<std::size_t>(inductors_[k].b)];
+      il[k] = kInductorDcShort * ul[k];
+    }
+  }
+
+  auto store = [&](double t, const Vector& xv, const Vector& vk) {
+    res.time.push_back(t);
+    if (opt.store_waveforms) {
+      res.node_voltages.push_back(assemble_node_voltages(xv, vk));
+    }
+  };
+  store(0.0, x, vk_prev);
+
+  const auto nsteps = static_cast<std::size_t>(
+      std::ceil(opt.tstop / opt.dt - 1e-9));
+  for (std::size_t step = 1; step <= nsteps; ++step) {
+    const double t = static_cast<double>(step) * opt.dt;
+    const Vector vk = known_voltages(t, 1.0);
+    const Vector x_prev = x;
+
+    // Constant part of the RHS for this timestep (trapezoidal companions).
+    Vector rhs = isource_rhs(t, 1.0);
+    for (const auto& e : g_uk_) rhs[e.row] -= e.val * vk[e.vsrc];
+    for (const auto& e : c_uk_) {
+      rhs[e.row] -= ceff * e.val * (vk[e.vsrc] - vk_prev[e.vsrc]);
+    }
+    for (const auto& e : c_uu_) rhs[e.row] += ceff * e.val * x_prev[e.col];
+    for (std::size_t i = 0; i < num_unknowns_; ++i) rhs[i] += ic[i];
+    // Inductor history: i^{n+1} = geq u^{n+1} + (i^n + geq u^n).
+    for (std::size_t k = 0; k < inductors_.size(); ++k) {
+      const double geq = 1.0 / (ceff * inductors_[k].henries);
+      const double hist = il[k] + geq * ul[k];
+      const int ca = node_to_unknown_[inductors_[k].a];
+      const int cb = node_to_unknown_[inductors_[k].b];
+      if (ca >= 0) rhs[static_cast<std::size_t>(ca)] -= hist;
+      if (cb >= 0) rhs[static_cast<std::size_t>(cb)] += hist;
+    }
+
+    if (!newton_loop(ceff, vk, rhs, 1.0, opt, x,
+                     &res.total_newton_iterations)) {
+      res.failure = "Newton failed to converge (nonpassive/unstable load?)";
+      res.failure_time = t;
+      return res;
+    }
+    if (numeric::max_abs(x) > opt.vblowup) {
+      res.failure = "solution blew up (unstable macromodel)";
+      res.failure_time = t;
+      return res;
+    }
+
+    // Update capacitor currents: i' = ceff (C dx) - i.
+    Vector ic_new(num_unknowns_, 0.0);
+    for (const auto& e : c_uu_) {
+      ic_new[e.row] += ceff * e.val * (x[e.col] - x_prev[e.col]);
+    }
+    for (const auto& e : c_uk_) {
+      ic_new[e.row] += ceff * e.val * (vk[e.vsrc] - vk_prev[e.vsrc]);
+    }
+    for (std::size_t i = 0; i < num_unknowns_; ++i) {
+      ic_new[i] -= ic[i];
+    }
+    ic = std::move(ic_new);
+    {
+      const Vector vn = assemble_node_voltages(x, vk);
+      for (std::size_t k = 0; k < inductors_.size(); ++k) {
+        const double geq = 1.0 / (ceff * inductors_[k].henries);
+        const double u_new =
+            vn[static_cast<std::size_t>(inductors_[k].a)] -
+            vn[static_cast<std::size_t>(inductors_[k].b)];
+        il[k] += geq * (u_new + ul[k]);
+        ul[k] = u_new;
+      }
+    }
+    vk_prev = vk;
+    store(t, x, vk);
+  }
+
+  res.converged = true;
+  return res;
+}
+
+}  // namespace lcsf::spice

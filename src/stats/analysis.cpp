@@ -1,0 +1,82 @@
+#include "stats/analysis.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace lcsf::stats {
+
+using numeric::Vector;
+
+MonteCarloResult monte_carlo(const PerformanceFn& f,
+                             const std::vector<VariationSource>& sources,
+                             const MonteCarloOptions& opt) {
+  if (sources.empty() || opt.samples == 0) {
+    throw std::invalid_argument("monte_carlo: empty design");
+  }
+  Rng rng(opt.seed);
+  const std::size_t nw = sources.size();
+
+  MonteCarloResult res;
+  res.values.reserve(opt.samples);
+  res.samples.reserve(opt.samples);
+
+  numeric::Matrix u(0, 0);
+  if (opt.latin_hypercube) u = latin_hypercube(opt.samples, nw, rng);
+
+  for (std::size_t s = 0; s < opt.samples; ++s) {
+    Vector w(nw);
+    for (std::size_t d = 0; d < nw; ++d) {
+      const double uu = opt.latin_hypercube ? u(s, d) : rng.uniform();
+      const VariationSource& src = sources[d];
+      w[d] = (src.kind == VariationSource::Kind::kUniform)
+                 ? to_uniform(uu, src.mean - src.sigma, src.mean + src.sigma)
+                 : to_normal(uu, src.mean, src.sigma);
+    }
+    const double v = f(w);
+    res.stats.add(v);
+    res.values.push_back(v);
+    res.samples.push_back(std::move(w));
+  }
+  return res;
+}
+
+GradientAnalysisResult gradient_analysis(
+    const PerformanceFn& f, const std::vector<VariationSource>& sources,
+    const GradientAnalysisOptions& opt) {
+  if (sources.empty()) {
+    throw std::invalid_argument("gradient_analysis: no sources");
+  }
+  if (opt.step_fraction <= 0.0) {
+    throw std::invalid_argument("gradient_analysis: bad step");
+  }
+  const std::size_t nw = sources.size();
+  GradientAnalysisResult res;
+  res.gradient.assign(nw, 0.0);
+
+  Vector w0(nw);
+  for (std::size_t d = 0; d < nw; ++d) w0[d] = sources[d].mean;
+  res.nominal = f(w0);
+  res.evaluations = 1;
+
+  double var = 0.0;
+  for (std::size_t d = 0; d < nw; ++d) {
+    const double h = opt.step_fraction * sources[d].sigma;
+    if (h <= 0.0) continue;
+    Vector wp = w0, wm = w0;
+    wp[d] += h;
+    wm[d] -= h;
+    const double g = (f(wp) - f(wm)) / (2.0 * h);
+    res.evaluations += 2;
+    res.gradient[d] = g;
+    // Uniform(+-sigma) has variance sigma^2/3; normal has sigma^2.
+    const double s2 =
+        sources[d].kind == VariationSource::Kind::kUniform
+            ? sources[d].sigma * sources[d].sigma / 3.0
+            : sources[d].sigma * sources[d].sigma;
+    var += s2 * g * g;
+  }
+  res.stddev = std::sqrt(var);
+  return res;
+}
+
+}  // namespace lcsf::stats

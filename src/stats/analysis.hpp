@@ -1,0 +1,63 @@
+// Monte-Carlo and Gradient-Analysis drivers (paper Sec. 4.1.2-4.1.3).
+//
+// Both operate on an abstract performance function f(w) over independent
+// variation sources w (use Pca::from_factors upstream if the physical
+// parameters are correlated).
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "numeric/matrix.hpp"
+#include "stats/descriptive.hpp"
+#include "stats/random.hpp"
+
+namespace lcsf::stats {
+
+using PerformanceFn = std::function<double(const numeric::Vector&)>;
+
+/// Description of one independent variation source.
+struct VariationSource {
+  enum class Kind { kNormal, kUniform } kind = Kind::kNormal;
+  double sigma = 1.0;      ///< std-dev (normal) or half-width (uniform)
+  double mean = 0.0;
+};
+
+struct MonteCarloOptions {
+  std::size_t samples = 100;
+  std::uint64_t seed = 1;
+  bool latin_hypercube = true;  ///< stratified (paper Example 2) vs plain
+};
+
+struct MonteCarloResult {
+  OnlineStats stats;
+  std::vector<double> values;              ///< per-sample performance
+  std::vector<numeric::Vector> samples;    ///< per-sample w
+};
+
+/// Exhaustive sampling of f over the variation sources.
+MonteCarloResult monte_carlo(const PerformanceFn& f,
+                             const std::vector<VariationSource>& sources,
+                             const MonteCarloOptions& opt);
+
+struct GradientAnalysisOptions {
+  /// Relative finite-difference step, as a fraction of each source's
+  /// sigma. The paper evaluates "five simulations per variation source";
+  /// central differences use two plus the shared nominal run.
+  double step_fraction = 0.1;
+};
+
+struct GradientAnalysisResult {
+  double nominal = 0.0;
+  numeric::Vector gradient;  ///< dD/dw_l at nominal
+  double stddev = 0.0;       ///< Eq. 24 RSS
+  std::size_t evaluations = 0;
+};
+
+/// First-order (RSS) estimate of the performance spread, paper Eq. 24:
+///   sigma_D = sqrt( sum_l sigma_l^2 (dD/dw_l)^2 ).
+GradientAnalysisResult gradient_analysis(
+    const PerformanceFn& f, const std::vector<VariationSource>& sources,
+    const GradientAnalysisOptions& opt = {});
+
+}  // namespace lcsf::stats

@@ -1,0 +1,91 @@
+#include "stats/descriptive.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+#include <stdexcept>
+
+namespace lcsf::stats {
+
+void OnlineStats::add(double x) {
+  if (n_ == 0) {
+    min_ = x;
+    max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++n_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+}
+
+double OnlineStats::stddev() const {
+  if (n_ < 2) return 0.0;
+  return std::sqrt(m2_ / static_cast<double>(n_ - 1));
+}
+
+Histogram::Histogram(double lo, double hi, std::size_t bins)
+    : lo_(lo), hi_(hi), counts_(bins, 0) {
+  if (bins == 0 || !(hi > lo)) {
+    throw std::invalid_argument("Histogram: bad range or bin count");
+  }
+}
+
+Histogram Histogram::from_data(const std::vector<double>& data,
+                               std::size_t bins) {
+  if (data.empty()) throw std::invalid_argument("Histogram: no data");
+  auto [mn, mx] = std::minmax_element(data.begin(), data.end());
+  double lo = *mn;
+  double hi = *mx;
+  // Pad the range; for degenerate (all-equal) data fall back to a pad
+  // proportional to the magnitude so the range stays representable.
+  const double pad = std::max((hi - lo) * 0.05,
+                              std::abs(hi) * 1e-9 + 1e-30);
+  Histogram h(lo - pad, hi + pad, bins);
+  for (double x : data) h.add(x);
+  return h;
+}
+
+void Histogram::add(double x) {
+  if (x < lo_ || x >= hi_) {
+    // Clamp into the edge bins so totals stay meaningful.
+    x = std::clamp(x, lo_, std::nextafter(hi_, lo_));
+  }
+  const auto k = static_cast<std::size_t>(
+      (x - lo_) / (hi_ - lo_) * static_cast<double>(counts_.size()));
+  counts_[std::min(k, counts_.size() - 1)]++;
+  ++total_;
+}
+
+double Histogram::bin_center(std::size_t k) const {
+  const double w = (hi_ - lo_) / static_cast<double>(counts_.size());
+  return lo_ + (static_cast<double>(k) + 0.5) * w;
+}
+
+std::string Histogram::render(std::size_t max_width) const {
+  std::size_t peak = 1;
+  for (std::size_t c : counts_) peak = std::max(peak, c);
+  std::ostringstream os;
+  for (std::size_t k = 0; k < counts_.size(); ++k) {
+    os.setf(std::ios::scientific);
+    os.precision(3);
+    os << bin_center(k) << " | ";
+    os.unsetf(std::ios::scientific);
+    os.width(4);
+    os << counts_[k] << " | ";
+    const std::size_t bar = counts_[k] * max_width / peak;
+    for (std::size_t b = 0; b < bar; ++b) os << '#';
+    os << '\n';
+  }
+  return os.str();
+}
+
+OnlineStats summarize(const std::vector<double>& data) {
+  OnlineStats s;
+  for (double x : data) s.add(x);
+  return s;
+}
+
+}  // namespace lcsf::stats

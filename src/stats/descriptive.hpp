@@ -1,0 +1,57 @@
+// Online descriptive statistics and histograms for the experiment tables.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace lcsf::stats {
+
+/// Welford online mean/variance accumulator.
+class OnlineStats {
+ public:
+  void add(double x);
+  std::size_t count() const { return n_; }
+  double mean() const { return mean_; }
+  /// Sample standard deviation (n-1 denominator); 0 for n < 2.
+  double stddev() const;
+  double min() const { return min_; }
+  double max() const { return max_; }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Fixed-range histogram with an ASCII rendering used by the figure
+/// benches (Figs. 6 and 7 are delay histograms).
+class Histogram {
+ public:
+  Histogram(double lo, double hi, std::size_t bins);
+
+  /// From data, with range padded to the sample extremes.
+  static Histogram from_data(const std::vector<double>& data,
+                             std::size_t bins);
+
+  void add(double x);
+  std::size_t bin_count(std::size_t k) const { return counts_.at(k); }
+  std::size_t bins() const { return counts_.size(); }
+  std::size_t total() const { return total_; }
+  double bin_center(std::size_t k) const;
+
+  /// Rows of "center | count | bar" suitable for the bench output.
+  std::string render(std::size_t max_width = 50) const;
+
+ private:
+  double lo_, hi_;
+  std::vector<std::size_t> counts_;
+  std::size_t total_ = 0;
+};
+
+/// Mean/stddev of a vector in one pass (convenience for tests).
+OnlineStats summarize(const std::vector<double>& data);
+
+}  // namespace lcsf::stats

@@ -1,0 +1,93 @@
+#include "stats/pca.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "numeric/eigen_sym.hpp"
+
+namespace lcsf::stats {
+
+using numeric::Matrix;
+using numeric::Vector;
+
+Pca::Pca(Matrix covariance, Vector means) : means_(std::move(means)) {
+  if (!covariance.square() || covariance.rows() != means_.size()) {
+    throw std::invalid_argument("Pca: dimension mismatch");
+  }
+  const auto eig = numeric::eigen_symmetric(std::move(covariance));
+  const std::size_t n = means_.size();
+  variances_.resize(n);
+  directions_ = Matrix(n, n);
+  // eigen_symmetric returns ascending; store descending.
+  for (std::size_t k = 0; k < n; ++k) {
+    const std::size_t src = n - 1 - k;
+    double v = eig.values[src];
+    if (v < -1e-9 * std::abs(eig.values[n - 1])) {
+      throw std::invalid_argument("Pca: covariance not PSD");
+    }
+    variances_[k] = std::max(v, 0.0);
+    directions_.set_col(k, eig.vectors.col(src));
+  }
+}
+
+std::size_t Pca::factors_for(double fraction) const {
+  if (fraction <= 0.0 || fraction > 1.0) {
+    throw std::invalid_argument("Pca::factors_for: fraction in (0,1]");
+  }
+  double total = 0.0;
+  for (double v : variances_) total += v;
+  if (total <= 0.0) return 0;
+  double acc = 0.0;
+  for (std::size_t k = 0; k < variances_.size(); ++k) {
+    acc += variances_[k];
+    if (acc >= fraction * total) return k + 1;
+  }
+  return variances_.size();
+}
+
+Vector Pca::from_factors(const Vector& z) const {
+  if (z.size() > dimension()) {
+    throw std::invalid_argument("Pca::from_factors: too many factors");
+  }
+  Vector x = means_;
+  for (std::size_t k = 0; k < z.size(); ++k) {
+    const double scale = std::sqrt(variances_[k]) * z[k];
+    if (scale == 0.0) continue;
+    for (std::size_t i = 0; i < dimension(); ++i) {
+      x[i] += scale * directions_(i, k);
+    }
+  }
+  return x;
+}
+
+Vector Pca::to_factors(const Vector& x) const {
+  if (x.size() != dimension()) {
+    throw std::invalid_argument("Pca::to_factors: dimension mismatch");
+  }
+  Vector z(dimension(), 0.0);
+  for (std::size_t k = 0; k < dimension(); ++k) {
+    if (variances_[k] <= 0.0) continue;
+    double dot = 0.0;
+    for (std::size_t i = 0; i < dimension(); ++i) {
+      dot += directions_(i, k) * (x[i] - means_[i]);
+    }
+    z[k] = dot / std::sqrt(variances_[k]);
+  }
+  return z;
+}
+
+Matrix equicorrelated_covariance(const Vector& sigmas, double rho) {
+  if (rho < -1.0 || rho > 1.0) {
+    throw std::invalid_argument("equicorrelated_covariance: bad rho");
+  }
+  const std::size_t n = sigmas.size();
+  Matrix cov(n, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      cov(i, j) = (i == j ? 1.0 : rho) * sigmas[i] * sigmas[j];
+    }
+  }
+  return cov;
+}
+
+}  // namespace lcsf::stats

@@ -1,0 +1,47 @@
+// Principal Component Analysis over a parameter covariance (paper
+// Sec. 4.1.1): discovers the few uncorrelated factors that explain most of
+// the correlated device/wire parameter variation, plus the reverse
+// transform back to physical parameters.
+#pragma once
+
+#include <cstddef>
+
+#include "numeric/matrix.hpp"
+
+namespace lcsf::stats {
+
+class Pca {
+ public:
+  /// Build from a covariance matrix (symmetric PSD) and parameter means.
+  Pca(numeric::Matrix covariance, numeric::Vector means);
+
+  std::size_t dimension() const { return means_.size(); }
+
+  /// Eigenvalues (variances along each principal direction), descending.
+  const numeric::Vector& variances() const { return variances_; }
+
+  /// Number of leading factors needed to explain `fraction` of the total
+  /// variance (the paper's example: 60 BSIM3 parameters -> 10 factors).
+  std::size_t factors_for(double fraction) const;
+
+  /// Map independent standard-normal factor scores z (first k entries
+  /// used, rest assumed 0) to a physical parameter sample:
+  ///   x = mean + sum_k sqrt(var_k) z_k v_k.   (reverse transform)
+  numeric::Vector from_factors(const numeric::Vector& z) const;
+
+  /// Project a physical sample onto factor scores (whitened).
+  numeric::Vector to_factors(const numeric::Vector& x) const;
+
+ private:
+  numeric::Vector means_;
+  numeric::Vector variances_;   ///< descending
+  numeric::Matrix directions_;  ///< column k = unit eigenvector of var k
+};
+
+/// Covariance matrix for variables with given sigmas and a single common
+/// pairwise correlation rho (handy builder for correlated-parameter tests
+/// and examples).
+numeric::Matrix equicorrelated_covariance(const numeric::Vector& sigmas,
+                                          double rho);
+
+}  // namespace lcsf::stats

@@ -1,0 +1,56 @@
+// Reproducible random sampling utilities: every statistical experiment in
+// the benches is seeded, so tables regenerate bit-identically.
+#pragma once
+
+#include <cstdint>
+#include <random>
+#include <vector>
+
+#include "numeric/matrix.hpp"
+
+namespace lcsf::stats {
+
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) : engine_(seed) {}
+
+  double uniform() { return unit_(engine_); }
+  double uniform(double lo, double hi) {
+    return lo + (hi - lo) * uniform();
+  }
+  double normal(double mean = 0.0, double sigma = 1.0) {
+    return mean + sigma * normal_(engine_);
+  }
+  /// Random permutation of 0..n-1 (used by Latin Hypercube Sampling).
+  std::vector<std::size_t> permutation(std::size_t n);
+
+  std::mt19937_64& engine() { return engine_; }
+
+ private:
+  std::mt19937_64 engine_;
+  std::uniform_real_distribution<double> unit_{0.0, 1.0};
+  std::normal_distribution<double> normal_{0.0, 1.0};
+};
+
+/// Inverse standard-normal CDF (Acklam's rational approximation, relative
+/// error < 1.15e-9). Needed to map Latin Hypercube strata onto normal
+/// variates.
+double inverse_normal_cdf(double p);
+
+/// Latin Hypercube Sampling: returns an n_samples x n_dims matrix of
+/// stratified U(0,1) variates -- each column is a random permutation of the
+/// n_samples strata with a uniform jitter inside each stratum (the paper
+/// draws its 100 Example-2 samples this way).
+numeric::Matrix latin_hypercube(std::size_t n_samples, std::size_t n_dims,
+                                Rng& rng);
+
+/// Map a U(0,1) value to uniform(lo, hi).
+inline double to_uniform(double u, double lo, double hi) {
+  return lo + (hi - lo) * u;
+}
+/// Map a U(0,1) value to N(mean, sigma).
+inline double to_normal(double u, double mean, double sigma) {
+  return mean + sigma * inverse_normal_cdf(u);
+}
+
+}  // namespace lcsf::stats

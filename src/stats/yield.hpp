@@ -1,0 +1,42 @@
+// Timing-yield estimation (the paper's Sec. 4 motivation: "To predict the
+// timing yield of the critical path delay, a large number of simulations
+// are required") and the worst-case-corner analysis the introduction
+// argues against ("worst-case corner methods are known to create overly
+// pessimistic results").
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace lcsf::stats {
+
+/// Standard normal CDF.
+double normal_cdf(double x);
+
+/// P(delay <= clock_period) from an empirical Monte-Carlo sample
+/// (fraction of samples meeting the period).
+double empirical_yield(const std::vector<double>& delays,
+                       double clock_period);
+
+/// P(delay <= clock_period) under the Gaussian model implied by Gradient
+/// Analysis (Eq. 24): N(nominal, sigma).
+double gaussian_yield(double nominal, double sigma, double clock_period);
+
+/// The smallest clock period achieving the target yield, from the
+/// empirical sample (exact order statistic, linearly interpolated).
+double period_for_yield(std::vector<double> delays, double target_yield);
+
+/// Same under the Gaussian model.
+double gaussian_period_for_yield(double nominal, double sigma,
+                                 double target_yield);
+
+/// Classic worst-case-corner estimate: every variation source pushed to
+/// +k sigma simultaneously in its delay-increasing direction. `corner(k)`
+/// must return the delay with all sources at +/-k chosen adversarially by
+/// the caller. This helper just documents the comparison; the pessimism
+/// ratio of a corner delay vs a statistical quantile is
+/// corner_pessimism().
+double corner_pessimism(double corner_delay, double statistical_quantile,
+                        double nominal);
+
+}  // namespace lcsf::stats

@@ -1,0 +1,516 @@
+#include "teta/stage.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <memory>
+#include <stdexcept>
+
+#include "numeric/lu.hpp"
+#include "teta/convolution.hpp"
+
+namespace lcsf::teta {
+
+using circuit::Mosfet;
+using numeric::LuFactorization;
+using numeric::Matrix;
+using numeric::Vector;
+
+std::size_t StageCircuit::add_node(StageNodeKind kind, std::size_t kindex) {
+  kinds_.push_back(kind);
+  kind_index_.push_back(kindex);
+  return kinds_.size() - 1;
+}
+
+std::size_t StageCircuit::add_port() {
+  return add_node(StageNodeKind::kPort, num_ports_++);
+}
+
+std::size_t StageCircuit::add_internal() {
+  return add_node(StageNodeKind::kInternal, 0);  // index assigned later
+}
+
+std::size_t StageCircuit::add_input(circuit::SourceWaveform wave) {
+  inputs_.push_back(std::move(wave));
+  return add_node(StageNodeKind::kInput, inputs_.size() - 1);
+}
+
+std::size_t StageCircuit::add_rail(double voltage) {
+  rails_.push_back(voltage);
+  return add_node(StageNodeKind::kRail, rails_.size() - 1);
+}
+
+void StageCircuit::add_mosfet(Mosfet m) {
+  if (frozen_) {
+    throw std::logic_error("StageCircuit: frozen; cannot add devices");
+  }
+  const auto check = [this](int n) {
+    if (n < 0 || static_cast<std::size_t>(n) >= kinds_.size()) {
+      throw std::out_of_range("StageCircuit: bad device terminal");
+    }
+  };
+  check(m.drain);
+  check(m.gate);
+  check(m.source);
+  mosfets_.push_back(std::move(m));
+}
+
+void StageCircuit::add_capacitor(std::size_t a, std::size_t b,
+                                 double farads) {
+  if (a >= kinds_.size() || b >= kinds_.size() || a == b) {
+    throw std::invalid_argument("StageCircuit: bad capacitor nodes");
+  }
+  if (farads < 0.0) {
+    throw std::invalid_argument("StageCircuit: negative capacitance");
+  }
+  caps_.push_back({static_cast<int>(a), static_cast<int>(b), farads});
+}
+
+void StageCircuit::freeze_device_capacitances() {
+  if (frozen_) return;
+  frozen_ = true;
+  for (const Mosfet& m : mosfets_) {
+    const auto g = static_cast<std::size_t>(m.gate);
+    const auto d = static_cast<std::size_t>(m.drain);
+    const auto s = static_cast<std::size_t>(m.source);
+    if (g != s) add_capacitor(g, s, m.cgs());
+    if (g != d) add_capacitor(g, d, m.cgd());
+    // Drain junction cap to the ground rail if one exists; otherwise skip
+    // (the load model usually carries the port ground capacitance).
+    for (std::size_t n = 0; n < kinds_.size(); ++n) {
+      if (kinds_[n] == StageNodeKind::kRail &&
+          rails_[kind_index_[n]] == 0.0) {
+        if (d != n) add_capacitor(d, n, m.cdb());
+        break;
+      }
+    }
+  }
+}
+
+double StageCircuit::rail_voltage(std::size_t n) const {
+  if (kinds_.at(n) != StageNodeKind::kRail) {
+    throw std::invalid_argument("StageCircuit: not a rail node");
+  }
+  return rails_[kind_index_[n]];
+}
+
+const circuit::SourceWaveform& StageCircuit::input_wave(std::size_t n) const {
+  if (kinds_.at(n) != StageNodeKind::kInput) {
+    throw std::invalid_argument("StageCircuit: not an input node");
+  }
+  return inputs_[kind_index_[n]];
+}
+
+double StageCircuit::chord_conductance(const Mosfet& m, double vdd) {
+  // Maximum output conductance of the level-1 device over the signal range
+  // occurs in deep triode at full gate drive: g = beta (Vdd - VT).
+  // Deliberately evaluated at *nominal* parameters (delta_l, delta_vt
+  // ignored): the paper keeps the chord models constant under parameter
+  // fluctuations so the variational load library is characterized once.
+  const double beta = m.model.kp * m.w / m.l;
+  const double vgst = vdd - m.model.vt0;
+  return beta * std::max(vgst, 0.1 * vdd);
+}
+
+Vector StageCircuit::port_chord_conductances(double vdd) const {
+  Vector g(num_ports_, 0.0);
+  for (const Mosfet& m : mosfets_) {
+    const double gch = chord_conductance(m, vdd);
+    for (int t : {m.drain, m.source}) {
+      const auto n = static_cast<std::size_t>(t);
+      if (kinds_[n] == StageNodeKind::kPort) {
+        g[kind_index_[n]] += gch;
+      }
+    }
+  }
+  return g;
+}
+
+namespace {
+
+/// Unknown indexing for the SC linear system: ports first (load-port
+/// order), then internal nodes.
+struct Indexer {
+  std::vector<int> node_to_unknown;  // -1 when known (input/rail)
+  std::size_t num_unknowns = 0;
+  std::size_t num_ports = 0;
+
+  explicit Indexer(const StageCircuit& s) {
+    node_to_unknown.assign(s.num_nodes(), -1);
+    num_ports = s.num_ports();
+    std::size_t next_internal = num_ports;
+    for (std::size_t n = 0; n < s.num_nodes(); ++n) {
+      switch (s.kind(n)) {
+        case StageNodeKind::kPort:
+          node_to_unknown[n] = static_cast<int>(s.kind_index(n));
+          break;
+        case StageNodeKind::kInternal:
+          node_to_unknown[n] = static_cast<int>(next_internal++);
+          break;
+        default:
+          break;
+      }
+    }
+    num_unknowns = next_internal;
+  }
+};
+
+}  // namespace
+
+std::vector<std::pair<double, double>> TetaResult::waveform(
+    std::size_t port) const {
+  std::vector<std::pair<double, double>> w;
+  w.reserve(time.size());
+  for (std::size_t k = 0; k < time.size(); ++k) {
+    w.emplace_back(time[k], port_voltages[k][port]);
+  }
+  return w;
+}
+
+TetaResult simulate_stage(const StageCircuit& stage,
+                          const mor::PoleResidueModel& load,
+                          const TetaOptions& opt) {
+  if (load.num_ports() != stage.num_ports()) {
+    throw std::invalid_argument("simulate_stage: port count mismatch");
+  }
+  TetaResult res;
+  const Indexer idx(stage);
+  const std::size_t n = idx.num_unknowns;
+  const std::size_t np = idx.num_ports;
+
+  RecursiveConvolver conv(load, opt.dt);
+  const double clamp = opt.damping_frac * opt.vdd;
+
+  // Known node voltages at time t.
+  auto known_voltage = [&](std::size_t node, double t) {
+    switch (stage.kind(node)) {
+      case StageNodeKind::kInput:
+        return stage.input_wave(node).value(t);
+      case StageNodeKind::kRail:
+        return stage.rail_voltage(node);
+      default:
+        throw std::logic_error("known_voltage: unknown node");
+    }
+  };
+
+  // ---- Constant system matrices -------------------------------------
+  // A_dc: chords + Y_dc (caps open).  A_tr: chords + cap companions + Y_h.
+  // Both subtract the port chord diagonal that is already inside the
+  // reduced load (it was folded in before reduction, Table 1 step 2).
+  const Vector gsc = stage.port_chord_conductances(opt.vdd);
+
+  Matrix a_dc(n, n);
+  Matrix a_tr(n, n);
+  // Contributions of known-node chord couplings: list of (row, node, g).
+  struct KnownCoupling {
+    std::size_t row;
+    std::size_t node;
+    double g;
+  };
+  std::vector<KnownCoupling> chord_known;
+
+  std::vector<double> chords(stage.mosfets().size());
+  for (std::size_t d = 0; d < stage.mosfets().size(); ++d) {
+    const Mosfet& m = stage.mosfets()[d];
+    const double g = StageCircuit::chord_conductance(m, opt.vdd);
+    chords[d] = g;
+    const int ud = idx.node_to_unknown[static_cast<std::size_t>(m.drain)];
+    const int us = idx.node_to_unknown[static_cast<std::size_t>(m.source)];
+    auto stamp = [&](Matrix& a) {
+      if (ud >= 0) a(ud, ud) += g;
+      if (us >= 0) a(us, us) += g;
+      if (ud >= 0 && us >= 0) {
+        a(ud, us) -= g;
+        a(us, ud) -= g;
+      }
+    };
+    stamp(a_dc);
+    stamp(a_tr);
+    if (ud >= 0 && us < 0) {
+      chord_known.push_back({static_cast<std::size_t>(ud),
+                             static_cast<std::size_t>(m.source), g});
+    }
+    if (us >= 0 && ud < 0) {
+      chord_known.push_back({static_cast<std::size_t>(us),
+                             static_cast<std::size_t>(m.drain), g});
+    }
+  }
+
+  // Load admittance blocks.
+  Matrix y_h;
+  Matrix y_dc;
+  try {
+    y_h = numeric::inverse(conv.step_impedance());
+    y_dc = numeric::inverse(conv.dc_impedance());
+  } catch (const std::runtime_error&) {
+    res.failure = "singular load impedance";
+    return res;
+  }
+  for (std::size_t i = 0; i < np; ++i) {
+    for (std::size_t j = 0; j < np; ++j) {
+      a_dc(i, j) += y_dc(i, j);
+      a_tr(i, j) += y_h(i, j);
+    }
+    // Chord diagonal already inside the load model.
+    a_dc(i, i) -= gsc[i];
+    a_tr(i, i) -= gsc[i];
+  }
+
+  // Cap companions in the transient matrix.
+  const double ceff = 2.0 / opt.dt;
+  struct CapState {
+    int ua, ub;          // unknown indices or -1
+    std::size_t na, nb;  // node ids
+    double geq;
+    double u_prev = 0.0;  // va - vb at committed time
+    double i_prev = 0.0;  // companion current at committed time
+  };
+  std::vector<CapState> caps;
+  for (const auto& c : stage.capacitors()) {
+    CapState cs;
+    cs.na = static_cast<std::size_t>(c.a);
+    cs.nb = static_cast<std::size_t>(c.b);
+    cs.ua = idx.node_to_unknown[cs.na];
+    cs.ub = idx.node_to_unknown[cs.nb];
+    cs.geq = ceff * c.farads;
+    if (cs.ua >= 0) a_tr(cs.ua, cs.ua) += cs.geq;
+    if (cs.ub >= 0) a_tr(cs.ub, cs.ub) += cs.geq;
+    if (cs.ua >= 0 && cs.ub >= 0) {
+      a_tr(cs.ua, cs.ub) -= cs.geq;
+      a_tr(cs.ub, cs.ua) -= cs.geq;
+    }
+    caps.push_back(cs);
+  }
+
+  // One factorization for the whole transient -- the linear-centric core.
+  std::unique_ptr<LuFactorization> lu_dc;
+  std::unique_ptr<LuFactorization> lu_tr;
+  try {
+    lu_dc = std::make_unique<LuFactorization>(a_dc);
+    lu_tr = std::make_unique<LuFactorization>(a_tr);
+  } catch (const std::runtime_error& e) {
+    res.failure = std::string("singular SC system: ") + e.what();
+    return res;
+  }
+
+  // Full node voltages from the unknown vector at time t.
+  auto node_voltages = [&](const Vector& x, double t) {
+    Vector v(stage.num_nodes(), 0.0);
+    for (std::size_t nn = 0; nn < stage.num_nodes(); ++nn) {
+      const int u = idx.node_to_unknown[nn];
+      v[nn] = (u >= 0) ? x[static_cast<std::size_t>(u)]
+                       : known_voltage(nn, t);
+    }
+    return v;
+  };
+
+  // Device Norton currents at iterate v: j = ids(v) - G_ch (vd - vs);
+  // accumulate -j into rhs rows (current leaving drain is +ids).
+  auto add_device_norton = [&](const Vector& vnode, Vector& rhs) {
+    for (std::size_t d = 0; d < stage.mosfets().size(); ++d) {
+      const Mosfet& m = stage.mosfets()[d];
+      const double vg = vnode[static_cast<std::size_t>(m.gate)];
+      const double vd = vnode[static_cast<std::size_t>(m.drain)];
+      const double vs = vnode[static_cast<std::size_t>(m.source)];
+      const double ids = circuit::mosfet_eval(m, vg, vd, vs).ids;
+      const double j = ids - chords[d] * (vd - vs);
+      const int ud = idx.node_to_unknown[static_cast<std::size_t>(m.drain)];
+      const int us = idx.node_to_unknown[static_cast<std::size_t>(m.source)];
+      if (ud >= 0) rhs[static_cast<std::size_t>(ud)] -= j;
+      if (us >= 0) rhs[static_cast<std::size_t>(us)] += j;
+    }
+  };
+
+  // ---- DC operating point (t = 0) ------------------------------------
+  // The one-time DC initialization uses plain Newton: fixed chords stall
+  // on pass-transistor nodes whose devices all pinch off (contraction
+  // factor -> 1), while Newton converges quadratically. The linear-centric
+  // fixed-chord property only matters for the transient loop, where the
+  // capacitor companions keep the SC iteration strongly contractive.
+  Vector x(n, 0.0);
+  {
+    Matrix base(n, n);
+    for (std::size_t i = 0; i < np; ++i) {
+      for (std::size_t j = 0; j < np; ++j) base(i, j) = y_dc(i, j);
+      base(i, i) -= gsc[i];
+    }
+    constexpr double kGminDc = 1e-9;  // floats pinch-off-isolated nodes
+    for (std::size_t i = 0; i < n; ++i) base(i, i) += kGminDc;
+
+    bool ok = false;
+    for (int it = 0; it < opt.max_sc_iters; ++it) {
+      Matrix a = base;
+      Vector rhs(n, 0.0);
+      const Vector vnode = node_voltages(x, 0.0);
+      for (const Mosfet& m : stage.mosfets()) {
+        const double vg = vnode[static_cast<std::size_t>(m.gate)];
+        const double vd = vnode[static_cast<std::size_t>(m.drain)];
+        const double vs = vnode[static_cast<std::size_t>(m.source)];
+        const auto op = circuit::mosfet_eval(m, vg, vd, vs);
+        const double ieq = op.ids - op.gm * (vg - vs) - op.gds * (vd - vs);
+        const int rd = idx.node_to_unknown[static_cast<std::size_t>(m.drain)];
+        const int rs =
+            idx.node_to_unknown[static_cast<std::size_t>(m.source)];
+        const struct {
+          int node;
+          double coeff;
+        } cols[3] = {{m.gate, op.gm},
+                     {m.drain, op.gds},
+                     {m.source, -(op.gm + op.gds)}};
+        for (int sign : {+1, -1}) {
+          const int row = (sign > 0) ? rd : rs;
+          if (row < 0) continue;
+          const auto r = static_cast<std::size_t>(row);
+          for (const auto& cc : cols) {
+            const int col =
+                idx.node_to_unknown[static_cast<std::size_t>(cc.node)];
+            const double val = sign * cc.coeff;
+            if (val == 0.0) continue;
+            if (col >= 0) {
+              a(r, static_cast<std::size_t>(col)) += val;
+            } else {
+              rhs[r] -= val *
+                        vnode[static_cast<std::size_t>(cc.node)];
+            }
+          }
+          rhs[r] -= sign * ieq;
+        }
+      }
+      Vector xn = LuFactorization(std::move(a)).solve(rhs);
+      double dmax = 0.0;
+      for (std::size_t i = 0; i < n; ++i) {
+        double d = xn[i] - x[i];
+        dmax = std::max(dmax, std::abs(d));
+        x[i] += std::clamp(d, -clamp, clamp);
+      }
+      ++res.total_sc_iterations;
+      if (dmax < opt.vtol) {
+        ok = true;
+        break;
+      }
+    }
+    if (!ok) {
+      res.failure = "Newton failed at DC";
+      return res;
+    }
+  }
+
+  // Initialize convolver history with the DC load current.
+  {
+    Vector vp(np);
+    for (std::size_t p = 0; p < np; ++p) vp[p] = x[p];
+    conv.initialize_dc(y_dc * vp);
+  }
+  // Initialize cap states.
+  {
+    const Vector vn = node_voltages(x, 0.0);
+    for (auto& cs : caps) {
+      cs.u_prev = vn[cs.na] - vn[cs.nb];
+      cs.i_prev = 0.0;
+    }
+  }
+
+  auto store = [&](double t) {
+    res.time.push_back(t);
+    Vector vp(np);
+    for (std::size_t p = 0; p < np; ++p) vp[p] = x[p];
+    res.port_voltages.push_back(std::move(vp));
+  };
+  store(0.0);
+
+  // ---- Transient loop -------------------------------------------------
+  const auto nsteps =
+      static_cast<std::size_t>(std::ceil(opt.tstop / opt.dt - 1e-9));
+  for (std::size_t step = 1; step <= nsteps; ++step) {
+    const double t = static_cast<double>(step) * opt.dt;
+
+    Vector rhs_const(n, 0.0);
+    for (const auto& kc : chord_known) {
+      rhs_const[kc.row] += kc.g * known_voltage(kc.node, t);
+    }
+    for (const auto& cs : caps) {
+      // Row a: +i = geq(va - vb) - (geq u_prev + i_prev); the -geq vb term
+      // moves to the RHS with a + sign when b is a known node (and
+      // symmetrically for row b).
+      const double h = cs.geq * cs.u_prev + cs.i_prev;
+      const double ka =
+          cs.ua < 0 ? cs.geq * known_voltage(cs.na, t) : 0.0;
+      const double kb =
+          cs.ub < 0 ? cs.geq * known_voltage(cs.nb, t) : 0.0;
+      if (cs.ua >= 0) rhs_const[cs.ua] += h + kb;
+      if (cs.ub >= 0) rhs_const[cs.ub] += -h + ka;
+    }
+    const Vector hist = conv.history();
+    const Vector yhist = y_h * hist;
+    for (std::size_t p = 0; p < np; ++p) rhs_const[p] += yhist[p];
+
+    bool ok = false;
+    for (int it = 0; it < opt.max_sc_iters; ++it) {
+      Vector rhs = rhs_const;
+      add_device_norton(node_voltages(x, t), rhs);
+      Vector xn = lu_tr->solve(rhs);
+      double dmax = 0.0;
+      for (std::size_t i = 0; i < n; ++i) {
+        double d = xn[i] - x[i];
+        dmax = std::max(dmax, std::abs(d));
+        x[i] += std::clamp(d, -clamp, clamp);
+      }
+      ++res.total_sc_iterations;
+      if (dmax < opt.vtol) {
+        ok = true;
+        break;
+      }
+    }
+    if (!ok) {
+      res.failure = "SC iteration failed at t = " + std::to_string(t);
+      return res;
+    }
+
+    // Commit: load current and cap states.
+    {
+      Vector vp(np);
+      for (std::size_t p = 0; p < np; ++p) vp[p] = x[p];
+      Vector i_load = y_h * vp;
+      for (std::size_t p = 0; p < np; ++p) i_load[p] -= yhist[p];
+      conv.advance(i_load);
+    }
+    const Vector vn = node_voltages(x, t);
+    for (auto& cs : caps) {
+      const double u_new = vn[cs.na] - vn[cs.nb];
+      const double i_new = cs.geq * (u_new - cs.u_prev) - cs.i_prev;
+      cs.u_prev = u_new;
+      cs.i_prev = i_new;
+    }
+    store(t);
+  }
+
+  res.converged = true;
+  return res;
+}
+
+std::vector<std::pair<double, double>> compress_pwl(
+    const std::vector<std::pair<double, double>>& samples, double vtol) {
+  if (samples.size() <= 2) return samples;
+  std::vector<std::pair<double, double>> out;
+  out.push_back(samples.front());
+  std::size_t anchor = 0;
+  for (std::size_t k = 2; k < samples.size(); ++k) {
+    // Check all samples strictly between anchor and k against the chord.
+    const auto [t0, v0] = samples[anchor];
+    const auto [t1, v1] = samples[k];
+    bool within = true;
+    for (std::size_t m = anchor + 1; m < k && within; ++m) {
+      const auto [tm, vm] = samples[m];
+      const double frac = (tm - t0) / (t1 - t0);
+      const double lin = v0 + frac * (v1 - v0);
+      within = std::abs(lin - vm) <= vtol;
+    }
+    if (!within) {
+      anchor = k - 1;
+      out.push_back(samples[anchor]);
+    }
+  }
+  out.push_back(samples.back());
+  return out;
+}
+
+}  // namespace lcsf::teta

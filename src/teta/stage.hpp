@@ -1,0 +1,125 @@
+// TETA stage engine: Successive-Chords waveform evaluation of a logic
+// stage -- nonlinear driver devices coupled through a (possibly multiport)
+// linear load given in stabilized pole/residue form.
+//
+// The Successive Chords method replaces Newton's per-iteration
+// re-linearization with a *fixed* chord conductance per device, chosen once
+// before the analysis (Sec. 3.2). Together with the constant per-step load
+// impedance from the recursive convolver this makes the stage's linear
+// system constant across all timesteps and iterations: one LU
+// factorization per transient, with only right-hand-side updates -- the
+// source of the framework's speedup and the reason non-passive load models
+// cannot destabilize the solver (the chord conductances G_sc are already
+// folded into the reduced load, Fig. 1).
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "circuit/mosfet.hpp"
+#include "circuit/netlist.hpp"
+#include "circuit/source_waveform.hpp"
+#include "mor/poleres.hpp"
+#include "numeric/matrix.hpp"
+
+namespace lcsf::teta {
+
+/// Local node kinds within a stage.
+enum class StageNodeKind {
+  kPort,      ///< connects to a load port (same index as the load model)
+  kInternal,  ///< driver-internal node (e.g. the mid node of a NAND stack)
+  kInput,     ///< driven by a known input waveform
+  kRail,      ///< fixed supply voltage
+};
+
+/// A logic stage: transistors plus local linear caps over a small local
+/// node space; ports attach to the external load model.
+class StageCircuit {
+ public:
+  /// Port k of the load; call in load-port order.
+  std::size_t add_port();
+  std::size_t add_internal();
+  std::size_t add_input(circuit::SourceWaveform wave);
+  std::size_t add_rail(double voltage);
+
+  /// Terminals are local node ids returned by the add_* calls.
+  void add_mosfet(circuit::Mosfet m);
+  /// Local linear capacitor (device caps are added automatically by
+  /// freeze_device_capacitances()).
+  void add_capacitor(std::size_t a, std::size_t b, double farads);
+  /// Fold the constant device capacitances (cgs/cgd/cdb) into the local
+  /// linear caps, mirroring Netlist::freeze_device_capacitances().
+  void freeze_device_capacitances();
+
+  std::size_t num_ports() const { return num_ports_; }
+  std::size_t num_nodes() const { return kinds_.size(); }
+  const std::vector<circuit::Mosfet>& mosfets() const { return mosfets_; }
+
+  /// Chord conductance of one device: the maximum output conductance over
+  /// the voltage range [0, vdd], which bounds the device nonlinearity and
+  /// guarantees the SC fixed point is contractive.
+  static double chord_conductance(const circuit::Mosfet& m, double vdd);
+
+  /// Total chord conductance attached to each port: the G_out of Table 1
+  /// step 1, to be folded into the effective load before reduction.
+  numeric::Vector port_chord_conductances(double vdd) const;
+
+  // Introspection for the engine.
+  StageNodeKind kind(std::size_t n) const { return kinds_[n]; }
+  std::size_t kind_index(std::size_t n) const { return kind_index_[n]; }
+  double rail_voltage(std::size_t n) const;
+  const circuit::SourceWaveform& input_wave(std::size_t n) const;
+  const std::vector<circuit::Capacitor>& capacitors() const { return caps_; }
+
+ private:
+  std::size_t add_node(StageNodeKind kind, std::size_t kindex);
+
+  std::vector<StageNodeKind> kinds_;
+  std::vector<std::size_t> kind_index_;  ///< index within its kind
+  std::size_t num_ports_ = 0;
+  std::vector<circuit::SourceWaveform> inputs_;
+  std::vector<double> rails_;
+  std::vector<circuit::Mosfet> mosfets_;
+  std::vector<circuit::Capacitor> caps_;  ///< local ids in a/b
+  bool frozen_ = false;
+};
+
+struct TetaOptions {
+  double tstop = 1e-9;
+  double dt = 1e-12;
+  double vtol = 1e-6;      ///< SC iteration convergence tolerance [V]
+  int max_sc_iters = 400;  ///< per timestep
+  double vdd = 1.8;        ///< chord selection range
+  /// Per-iteration voltage step clamp as a fraction of vdd. Chord
+  /// iterations through multi-stage cells (BUF, XOR) can overshoot at high
+  /// gain points; damping restores the contraction.
+  double damping_frac = 0.25;
+};
+
+struct TetaResult {
+  bool converged = false;
+  std::string failure;
+  std::vector<double> time;
+  std::vector<numeric::Vector> port_voltages;  ///< per step, size Np
+  long total_sc_iterations = 0;
+
+  std::vector<std::pair<double, double>> waveform(std::size_t port) const;
+};
+
+/// Simulate a stage against a stable pole/residue load. The load's chord
+/// conductances must already be folded in (construct the effective load
+/// with mor::with_port_conductance(pencil, stage.port_chord_conductances())
+/// before reduction -- Table 1 step 2).
+TetaResult simulate_stage(const StageCircuit& stage,
+                          const mor::PoleResidueModel& load,
+                          const TetaOptions& opt);
+
+/// Adaptive piecewise-linear compression of a sampled waveform: keeps the
+/// fewest breakpoints such that linear interpolation stays within vtol of
+/// every dropped sample (the paper's "fine resolution waveform model ...
+/// adaptively selects the breakpoints").
+std::vector<std::pair<double, double>> compress_pwl(
+    const std::vector<std::pair<double, double>>& samples, double vtol);
+
+}  // namespace lcsf::teta

@@ -1,0 +1,311 @@
+#include "timing/cells.hpp"
+
+#include <stdexcept>
+#include <unordered_map>
+
+namespace lcsf::timing {
+
+using circuit::MosType;
+
+namespace {
+
+using K = CellNode::Kind;
+constexpr MosType N = MosType::kNmos;
+constexpr MosType P = MosType::kPmos;
+
+CellNode OUT() { return CellNode::out(); }
+CellNode IN(std::size_t i) { return CellNode::in(i); }
+CellNode VDD() { return CellNode::vdd(); }
+CellNode GND() { return CellNode::gnd(); }
+CellNode X(std::size_t i) { return CellNode::internal(i); }
+
+std::vector<CellTemplate> build_library() {
+  std::vector<CellTemplate> lib;
+
+  {
+    CellTemplate c;
+    c.name = "INV";
+    c.num_inputs = 1;
+    c.transistors = {{P, OUT(), IN(0), VDD(), 8.0},
+                     {N, OUT(), IN(0), GND(), 4.0}};
+    c.inverting = true;
+    c.side_values = {false};
+    c.eval = [](const std::vector<bool>& a) { return !a[0]; };
+    lib.push_back(std::move(c));
+  }
+  {
+    CellTemplate c;
+    c.name = "BUF";
+    c.num_inputs = 1;
+    c.num_internals = 1;
+    c.transistors = {{P, X(0), IN(0), VDD(), 4.0},
+                     {N, X(0), IN(0), GND(), 2.0},
+                     {P, OUT(), X(0), VDD(), 12.0},
+                     {N, OUT(), X(0), GND(), 6.0}};
+    c.inverting = false;
+    c.side_values = {false};
+    c.eval = [](const std::vector<bool>& a) { return a[0]; };
+    lib.push_back(std::move(c));
+  }
+  {
+    CellTemplate c;
+    c.name = "NAND2";
+    c.num_inputs = 2;
+    c.num_internals = 1;
+    c.transistors = {{P, OUT(), IN(0), VDD(), 8.0},
+                     {P, OUT(), IN(1), VDD(), 8.0},
+                     {N, OUT(), IN(0), X(0), 8.0},
+                     {N, X(0), IN(1), GND(), 8.0}};
+    c.inverting = true;
+    c.side_values = {false, true};
+    c.eval = [](const std::vector<bool>& a) { return !(a[0] && a[1]); };
+    lib.push_back(std::move(c));
+  }
+  {
+    CellTemplate c;
+    c.name = "NAND3";
+    c.num_inputs = 3;
+    c.num_internals = 2;
+    c.transistors = {{P, OUT(), IN(0), VDD(), 8.0},
+                     {P, OUT(), IN(1), VDD(), 8.0},
+                     {P, OUT(), IN(2), VDD(), 8.0},
+                     {N, OUT(), IN(0), X(0), 12.0},
+                     {N, X(0), IN(1), X(1), 12.0},
+                     {N, X(1), IN(2), GND(), 12.0}};
+    c.inverting = true;
+    c.side_values = {false, true, true};
+    c.eval = [](const std::vector<bool>& a) {
+      return !(a[0] && a[1] && a[2]);
+    };
+    lib.push_back(std::move(c));
+  }
+  {
+    CellTemplate c;
+    c.name = "NOR2";
+    c.num_inputs = 2;
+    c.num_internals = 1;
+    c.transistors = {{P, X(0), IN(1), VDD(), 16.0},
+                     {P, OUT(), IN(0), X(0), 16.0},
+                     {N, OUT(), IN(0), GND(), 4.0},
+                     {N, OUT(), IN(1), GND(), 4.0}};
+    c.inverting = true;
+    c.side_values = {false, false};
+    c.eval = [](const std::vector<bool>& a) { return !(a[0] || a[1]); };
+    lib.push_back(std::move(c));
+  }
+  {
+    CellTemplate c;
+    c.name = "NOR3";
+    c.num_inputs = 3;
+    c.num_internals = 2;
+    c.transistors = {{P, X(0), IN(2), VDD(), 24.0},
+                     {P, X(1), IN(1), X(0), 24.0},
+                     {P, OUT(), IN(0), X(1), 24.0},
+                     {N, OUT(), IN(0), GND(), 4.0},
+                     {N, OUT(), IN(1), GND(), 4.0},
+                     {N, OUT(), IN(2), GND(), 4.0}};
+    c.inverting = true;
+    c.side_values = {false, false, false};
+    c.eval = [](const std::vector<bool>& a) {
+      return !(a[0] || a[1] || a[2]);
+    };
+    lib.push_back(std::move(c));
+  }
+  {
+    // AOI21: out = !(a b + c); a = in0 switches with b = 1, c = 0.
+    CellTemplate c;
+    c.name = "AOI21";
+    c.num_inputs = 3;
+    c.num_internals = 2;
+    c.transistors = {{P, X(0), IN(0), VDD(), 16.0},
+                     {P, X(0), IN(1), VDD(), 16.0},
+                     {P, OUT(), IN(2), X(0), 16.0},
+                     {N, OUT(), IN(0), X(1), 8.0},
+                     {N, X(1), IN(1), GND(), 8.0},
+                     {N, OUT(), IN(2), GND(), 4.0}};
+    c.inverting = true;
+    c.side_values = {false, true, false};
+    c.eval = [](const std::vector<bool>& a) {
+      return !((a[0] && a[1]) || a[2]);
+    };
+    lib.push_back(std::move(c));
+  }
+  {
+    // OAI21: out = !((a + b) c); a = in0 switches with b = 0, c = 1.
+    CellTemplate c;
+    c.name = "OAI21";
+    c.num_inputs = 3;
+    c.num_internals = 2;
+    c.transistors = {{P, X(0), IN(0), VDD(), 16.0},
+                     {P, OUT(), IN(1), X(0), 16.0},
+                     {P, OUT(), IN(2), VDD(), 8.0},
+                     {N, OUT(), IN(0), X(1), 8.0},
+                     {N, OUT(), IN(1), X(1), 8.0},
+                     {N, X(1), IN(2), GND(), 8.0}};
+    c.inverting = true;
+    c.side_values = {false, false, true};
+    c.eval = [](const std::vector<bool>& a) {
+      return !((a[0] || a[1]) && a[2]);
+    };
+    lib.push_back(std::move(c));
+  }
+  {
+    // Static CMOS XOR2 with local input inverters. Internal nodes:
+    // 0 = a', 1 = b', 2/3 = PUN stack mids, 4/5 = PDN stack mids.
+    CellTemplate c;
+    c.name = "XOR2";
+    c.num_inputs = 2;
+    c.num_internals = 6;
+    c.transistors = {// input inverters
+                     {P, X(0), IN(0), VDD(), 8.0},
+                     {N, X(0), IN(0), GND(), 4.0},
+                     {P, X(1), IN(1), VDD(), 8.0},
+                     {N, X(1), IN(1), GND(), 4.0},
+                     // PUN: a' b  (gates a, b')
+                     {P, X(2), IN(0), VDD(), 16.0},
+                     {P, OUT(), X(1), X(2), 16.0},
+                     // PUN: a b'  (gates a', b)
+                     {P, X(3), X(0), VDD(), 16.0},
+                     {P, OUT(), IN(1), X(3), 16.0},
+                     // PDN: a b
+                     {N, OUT(), IN(0), X(4), 8.0},
+                     {N, X(4), IN(1), GND(), 8.0},
+                     // PDN: a' b'
+                     {N, OUT(), X(0), X(5), 8.0},
+                     {N, X(5), X(1), GND(), 8.0}};
+    // With the side input at 0, out = in0: non-inverting.
+    c.inverting = false;
+    c.side_values = {false, false};
+    c.eval = [](const std::vector<bool>& a) { return a[0] != a[1]; };
+    lib.push_back(std::move(c));
+  }
+  {
+    // XNOR2: mirror of XOR2.
+    CellTemplate c;
+    c.name = "XNOR2";
+    c.num_inputs = 2;
+    c.num_internals = 6;
+    c.transistors = {{P, X(0), IN(0), VDD(), 8.0},
+                     {N, X(0), IN(0), GND(), 4.0},
+                     {P, X(1), IN(1), VDD(), 8.0},
+                     {N, X(1), IN(1), GND(), 4.0},
+                     // PUN: a' b' (gates a, b)
+                     {P, X(2), IN(0), VDD(), 16.0},
+                     {P, OUT(), IN(1), X(2), 16.0},
+                     // PUN: a b (gates a', b')
+                     {P, X(3), X(0), VDD(), 16.0},
+                     {P, OUT(), X(1), X(3), 16.0},
+                     // PDN: a b' (gates a, b')
+                     {N, OUT(), IN(0), X(4), 8.0},
+                     {N, X(4), X(1), GND(), 8.0},
+                     // PDN: a' b (gates a', b)
+                     {N, OUT(), X(0), X(5), 8.0},
+                     {N, X(5), IN(1), GND(), 8.0}};
+    // With the side input at 0, out = !in0: inverting.
+    c.inverting = true;
+    c.side_values = {false, false};
+    c.eval = [](const std::vector<bool>& a) { return a[0] == a[1]; };
+    lib.push_back(std::move(c));
+  }
+  return lib;
+}
+
+}  // namespace
+
+const std::vector<CellTemplate>& cell_library() {
+  static const std::vector<CellTemplate> lib = build_library();
+  return lib;
+}
+
+const CellTemplate& find_cell(const std::string& name) {
+  for (const CellTemplate& c : cell_library()) {
+    if (c.name == name) return c;
+  }
+  throw std::invalid_argument("find_cell: unknown cell " + name);
+}
+
+void instantiate_cell(const CellTemplate& cell,
+                      const circuit::Technology& tech, circuit::Netlist& nl,
+                      circuit::NodeId out,
+                      const std::vector<circuit::NodeId>& inputs,
+                      circuit::NodeId vdd_node, const DeviceVariation& var) {
+  if (inputs.size() != cell.num_inputs) {
+    throw std::invalid_argument("instantiate_cell: wrong input count");
+  }
+  std::vector<circuit::NodeId> internals(cell.num_internals);
+  for (std::size_t k = 0; k < cell.num_internals; ++k) {
+    internals[k] = nl.add_node();
+  }
+  auto resolve = [&](const CellNode& n) -> circuit::NodeId {
+    switch (n.kind) {
+      case K::kOutput:
+        return out;
+      case K::kInput:
+        return inputs.at(n.index);
+      case K::kVdd:
+        return vdd_node;
+      case K::kGnd:
+        return circuit::kGround;
+      case K::kInternal:
+        return internals.at(n.index);
+    }
+    throw std::logic_error("instantiate_cell: bad node kind");
+  };
+  for (const CellTransistor& t : cell.transistors) {
+    circuit::Mosfet m = (t.type == N)
+                            ? tech.make_nmos(resolve(t.drain),
+                                             resolve(t.gate),
+                                             resolve(t.source), t.w_over_l)
+                            : tech.make_pmos(resolve(t.drain),
+                                             resolve(t.gate),
+                                             resolve(t.source), t.w_over_l);
+    m.delta_l = var.delta_l;
+    m.delta_vt = var.delta_vt;
+    nl.add_mosfet(std::move(m));
+  }
+}
+
+void instantiate_cell(const CellTemplate& cell,
+                      const circuit::Technology& tech,
+                      teta::StageCircuit& stage, std::size_t out_node,
+                      std::size_t in_node, std::size_t vdd_node,
+                      std::size_t gnd_node, const DeviceVariation& var) {
+  std::vector<std::size_t> internals(cell.num_internals);
+  for (std::size_t k = 0; k < cell.num_internals; ++k) {
+    internals[k] = stage.add_internal();
+  }
+  auto resolve = [&](const CellNode& n) -> std::size_t {
+    switch (n.kind) {
+      case K::kOutput:
+        return out_node;
+      case K::kInput:
+        if (n.index == 0) return in_node;
+        // Sensitizing side inputs tie to rails.
+        return cell.side_values.at(n.index) ? vdd_node : gnd_node;
+      case K::kVdd:
+        return vdd_node;
+      case K::kGnd:
+        return gnd_node;
+      case K::kInternal:
+        return internals.at(n.index);
+    }
+    throw std::logic_error("instantiate_cell: bad node kind");
+  };
+  for (const CellTransistor& t : cell.transistors) {
+    circuit::Mosfet m =
+        (t.type == N)
+            ? tech.make_nmos(static_cast<int>(resolve(t.drain)),
+                             static_cast<int>(resolve(t.gate)),
+                             static_cast<int>(resolve(t.source)),
+                             t.w_over_l)
+            : tech.make_pmos(static_cast<int>(resolve(t.drain)),
+                             static_cast<int>(resolve(t.gate)),
+                             static_cast<int>(resolve(t.source)),
+                             t.w_over_l);
+    m.delta_l = var.delta_l;
+    m.delta_vt = var.delta_vt;
+    stage.add_mosfet(std::move(m));
+  }
+}
+
+}  // namespace lcsf::timing

@@ -1,0 +1,87 @@
+// Transistor-level standard-cell library.
+//
+// The paper's Example 3 maps gate-level ISCAS-89 benchmarks onto "ten
+// different logic cells" at transistor level; this is that library. Each
+// cell is a template over symbolic nodes that can be instantiated either
+// into a flat Netlist (for the SPICE baseline, which simulates the entire
+// path) or into a teta::StageCircuit (for the framework's stage-by-stage
+// evaluation).
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "circuit/netlist.hpp"
+#include "circuit/technology.hpp"
+#include "teta/stage.hpp"
+
+namespace lcsf::timing {
+
+/// Symbolic node of a cell template.
+struct CellNode {
+  enum class Kind { kOutput, kInput, kVdd, kGnd, kInternal };
+  Kind kind = Kind::kOutput;
+  std::size_t index = 0;
+
+  static CellNode out() { return {Kind::kOutput, 0}; }
+  static CellNode in(std::size_t i) { return {Kind::kInput, i}; }
+  static CellNode vdd() { return {Kind::kVdd, 0}; }
+  static CellNode gnd() { return {Kind::kGnd, 0}; }
+  static CellNode internal(std::size_t i) { return {Kind::kInternal, i}; }
+};
+
+struct CellTransistor {
+  circuit::MosType type;
+  CellNode drain, gate, source;
+  double w_over_l = 4.0;
+};
+
+/// Uniform per-instance manufacturing fluctuation applied to every device
+/// of a cell instance (paper Example 3: channel-length reduction DL and
+/// threshold shift VT).
+struct DeviceVariation {
+  double delta_l = 0.0;   ///< [m]
+  double delta_vt = 0.0;  ///< [V]
+};
+
+struct CellTemplate {
+  std::string name;
+  std::size_t num_inputs = 1;
+  std::size_t num_internals = 0;
+  std::vector<CellTransistor> transistors;
+  /// Output direction is opposite the switching input's when true. Input 0
+  /// is always the switching (sensitized) input.
+  bool inverting = true;
+  /// Static values of the side inputs that sensitize input 0 (entry 0 is
+  /// ignored).
+  std::vector<bool> side_values;
+  /// Boolean function, for the gate-level analyses.
+  std::function<bool(const std::vector<bool>&)> eval;
+};
+
+/// The ten cells: INV, BUF, NAND2, NAND3, NOR2, NOR3, AOI21, OAI21, XOR2,
+/// XNOR2.
+const std::vector<CellTemplate>& cell_library();
+const CellTemplate& find_cell(const std::string& name);
+
+/// Instantiate into a flat netlist. `inputs` must have num_inputs entries;
+/// internal nodes are created. Every device receives `var`.
+void instantiate_cell(const CellTemplate& cell,
+                      const circuit::Technology& tech, circuit::Netlist& nl,
+                      circuit::NodeId out,
+                      const std::vector<circuit::NodeId>& inputs,
+                      circuit::NodeId vdd_node,
+                      const DeviceVariation& var = {});
+
+/// Instantiate into a TETA stage. The cell output is `out_node` (usually a
+/// port); the switching input 0 is `in_node` (an input node); side inputs
+/// are tied to rails per side_values.
+void instantiate_cell(const CellTemplate& cell,
+                      const circuit::Technology& tech,
+                      teta::StageCircuit& stage, std::size_t out_node,
+                      std::size_t in_node, std::size_t vdd_node,
+                      std::size_t gnd_node, const DeviceVariation& var = {});
+
+}  // namespace lcsf::timing

@@ -1,0 +1,124 @@
+#include "timing/characterize.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "circuit/netlist.hpp"
+#include "interconnect/coupled_lines.hpp"
+#include "mor/pact.hpp"
+#include "mor/poleres.hpp"
+#include "mor/variational.hpp"
+#include "teta/stage.hpp"
+
+namespace lcsf::timing {
+
+Table2d::Table2d(std::vector<double> slews, std::vector<double> loads)
+    : slews_(std::move(slews)),
+      loads_(std::move(loads)),
+      values_(slews_.size() * loads_.size(), 0.0) {
+  if (slews_.empty() || loads_.empty()) {
+    throw std::invalid_argument("Table2d: empty axis");
+  }
+  if (!std::is_sorted(slews_.begin(), slews_.end()) ||
+      !std::is_sorted(loads_.begin(), loads_.end())) {
+    throw std::invalid_argument("Table2d: axes must be ascending");
+  }
+}
+
+double& Table2d::at(std::size_t si, std::size_t li) {
+  return values_.at(si * loads_.size() + li);
+}
+
+double Table2d::at(std::size_t si, std::size_t li) const {
+  return values_.at(si * loads_.size() + li);
+}
+
+namespace {
+
+/// Index of the interval containing x (clamped), plus the local fraction.
+std::pair<std::size_t, double> bracket(const std::vector<double>& axis,
+                                       double x) {
+  if (axis.size() == 1) return {0, 0.0};
+  if (x <= axis.front()) return {0, 0.0};
+  if (x >= axis.back()) return {axis.size() - 2, 1.0};
+  std::size_t lo = 0;
+  while (lo + 2 < axis.size() && axis[lo + 1] <= x) ++lo;
+  const double frac = (x - axis[lo]) / (axis[lo + 1] - axis[lo]);
+  return {lo, frac};
+}
+
+}  // namespace
+
+double Table2d::lookup(double slew, double load) const {
+  const auto [si, sf] = bracket(slews_, slew);
+  const auto [li, lf] = bracket(loads_, load);
+  const std::size_t si1 = std::min(si + 1, slews_.size() - 1);
+  const std::size_t li1 = std::min(li + 1, loads_.size() - 1);
+  const double v00 = at(si, li);
+  const double v01 = at(si, li1);
+  const double v10 = at(si1, li);
+  const double v11 = at(si1, li1);
+  return (1 - sf) * ((1 - lf) * v00 + lf * v01) +
+         sf * ((1 - lf) * v10 + lf * v11);
+}
+
+std::pair<double, double> evaluate_cell_point(
+    const CellTemplate& cell, const circuit::Technology& tech,
+    bool input_rising, double slew, double load_cap, double dt,
+    double window) {
+  // Input ramp positioned early in the window.
+  RampParams in{0.25 * window, slew, input_rising};
+
+  teta::StageCircuit stage;
+  const std::size_t out = stage.add_port();
+  const std::size_t in_node = stage.add_input(in.to_source(tech.vdd));
+  const std::size_t vdd = stage.add_rail(tech.vdd);
+  const std::size_t gnd = stage.add_rail(0.0);
+  instantiate_cell(cell, tech, stage, out, in_node, vdd, gnd);
+  stage.freeze_device_capacitances();
+
+  // Lumped-cap characterization load.
+  circuit::Netlist load;
+  const auto port = load.add_node("port");
+  load.add_capacitor(port, circuit::kGround, load_cap);
+  auto pencil = interconnect::build_ported_pencil(load, {port});
+  pencil = mor::with_port_conductance(
+      std::move(pencil), stage.port_chord_conductances(tech.vdd));
+  const auto z = mor::extract_pole_residue(
+      mor::pact_reduce(pencil, mor::PactOptions{1}).model);
+
+  teta::TetaOptions opt;
+  opt.dt = dt;
+  opt.tstop = window;
+  opt.vdd = tech.vdd;
+  const auto res = teta::simulate_stage(stage, z, opt);
+  if (!res.converged) {
+    throw std::runtime_error("evaluate_cell_point: " + res.failure);
+  }
+  const bool out_rising = input_rising != cell.inverting;
+  const RampParams o = measure_ramp(res.waveform(0), tech.vdd, out_rising);
+  return {o.m - in.m, o.s};
+}
+
+CellTiming characterize_cell(const CellTemplate& cell,
+                             const circuit::Technology& tech,
+                             bool input_rising,
+                             const CharacterizeOptions& opt) {
+  CellTiming t;
+  t.cell = cell.name;
+  t.input_rising = input_rising;
+  t.delay = Table2d(opt.slews, opt.loads);
+  t.output_slew = Table2d(opt.slews, opt.loads);
+  for (std::size_t si = 0; si < opt.slews.size(); ++si) {
+    for (std::size_t li = 0; li < opt.loads.size(); ++li) {
+      const auto [d, s] =
+          evaluate_cell_point(cell, tech, input_rising, opt.slews[si],
+                              opt.loads[li], opt.dt, opt.window);
+      t.delay.at(si, li) = d;
+      t.output_slew.at(si, li) = s;
+    }
+  }
+  return t;
+}
+
+}  // namespace lcsf::timing

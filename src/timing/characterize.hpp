@@ -1,0 +1,75 @@
+// Cell library characterization: delay / output-slew lookup tables over
+// (input slew, load capacitance), built by sweeping the TETA engine.
+//
+// This is the "library pre-characterization" usage the paper positions
+// TETA for ("TETA: transistor-level engine for timing analysis"): once a
+// cell's tables exist, gate-level timing queries are two bilinear
+// interpolations -- and the tables themselves are produced by the same
+// linear-centric stage evaluation used everywhere else in this library.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "circuit/technology.hpp"
+#include "timing/cells.hpp"
+#include "timing/waveform.hpp"
+
+namespace lcsf::timing {
+
+/// A (slew x load) grid of values with bilinear lookup.
+class Table2d {
+ public:
+  Table2d() = default;
+  Table2d(std::vector<double> slews, std::vector<double> loads);
+
+  double& at(std::size_t si, std::size_t li);
+  double at(std::size_t si, std::size_t li) const;
+
+  /// Bilinear interpolation; clamps outside the grid (standard NLDM
+  /// behaviour).
+  double lookup(double slew, double load) const;
+
+  const std::vector<double>& slews() const { return slews_; }
+  const std::vector<double>& loads() const { return loads_; }
+
+ private:
+  std::vector<double> slews_;
+  std::vector<double> loads_;
+  std::vector<double> values_;  // slew-major
+};
+
+/// Characterized timing arcs of one cell for one input transition
+/// direction (input 0 switching, side inputs sensitized).
+struct CellTiming {
+  std::string cell;
+  bool input_rising = true;
+  Table2d delay;        ///< 50% in -> 50% out [s]
+  Table2d output_slew;  ///< full-swing-equivalent [s]
+};
+
+struct CharacterizeOptions {
+  std::vector<double> slews{30e-12, 80e-12, 200e-12};
+  std::vector<double> loads{2e-15, 10e-15, 40e-15};
+  double dt = 1e-12;
+  double window = 2.5e-9;
+};
+
+/// Sweep the TETA engine over the grid. The load is a lumped capacitor at
+/// the cell output (the standard characterization load).
+CellTiming characterize_cell(const CellTemplate& cell,
+                             const circuit::Technology& tech,
+                             bool input_rising,
+                             const CharacterizeOptions& opt = {});
+
+/// Single-point evaluation (used by the characterization sweep and the
+/// interpolation-accuracy tests): returns {delay, output slew}.
+std::pair<double, double> evaluate_cell_point(const CellTemplate& cell,
+                                              const circuit::Technology& tech,
+                                              bool input_rising, double slew,
+                                              double load_cap,
+                                              double dt = 1e-12,
+                                              double window = 2.5e-9);
+
+}  // namespace lcsf::timing

@@ -1,0 +1,47 @@
+#include "timing/waveform.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace lcsf::timing {
+
+circuit::SourceWaveform RampParams::to_source(double vdd) const {
+  const double v0 = rising ? 0.0 : vdd;
+  const double v1 = rising ? vdd : 0.0;
+  const double start = m - 0.5 * s;
+  return circuit::SourceWaveform::ramp(v0, v1, start, s);
+}
+
+double crossing_time(const Samples& w, double level, bool rising) {
+  for (std::size_t k = 1; k < w.size(); ++k) {
+    const auto [t0, v0] = w[k - 1];
+    const auto [t1, v1] = w[k];
+    const bool crossed = rising ? (v0 < level && v1 >= level)
+                                : (v0 > level && v1 <= level);
+    if (crossed) {
+      if (v1 == v0) return t1;
+      return t0 + (level - v0) / (v1 - v0) * (t1 - t0);
+    }
+  }
+  return -1.0;
+}
+
+RampParams measure_ramp(const Samples& w, double vdd, bool rising) {
+  RampParams p;
+  p.rising = rising;
+  p.m = crossing_time(w, 0.5 * vdd, rising);
+  const double t20 = crossing_time(w, (rising ? 0.2 : 0.8) * vdd, rising);
+  const double t80 = crossing_time(w, (rising ? 0.8 : 0.2) * vdd, rising);
+  if (p.m < 0.0 || t20 < 0.0 || t80 < 0.0) {
+    throw std::runtime_error(
+        "measure_ramp: waveform does not complete the transition");
+  }
+  p.s = (t80 - t20) / 0.6;
+  return p;
+}
+
+double stage_delay(const RampParams& in, const RampParams& out) {
+  return out.m - in.m;
+}
+
+}  // namespace lcsf::timing

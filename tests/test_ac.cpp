@@ -1,0 +1,155 @@
+// Tests for small-signal AC analysis.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <complex>
+
+#include "circuit/netlist.hpp"
+#include "circuit/technology.hpp"
+#include "interconnect/coupled_lines.hpp"
+#include "mor/pact.hpp"
+#include "mor/variational.hpp"
+#include "spice/ac.hpp"
+#include "spice/transient.hpp"
+
+namespace lcsf::spice {
+namespace {
+
+using circuit::kGround;
+using circuit::Netlist;
+using circuit::SourceWaveform;
+using numeric::Complex;
+
+TEST(AcAnalysis, LogGrid) {
+  const auto f = log_frequencies(1e6, 1e9, 4);
+  ASSERT_EQ(f.size(), 4u);
+  EXPECT_NEAR(f[0], 1e6, 1.0);
+  EXPECT_NEAR(f[1], 1e7, 1e3);
+  EXPECT_NEAR(f[3], 1e9, 1e3);
+  EXPECT_THROW(log_frequencies(0.0, 1e9, 4), std::invalid_argument);
+  EXPECT_THROW(log_frequencies(1e6, 1e5, 4), std::invalid_argument);
+}
+
+TEST(AcAnalysis, RcLowPassMagnitudeAndPhase) {
+  // R = 1k, C = 1p: f3dB = 1/(2 pi RC) ~ 159 MHz.
+  Netlist nl;
+  const auto in = nl.add_node("in");
+  const auto out = nl.add_node("out");
+  nl.add_vsource(in, kGround, SourceWaveform::dc(0.0));
+  nl.add_resistor(in, out, 1000.0);
+  nl.add_capacitor(out, kGround, 1e-12);
+
+  AcOptions opt;
+  opt.frequencies = {1e6, 159.1549e6, 1e10};
+  const auto res = ac_analysis(nl, opt);
+  // Low f: |H| ~ 1. At f3dB: 1/sqrt(2), phase -45 deg. High f: ~ 0.
+  EXPECT_NEAR(std::abs(res.at(0, out)), 1.0, 1e-4);
+  EXPECT_NEAR(std::abs(res.at(1, out)), 1.0 / std::sqrt(2.0), 1e-4);
+  EXPECT_NEAR(std::arg(res.at(1, out)), -M_PI / 4, 1e-4);
+  EXPECT_LT(std::abs(res.at(2, out)), 0.02);
+}
+
+TEST(AcAnalysis, RlcResonance) {
+  // Series RLC: peak current (and inductor-cap midpoint magnification) at
+  // f0 = 1/(2 pi sqrt(LC)).
+  const double r = 5.0, l = 1e-9, c = 1e-12;
+  Netlist nl;
+  const auto in = nl.add_node();
+  const auto a = nl.add_node();
+  const auto out = nl.add_node();
+  nl.add_vsource(in, kGround, SourceWaveform::dc(0.0));
+  nl.add_resistor(in, a, r);
+  nl.add_inductor(a, out, l);
+  nl.add_capacitor(out, kGround, c);
+
+  const double f0 = 1.0 / (2 * M_PI * std::sqrt(l * c));
+  AcOptions opt;
+  opt.frequencies = {f0 / 10, f0, f0 * 10};
+  const auto res = ac_analysis(nl, opt);
+  // Q = (1/R) sqrt(L/C) ~ 6.3: the cap voltage is magnified ~Q at f0.
+  const double q = std::sqrt(l / c) / r;
+  EXPECT_NEAR(std::abs(res.at(1, out)), q, 0.05 * q);
+  EXPECT_NEAR(std::abs(res.at(0, out)), 1.0, 0.03);
+  EXPECT_LT(std::abs(res.at(2, out)), 0.05);
+}
+
+TEST(AcAnalysis, CommonSourceGain) {
+  // NMOS common-source amp with resistor load: Av = -gm (RL || 1/gds).
+  const auto tech = circuit::technology_180nm();
+  Netlist nl;
+  const auto vdd = nl.add_node("vdd");
+  const auto in = nl.add_node("in");
+  const auto out = nl.add_node("out");
+  nl.add_vsource(vdd, kGround, SourceWaveform::dc(tech.vdd));
+  nl.add_vsource(in, kGround, SourceWaveform::dc(0.9));  // bias in sat
+  const double rl = 5000.0;
+  nl.add_resistor(vdd, out, rl);
+  nl.add_mosfet(tech.make_nmos(out, in, kGround, 4.0));
+
+  AcOptions opt;
+  opt.ac_source = 1;  // the gate bias source carries the stimulus
+  opt.frequencies = {1e5};
+  const auto res = ac_analysis(nl, opt);
+
+  // Expected small-signal gain from the device model at the op point.
+  TransientSimulator dc(nl);
+  const auto vop = dc.dc_operating_point();
+  const auto op = circuit::mosfet_eval(
+      nl.mosfets()[0], vop[static_cast<std::size_t>(in)],
+      vop[static_cast<std::size_t>(out)], 0.0);
+  const double av_expect = -op.gm / (op.gds + 1.0 / rl);
+  const Complex av = res.at(0, out);
+  EXPECT_NEAR(av.real(), av_expect, 0.02 * std::abs(av_expect));
+  EXPECT_NEAR(av.imag(), 0.0, 1e-3 * std::abs(av_expect));
+  EXPECT_LT(av_expect, -2.0);  // meaningful gain
+}
+
+TEST(AcAnalysis, MatchesReducedModelTransfer) {
+  // Full RC line vs its PACT macromodel: the simulator-level AC response
+  // at the far end must match the reduced model's transfer function.
+  const auto tech = circuit::technology_180nm();
+  interconnect::CoupledLineSpec spec;
+  spec.num_lines = 1;
+  spec.length = 100e-6;
+  spec.segment_length = 1e-6;
+  spec.geometry = tech.wire;
+  auto bundle = interconnect::build_coupled_lines(spec);
+
+  const double rdrv = 500.0;  // drive the line through a resistor
+  Netlist nl = bundle.netlist;
+  const auto src = nl.add_node("src");
+  nl.add_vsource(src, kGround, SourceWaveform::dc(0.0));
+  nl.add_resistor(src, bundle.near_ends[0], rdrv);
+
+  AcOptions opt;
+  opt.frequencies = log_frequencies(1e7, 2e10, 7);
+  const auto res = ac_analysis(nl, opt);
+
+  // Reduced model with the drive conductance folded in.
+  auto pencil = interconnect::build_ported_pencil(
+      bundle.netlist, {bundle.near_ends[0], bundle.far_ends[0]});
+  pencil = mor::with_port_conductance(std::move(pencil),
+                                      numeric::Vector{1.0 / rdrv, 0.0});
+  const auto rom = mor::pact_reduce(pencil, mor::PactOptions{8}).model;
+
+  for (std::size_t k = 0; k < opt.frequencies.size(); ++k) {
+    const Complex s{0.0, 2 * M_PI * opt.frequencies[k]};
+    // Voltage transfer through the reduced model: v = Z(s) i with the
+    // unit source injecting i = (1 - v_near)/rdrv at port 0 --
+    // equivalently v_far = Z10 / (rdrv) * (1 - v_near), solved directly:
+    const auto z = rom.port_impedance(s);
+    // v_near = Z00 * i, i = (1 - v_near)/r -> careful: the chord fold-in
+    // already placed 1/r inside the model, so i = 1/r (source shorted
+    // through rdrv into the effective load):
+    const Complex v_near = z(0, 0) / rdrv;
+    const Complex v_far = z(1, 0) / rdrv;
+    EXPECT_NEAR(std::abs(v_near - res.at(k, bundle.near_ends[0])), 0.0,
+                5e-3)
+        << opt.frequencies[k];
+    EXPECT_NEAR(std::abs(v_far - res.at(k, bundle.far_ends[0])), 0.0, 5e-3)
+        << opt.frequencies[k];
+  }
+}
+
+}  // namespace
+}  // namespace lcsf::spice

@@ -1,0 +1,105 @@
+// Tests for the AWE (explicit moment matching) baseline, including the
+// classic instability that motivated the projection methods (paper ref
+// [8]).
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <complex>
+
+#include "circuit/technology.hpp"
+#include "interconnect/coupled_lines.hpp"
+#include "interconnect/example1.hpp"
+#include "mor/awe.hpp"
+#include "mor/pact.hpp"
+#include "mor/poleres.hpp"
+#include "mor/variational.hpp"
+
+namespace lcsf::mor {
+namespace {
+
+using interconnect::PortedPencil;
+using numeric::Complex;
+using numeric::Vector;
+
+PortedPencil rc_line_pencil(std::size_t segments) {
+  interconnect::CoupledLineSpec spec;
+  spec.num_lines = 1;
+  spec.length = static_cast<double>(segments) * 1e-6;
+  spec.segment_length = 1e-6;
+  spec.geometry = circuit::technology_180nm().wire;
+  auto b = interconnect::build_coupled_lines(spec);
+  auto pencil = interconnect::build_ported_pencil(
+      b.netlist, {b.near_ends[0], b.far_ends[0]});
+  return with_port_conductance(std::move(pencil), Vector{1e-3, 0.0});
+}
+
+TEST(Awe, MomentsMatchPencilMoments) {
+  const auto pencil = rc_line_pencil(30);
+  const Vector m = impedance_moments(pencil, 0, 0, 4);
+  for (std::size_t k = 0; k < 4; ++k) {
+    const auto mk = pencil_moment(pencil.g, pencil.c, 2, k);
+    EXPECT_NEAR(m[k], mk(0, 0), 1e-9 * std::abs(mk(0, 0)) + 1e-30) << k;
+  }
+}
+
+TEST(Awe, SinglePoleMatchesRcTank) {
+  // Load: G at the port plus one C -> exactly one pole at -G/C.
+  circuit::Netlist nl;
+  const auto port = nl.add_node("p");
+  nl.add_capacitor(port, circuit::kGround, 2e-12);
+  auto pencil = interconnect::build_ported_pencil(nl, {port});
+  pencil = with_port_conductance(std::move(pencil), Vector{1e-3});
+  const auto model = awe_approximation(pencil, 0, 0, 1);
+  ASSERT_EQ(model.num_poles(), 1u);
+  EXPECT_NEAR(model.poles()[0].real(), -1e-3 / 2e-12,
+              1e-3 * std::abs(model.poles()[0].real()));
+  // DC value: Z(0) = 1/G.
+  EXPECT_NEAR(model.eval(0, 0, {0, 0}).real(), 1000.0, 1e-3);
+}
+
+TEST(Awe, LowOrderMatchesDrivingPointResponse) {
+  const auto pencil = rc_line_pencil(40);
+  const auto model = awe_approximation(pencil, 0, 0, 3);
+  for (double f : {1e6, 1e8, 1e9}) {
+    const Complex s{0.0, 2 * M_PI * f};
+    const Complex exact =
+        pencil_port_impedance(pencil.g, pencil.c, 2, s)(0, 0);
+    EXPECT_NEAR(std::abs(model.eval(0, 0, s) - exact), 0.0,
+                0.03 * std::abs(exact))
+        << f;
+  }
+}
+
+// The historical failure mode: pushing the Pade order produces unstable or
+// degenerate approximations on a plain passive RC line, while PACT at the
+// same (and much higher) order stays stable. This is exactly why the
+// projection methods -- and the paper's stability filter -- exist.
+TEST(Awe, HighOrderBreaksWherePactDoesNot) {
+  const auto pencil = rc_line_pencil(60);
+
+  bool awe_broke = false;
+  for (std::size_t q = 2; q <= 12 && !awe_broke; ++q) {
+    try {
+      const auto model = awe_approximation(pencil, 0, 0, q);
+      if (model.count_unstable() > 0) awe_broke = true;
+    } catch (const std::runtime_error&) {
+      awe_broke = true;  // singular Hankel system: the AWE order wall
+    }
+  }
+  EXPECT_TRUE(awe_broke)
+      << "AWE stayed clean through order 12 -- unexpected for a 60-segment "
+         "line";
+
+  // PACT at order 12 on the same pencil: stable.
+  const auto pact = pact_reduce(pencil, PactOptions{12}).model;
+  EXPECT_EQ(extract_pole_residue(pact).count_unstable(), 0u);
+}
+
+TEST(Awe, InputValidation) {
+  const auto pencil = rc_line_pencil(10);
+  EXPECT_THROW(awe_approximation(pencil, 0, 0, 0), std::invalid_argument);
+  EXPECT_THROW(impedance_moments(pencil, 5, 0, 2), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace lcsf::mor

@@ -1,0 +1,92 @@
+// Tests for the cell delay/slew characterization tables.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "circuit/technology.hpp"
+#include "timing/characterize.hpp"
+
+namespace lcsf::timing {
+namespace {
+
+using circuit::technology_180nm;
+
+TEST(Table2d, ConstructionAndExactGridLookup) {
+  Table2d t({1.0, 2.0, 4.0}, {10.0, 20.0});
+  t.at(0, 0) = 5.0;
+  t.at(0, 1) = 7.0;
+  t.at(1, 0) = 9.0;
+  t.at(1, 1) = 11.0;
+  t.at(2, 0) = 13.0;
+  t.at(2, 1) = 15.0;
+  EXPECT_DOUBLE_EQ(t.lookup(1.0, 10.0), 5.0);
+  EXPECT_DOUBLE_EQ(t.lookup(4.0, 20.0), 15.0);
+  // Midpoints interpolate bilinearly.
+  EXPECT_DOUBLE_EQ(t.lookup(1.5, 15.0), 8.0);
+  // Clamped outside the grid.
+  EXPECT_DOUBLE_EQ(t.lookup(0.1, 5.0), 5.0);
+  EXPECT_DOUBLE_EQ(t.lookup(100.0, 100.0), 15.0);
+  EXPECT_THROW(Table2d({}, {1.0}), std::invalid_argument);
+  EXPECT_THROW(Table2d({2.0, 1.0}, {1.0}), std::invalid_argument);
+}
+
+TEST(Characterize, InverterTablesAreMonotone) {
+  const auto tech = technology_180nm();
+  CharacterizeOptions opt;
+  opt.slews = {30e-12, 100e-12, 250e-12};
+  opt.loads = {2e-15, 10e-15, 40e-15};
+  const CellTiming t =
+      characterize_cell(find_cell("INV"), tech, /*input_rising=*/true, opt);
+  EXPECT_EQ(t.cell, "INV");
+
+  // Delay grows with load at fixed slew; output slew grows with load.
+  for (std::size_t si = 0; si < opt.slews.size(); ++si) {
+    for (std::size_t li = 1; li < opt.loads.size(); ++li) {
+      EXPECT_GT(t.delay.at(si, li), t.delay.at(si, li - 1))
+          << "si=" << si << " li=" << li;
+      EXPECT_GT(t.output_slew.at(si, li), t.output_slew.at(si, li - 1));
+    }
+  }
+  // Sanity magnitudes: tens of ps.
+  EXPECT_GT(t.delay.at(0, 0), 1e-12);
+  EXPECT_LT(t.delay.at(2, 2), 500e-12);
+}
+
+TEST(Characterize, InterpolationPredictsOffGridPoints) {
+  const auto tech = technology_180nm();
+  const auto& cell = find_cell("NAND2");
+  CharacterizeOptions opt;
+  opt.slews = {40e-12, 120e-12, 240e-12};
+  opt.loads = {3e-15, 12e-15, 30e-15};
+  const CellTiming t = characterize_cell(cell, tech, true, opt);
+
+  // Off-grid queries within a few percent of direct simulation.
+  for (auto [slew, load] : {std::pair{70e-12, 7e-15},
+                            std::pair{180e-12, 20e-15}}) {
+    const auto [d_sim, s_sim] =
+        evaluate_cell_point(cell, tech, true, slew, load);
+    EXPECT_NEAR(t.delay.lookup(slew, load), d_sim,
+                0.10 * d_sim + 1.5e-12)
+        << slew << " " << load;
+    EXPECT_NEAR(t.output_slew.lookup(slew, load), s_sim,
+                0.15 * s_sim + 2e-12);
+  }
+}
+
+TEST(Characterize, RisingAndFallingArcsDiffer) {
+  // Unbalanced NOR2 (weak series PMOS): rising output is slower than
+  // falling -- the two arcs must be characterized separately.
+  const auto tech = technology_180nm();
+  const auto& cell = find_cell("NOR2");
+  CharacterizeOptions opt;
+  opt.slews = {80e-12};
+  opt.loads = {10e-15};
+  const CellTiming rise_in = characterize_cell(cell, tech, true, opt);
+  const CellTiming fall_in = characterize_cell(cell, tech, false, opt);
+  // Rising input -> output falls (NMOS pulldown); falling input -> output
+  // rises through the series PMOS stack, which is slower.
+  EXPECT_GT(fall_in.delay.at(0, 0), rise_in.delay.at(0, 0));
+}
+
+}  // namespace
+}  // namespace lcsf::timing

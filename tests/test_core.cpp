@@ -1,0 +1,228 @@
+// Integration tests for the framework facade: stage-by-stage path
+// evaluation vs the whole-path SPICE baseline, and the MC/GA statistics.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/path.hpp"
+
+namespace lcsf::core {
+namespace {
+
+using numeric::Vector;
+
+std::size_t cell_index(const std::string& name) {
+  const auto& lib = timing::cell_library();
+  for (std::size_t k = 0; k < lib.size(); ++k) {
+    if (lib[k].name == name) return k;
+  }
+  throw std::logic_error("unknown cell");
+}
+
+PathSpec small_path_spec(std::size_t linear_elements = 10) {
+  PathSpec spec;
+  spec.tech = circuit::technology_180nm();
+  spec.cells = {cell_index("INV"), cell_index("NAND2"), cell_index("NOR2")};
+  spec.linear_elements_per_stage = linear_elements;
+  spec.stage_window = 1.0e-9;
+  spec.dt = 2e-12;
+  return spec;
+}
+
+TEST(PathAnalyzer, RejectsEmptyPath) {
+  PathSpec spec;
+  spec.tech = circuit::technology_180nm();
+  EXPECT_THROW(PathAnalyzer{spec}, std::invalid_argument);
+}
+
+TEST(PathAnalyzer, FrameworkTracksSpiceAtNominal) {
+  PathAnalyzer pa(small_path_spec());
+  PathSample nominal;
+  nominal.device.resize(pa.num_stages());
+  const auto fw = pa.framework_delay(nominal);
+  const auto sp = pa.spice_delay(nominal);
+  EXPECT_GT(fw.delay, 10e-12);
+  // Stage-by-stage abstraction (pin-cap receiver model) vs full coupling:
+  // a few percent is the expected agreement band.
+  EXPECT_NEAR(fw.delay, sp.delay, 0.06 * sp.delay);
+  EXPECT_GT(fw.output_slew, 0.0);
+}
+
+TEST(PathAnalyzer, VariationsShiftBothEnginesTheSameWay) {
+  PathAnalyzer pa(small_path_spec());
+  PathSample nominal;
+  nominal.device.resize(pa.num_stages());
+  PathSample slow = nominal;
+  for (auto& d : slow.device) d.delta_vt = 0.05;
+  PathSample fast = nominal;
+  for (auto& d : fast.device) d.delta_l = 0.15 * 0.18e-6;
+
+  const double fw0 = pa.framework_delay(nominal).delay;
+  const double sp0 = pa.spice_delay(nominal).delay;
+  const double fw_slow = pa.framework_delay(slow).delay;
+  const double sp_slow = pa.spice_delay(slow).delay;
+  const double fw_fast = pa.framework_delay(fast).delay;
+  const double sp_fast = pa.spice_delay(fast).delay;
+
+  EXPECT_GT(fw_slow, fw0);
+  EXPECT_GT(sp_slow, sp0);
+  EXPECT_LT(fw_fast, fw0);
+  EXPECT_LT(sp_fast, sp0);
+  // Delay *shifts* agree closely (common-mode model error cancels).
+  EXPECT_NEAR(fw_slow - fw0, sp_slow - sp0, 0.25 * (sp_slow - sp0));
+}
+
+TEST(PathAnalyzer, WireVariationMatters) {
+  PathAnalyzer pa(small_path_spec(100));
+  PathSample nominal;
+  nominal.device.resize(pa.num_stages());
+  PathSample narrow = nominal;
+  narrow.wire.width = -0.2;  // -20% width -> more R, less C
+  const double d0 = pa.framework_delay(nominal).delay;
+  const double d1 = pa.framework_delay(narrow).delay;
+  EXPECT_NE(d0, d1);
+}
+
+TEST(PathAnalyzer, SampleFromSourcesLayout) {
+  PathAnalyzer pa(small_path_spec());
+  PathVariationModel model;
+  model.std_dl = 0.33;
+  model.std_vt = 0.33;
+  model.std_wire_w = 0.33;
+  const std::size_t nsrc = 2 * pa.num_stages() + 1;
+  EXPECT_EQ(pa.sources(model).size(), nsrc);
+
+  Vector w(nsrc, 0.0);
+  w[0] = 1.0;   // dl of stage 0
+  w[1] = -1.0;  // vt of stage 0
+  w[nsrc - 1] = 0.5;
+  PathSample s = pa.sample_from_sources(model, w);
+  EXPECT_NEAR(s.device[0].delta_l, 0.10 * 0.18e-6, 1e-15);
+  EXPECT_NEAR(s.device[0].delta_vt, -0.10 * 0.45, 1e-12);
+  EXPECT_DOUBLE_EQ(s.device[1].delta_l, 0.0);
+  EXPECT_NEAR(s.wire.width, 0.5 * 0.25, 1e-12);
+  EXPECT_THROW(pa.sample_from_sources(model, Vector(2, 0.0)),
+               std::invalid_argument);
+}
+
+TEST(PathAnalyzer, MonteCarloAndGradientAgree) {
+  PathAnalyzer pa(small_path_spec());
+  PathVariationModel model;
+  model.std_dl = 0.33;
+  model.std_vt = 0.33;
+
+  stats::MonteCarloOptions opt;
+  opt.samples = 60;
+  opt.seed = 17;
+  const auto mc = pa.monte_carlo(model, opt);
+  const auto ga = pa.gradient_analysis(model);
+
+  EXPECT_GT(mc.stats.stddev(), 0.0);
+  EXPECT_GT(ga.stddev, 0.0);
+  // Means agree within a couple sigma-of-the-mean.
+  EXPECT_NEAR(ga.nominal_delay, mc.stats.mean(),
+              3.0 * mc.stats.stddev() / std::sqrt(60.0) +
+                  0.05 * mc.stats.mean());
+  // GA sigma is a first-order estimate: same order of magnitude as MC
+  // (the paper's Table 5 shows GA tracking MC within ~10-40%).
+  EXPECT_GT(ga.stddev, 0.4 * mc.stats.stddev());
+  EXPECT_LT(ga.stddev, 1.8 * mc.stats.stddev());
+  // GA cost: 1 + #stages*(2 slews + 2 per local source) evaluations.
+  EXPECT_LT(ga.simulations, 10 * pa.num_stages());
+}
+
+TEST(PathAnalyzer, CorrelatedMonteCarloUsesFewerFactors) {
+  PathAnalyzer pa(small_path_spec());
+  PathVariationModel model;
+  model.std_dl = 0.33;
+  model.std_vt = 0.33;
+  stats::MonteCarloOptions opt;
+  opt.samples = 30;
+  opt.seed = 9;
+
+  // Strong spatial correlation: PCA needs far fewer factors than raw
+  // sources (the Sec. 4.1.1 dimensionality reduction).
+  const auto corr = pa.monte_carlo_correlated(model, 0.95, opt);
+  EXPECT_EQ(corr.total_sources, 2 * pa.num_stages());
+  EXPECT_LT(corr.factors_used, corr.total_sources);
+  EXPECT_GT(corr.mc.stats.stddev(), 0.0);
+
+  // Perfectly-correlated stages push the delay spread up relative to
+  // independent stages (variances add linearly instead of in quadrature).
+  const auto indep = pa.monte_carlo(model, opt);
+  EXPECT_GT(corr.mc.stats.stddev(), indep.stats.stddev());
+  EXPECT_THROW(pa.monte_carlo_correlated(PathVariationModel{}, 0.5, opt),
+               std::invalid_argument);
+}
+
+TEST(PathAnalyzer, FromBenchmarkBuildsConsistentSpec) {
+  const auto& bspec = timing::find_benchmark("s27");
+  const auto nl = timing::generate_benchmark(bspec);
+  const auto path = timing::longest_path(nl);
+  PathSpec spec = PathSpec::from_benchmark(circuit::technology_180nm(), nl,
+                                           path, 10);
+  EXPECT_EQ(spec.cells.size(), 5u);
+  spec.stage_window = 1.0e-9;
+  PathAnalyzer pa(spec);
+  PathSample nominal;
+  nominal.device.resize(pa.num_stages());
+  const auto fw = pa.framework_delay(nominal);
+  EXPECT_GT(fw.delay, 0.0);
+  EXPECT_GT(pa.total_linear_elements(), 5u * 5u);
+}
+
+TEST(PathAnalyzer, GradientAnalysisWithGlobalWireSources) {
+  // Long wires so the wire geometry actually matters.
+  PathAnalyzer pa(small_path_spec(200));
+  PathVariationModel model;
+  model.std_dl = 0.33;
+  model.std_wire_w = 0.33;
+  model.std_wire_h = 0.33;
+
+  const auto ga = pa.gradient_analysis(model);
+  const std::size_t nsrc = pa.num_stages() + 2;
+  ASSERT_EQ(ga.gradient.size(), nsrc);
+  // The global wire sources (last two entries) must carry nonzero
+  // sensitivity on a wire-dominated path.
+  EXPECT_NE(ga.gradient[nsrc - 2], 0.0);
+  EXPECT_NE(ga.gradient[nsrc - 1], 0.0);
+
+  // And GA sigma must track MC with the same mixed model.
+  stats::MonteCarloOptions opt;
+  opt.samples = 50;
+  opt.seed = 77;
+  const auto mc = pa.monte_carlo(model, opt);
+  EXPECT_GT(ga.stddev, 0.3 * mc.stats.stddev());
+  EXPECT_LT(ga.stddev, 2.0 * mc.stats.stddev());
+  EXPECT_NEAR(ga.nominal_delay, mc.stats.mean(), 0.05 * mc.stats.mean());
+}
+
+TEST(PathAnalyzer, WorstCaseCornerExceedsNominalAndQuantile) {
+  PathAnalyzer pa(small_path_spec());
+  PathVariationModel model;
+  model.std_dl = 0.33;
+  model.std_vt = 0.33;
+  const auto ga = pa.gradient_analysis(model);
+  const auto corner = pa.worst_case_corner(model, 3.0);
+  EXPECT_GT(corner.delay, ga.nominal_delay);
+  // The all-corners point is beyond the 3-sigma Gaussian quantile.
+  EXPECT_GT(corner.delay, ga.nominal_delay + 3.0 * ga.stddev);
+  // Corner vector has an entry per source, each at +/- 3 sigma.
+  for (double w : corner.corner) {
+    EXPECT_NEAR(std::abs(w), 3.0 * 0.33, 1e-12);
+  }
+}
+
+TEST(PathAnalyzer, LinearElementKnob) {
+  PathAnalyzer few(small_path_spec(10));
+  PathAnalyzer many(small_path_spec(500));
+  EXPECT_GT(many.total_linear_elements(), 10 * few.total_linear_elements());
+  // Longer wires -> longer delays.
+  PathSample nominal;
+  nominal.device.resize(3);
+  EXPECT_GT(many.framework_delay(nominal).delay,
+            few.framework_delay(nominal).delay);
+}
+
+}  // namespace
+}  // namespace lcsf::core

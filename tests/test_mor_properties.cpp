@@ -1,0 +1,167 @@
+// Property sweeps on the MOR layer: order convergence, multiport
+// reciprocity, and pole/residue consistency on realistic wire loads.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <complex>
+
+#include "circuit/technology.hpp"
+#include "interconnect/coupled_lines.hpp"
+#include "mor/pact.hpp"
+#include "mor/poleres.hpp"
+#include "mor/prima.hpp"
+#include "mor/variational.hpp"
+
+namespace lcsf::mor {
+namespace {
+
+using interconnect::PortedPencil;
+using numeric::Complex;
+using numeric::Vector;
+
+PortedPencil bus_pencil(std::size_t lines, std::size_t segments) {
+  interconnect::CoupledLineSpec spec;
+  spec.num_lines = lines;
+  spec.length = static_cast<double>(segments) * 1e-6;
+  spec.segment_length = 1e-6;
+  spec.geometry = circuit::technology_180nm().wire;
+  auto b = interconnect::build_coupled_lines(spec);
+  auto pencil = interconnect::build_ported_pencil(b.netlist, b.ports());
+  Vector gout(2 * lines, 0.0);
+  for (std::size_t l = 0; l < lines; ++l) gout[l] = 2e-3;
+  return with_port_conductance(std::move(pencil), gout);
+}
+
+double z_error(const ReducedModel& rom, const PortedPencil& exact,
+               double fmax) {
+  double err = 0.0;
+  for (double f : {fmax / 100, fmax / 10, fmax}) {
+    const Complex s{0.0, 2 * M_PI * f};
+    const auto ze =
+        pencil_port_impedance(exact.g, exact.c, exact.num_ports, s);
+    const auto zr = rom.port_impedance(s);
+    double e = 0.0, scale = 1e-300;
+    for (std::size_t i = 0; i < ze.rows(); ++i) {
+      for (std::size_t j = 0; j < ze.cols(); ++j) {
+        e = std::max(e, std::abs(zr(i, j) - ze(i, j)));
+        scale = std::max(scale, std::abs(ze(i, j)));
+      }
+    }
+    err = std::max(err, e / scale);
+  }
+  return err;
+}
+
+// PACT accuracy improves monotonically (to tolerance) with kept modes.
+TEST(MorConvergence, PactErrorDecreasesWithOrder) {
+  const PortedPencil pencil = bus_pencil(2, 40);
+  double prev = 1e9;
+  for (std::size_t q : {1u, 2u, 4u, 8u, 16u}) {
+    PactOptions opt;
+    opt.internal_modes = q;
+    const auto rom = pact_reduce(pencil, opt).model;
+    const double err = z_error(rom, pencil, 20e9);
+    EXPECT_LT(err, prev * 1.5) << "q = " << q;  // allow small plateaus
+    prev = std::min(prev, err);
+  }
+  EXPECT_LT(prev, 1e-3);
+}
+
+TEST(MorConvergence, PrimaErrorDecreasesWithMoments) {
+  const PortedPencil pencil = bus_pencil(2, 40);
+  double prev = 1e9;
+  for (std::size_t m : {1u, 2u, 3u}) {
+    PrimaOptions opt;
+    opt.block_moments = m;
+    const auto rom = prima_reduce(pencil, opt).model;
+    const double err = z_error(rom, pencil, 20e9);
+    EXPECT_LT(err, prev * 1.5) << "moments = " << m;
+    prev = std::min(prev, err);
+  }
+  EXPECT_LT(prev, 5e-2);
+}
+
+// Reciprocal RC networks have symmetric impedance matrices; reductions
+// must preserve this.
+class MorReciprocity : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(MorReciprocity, ReducedImpedanceIsSymmetric) {
+  const PortedPencil pencil = bus_pencil(GetParam(), 30);
+  const auto rom = pact_reduce(pencil, PactOptions{6}).model;
+  for (double f : {1e8, 1e9, 1e10}) {
+    const auto z = rom.port_impedance(Complex{0.0, 2 * M_PI * f});
+    for (std::size_t i = 0; i < z.rows(); ++i) {
+      for (std::size_t j = i + 1; j < z.cols(); ++j) {
+        EXPECT_NEAR(std::abs(z(i, j) - z(j, i)), 0.0,
+                    1e-9 * std::abs(z(i, j)) + 1e-12)
+            << f;
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Lines, MorReciprocity,
+                         ::testing::Values(1u, 2u, 3u));
+
+// Pole/residue extraction is exact (same rational function) regardless of
+// model order, so stabilize() on an already-stable model is lossless.
+class PoleResidueLossless : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(PoleResidueLossless, RoundTrip) {
+  const PortedPencil pencil = bus_pencil(2, 25);
+  const auto rom = pact_reduce(pencil, PactOptions{GetParam()}).model;
+  const auto pr = extract_pole_residue(rom);
+  StabilizationReport rep;
+  const auto st = stabilize(pr, &rep);
+  EXPECT_EQ(rep.dropped_poles, 0u);
+  for (double f : {1e7, 1e9, 5e10}) {
+    const Complex s{0.0, 2 * M_PI * f};
+    const auto za = rom.port_impedance(s);
+    const auto zb = st.eval(s);
+    for (std::size_t i = 0; i < za.rows(); ++i) {
+      for (std::size_t j = 0; j < za.cols(); ++j) {
+        EXPECT_NEAR(std::abs(zb(i, j) - za(i, j)), 0.0,
+                    1e-7 * std::abs(za(i, j)) + 1e-13);
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Orders, PoleResidueLossless,
+                         ::testing::Values(2u, 4u, 8u));
+
+// The variational library must be exact at w = 0 for any parameter count.
+TEST(MorVariational, MultiParameterNominalExactness) {
+  const circuit::Technology tech = circuit::technology_180nm();
+  mor::PencilFamily family = [&tech](const Vector& w) {
+    interconnect::WireVariation wv;
+    wv.width = w[0] * 0.25;
+    wv.thickness = w[1] * 0.20;
+    wv.spacing = w[2] * 0.25;
+    interconnect::CoupledLineSpec spec;
+    spec.num_lines = 2;
+    spec.length = 30e-6;
+    spec.segment_length = 1e-6;
+    spec.geometry = interconnect::apply_variation(tech.wire, wv);
+    auto b = interconnect::build_coupled_lines(spec);
+    auto pencil = interconnect::build_ported_pencil(b.netlist, b.ports());
+    return with_port_conductance(std::move(pencil),
+                                 Vector{1e-3, 1e-3, 0.0, 0.0});
+  };
+  VariationalOptions vopt;
+  vopt.pact.internal_modes = 4;
+  const auto rom = build_variational_rom(family, 3, vopt);
+  EXPECT_EQ(rom.num_params(), 3u);
+  const auto exact = pact_reduce(family(Vector(3, 0.0)), PactOptions{4});
+  EXPECT_NEAR(
+      numeric::relative_difference(rom.evaluate(Vector(3, 0.0)).g,
+                                   exact.model.g),
+      0.0, 1e-14);
+  // Single-parameter perturbations move the model in the right direction:
+  // wider wire (w0 > 0) increases capacitance.
+  const auto wide = rom.evaluate(Vector{0.3, 0.0, 0.0});
+  EXPECT_GT(wide.c.norm(), rom.nominal().c.norm());
+}
+
+}  // namespace
+}  // namespace lcsf::mor

@@ -1,0 +1,103 @@
+// Tests for the sparse matrix / sparse LU used by the SPICE baseline.
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "numeric/lu.hpp"
+#include "numeric/matrix.hpp"
+#include "numeric/sparse.hpp"
+
+namespace lcsf::numeric {
+namespace {
+
+TEST(SparseMatrix, AccumulatesAndMultiplies) {
+  SparseMatrix a(3);
+  a.add(0, 0, 2.0);
+  a.add(0, 0, 1.0);  // accumulate
+  a.add(0, 2, -1.0);
+  a.add(1, 1, 4.0);
+  a.add(2, 0, -1.0);
+  a.add(2, 2, 3.0);
+  EXPECT_EQ(a.nonzeros(), 5u);
+  Vector y = a.multiply({1.0, 2.0, 3.0});
+  EXPECT_DOUBLE_EQ(y[0], 0.0);   // 3*1 - 1*3
+  EXPECT_DOUBLE_EQ(y[1], 8.0);
+  EXPECT_DOUBLE_EQ(y[2], 8.0);   // -1 + 9
+  EXPECT_THROW(a.add(3, 0, 1.0), std::out_of_range);
+}
+
+TEST(SparseLu, MatchesDenseOnBandedSystem) {
+  // Tridiagonal diagonally-dominant system (RC-line-like).
+  const std::size_t n = 50;
+  SparseMatrix a(n);
+  Matrix d(n, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    a.add(i, i, 4.0);
+    d(i, i) = 4.0;
+    if (i + 1 < n) {
+      a.add(i, i + 1, -1.5);
+      a.add(i + 1, i, -1.0);
+      d(i, i + 1) = -1.5;
+      d(i + 1, i) = -1.0;
+    }
+  }
+  Vector b(n);
+  for (std::size_t i = 0; i < n; ++i) b[i] = std::sin(0.3 * double(i));
+  Vector xs = SparseLu(a).solve(b);
+  Vector xd = solve(d, b);
+  for (std::size_t i = 0; i < n; ++i) EXPECT_NEAR(xs[i], xd[i], 1e-10);
+}
+
+TEST(SparseLu, HandlesFillIn) {
+  // Arrow matrix: dense last row/col forces fill.
+  const std::size_t n = 20;
+  SparseMatrix a(n);
+  for (std::size_t i = 0; i < n; ++i) a.add(i, i, 5.0);
+  for (std::size_t i = 0; i + 1 < n; ++i) {
+    a.add(i, n - 1, 1.0);
+    a.add(n - 1, i, 1.0);
+  }
+  Vector b(n, 1.0);
+  Vector x = SparseLu(a).solve(b);
+  Vector r = a.multiply(x);
+  for (std::size_t i = 0; i < n; ++i) EXPECT_NEAR(r[i], 1.0, 1e-10);
+}
+
+TEST(SparseLu, ReportsZeroPivot) {
+  SparseMatrix a(2);
+  a.add(0, 1, 1.0);
+  a.add(1, 0, 1.0);  // zero diagonal, natural order fails by design
+  EXPECT_THROW(SparseLu{a}, std::runtime_error);
+}
+
+class SparseRandomProperty : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(SparseRandomProperty, RandomDominantSystemsSolve) {
+  std::mt19937 rng(GetParam());
+  std::uniform_real_distribution<double> u(-1.0, 1.0);
+  std::uniform_int_distribution<std::size_t> pick(0, 39);
+  const std::size_t n = 40;
+  SparseMatrix a(n);
+  Matrix d(n, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    a.add(i, i, 10.0);
+    d(i, i) += 10.0;
+    for (int k = 0; k < 4; ++k) {
+      const std::size_t j = pick(rng);
+      const double v = u(rng);
+      a.add(i, j, v);
+      d(i, j) += v;
+    }
+  }
+  Vector b(n);
+  for (std::size_t i = 0; i < n; ++i) b[i] = u(rng);
+  Vector xs = SparseLu(a).solve(b);
+  Vector xd = solve(d, b);
+  for (std::size_t i = 0; i < n; ++i) EXPECT_NEAR(xs[i], xd[i], 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SparseRandomProperty,
+                         ::testing::Values(1u, 2u, 3u, 4u, 5u, 6u));
+
+}  // namespace
+}  // namespace lcsf::numeric

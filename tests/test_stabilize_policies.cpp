@@ -1,0 +1,111 @@
+// Focused tests of the stabilization policies and the variational
+// library's injection-matrix sensitivity.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <complex>
+
+#include "interconnect/example1.hpp"
+#include "mor/poleres.hpp"
+#include "mor/prima.hpp"
+#include "mor/variational.hpp"
+
+namespace lcsf::mor {
+namespace {
+
+using numeric::Complex;
+using numeric::Matrix;
+using numeric::Vector;
+
+PoleResidueModel with_far_unstable_pole(double pole_mag, double residue) {
+  Matrix direct(1, 1);
+  std::vector<Complex> poles{Complex{-1e9, 0.0}, Complex{-4e9, 0.0},
+                             Complex{pole_mag, 0.0}};
+  std::vector<numeric::ComplexMatrix> residues;
+  for (double r : {2e9, 1e9, residue}) {
+    numeric::ComplexMatrix m(1, 1);
+    m(0, 0) = r;
+    residues.push_back(m);
+  }
+  return PoleResidueModel(1, direct, poles, residues);
+}
+
+// For far-out unstable poles with small residues -- the paper's common
+// case -- beta scaling and direct compensation coincide (both converge to
+// "just drop it").
+TEST(StabilizePolicies, CoincideForFarSmallResiduePoles) {
+  const auto model = with_far_unstable_pole(1e14, 1e7);
+  const auto beta = stabilize(model, nullptr, StabilizePolicy::kBetaScaling);
+  const auto direct =
+      stabilize(model, nullptr, StabilizePolicy::kDirectCompensation);
+  for (double f : {1e6, 1e8, 1e9, 1e10}) {
+    const Complex s{0.0, 2 * M_PI * f};
+    const Complex zb = beta.eval(0, 0, s);
+    const Complex zd = direct.eval(0, 0, s);
+    EXPECT_NEAR(std::abs(zb - zd), 0.0, 1e-5 * std::abs(zd)) << f;
+  }
+}
+
+// ... and diverge when the dropped pole carries weight: direct keeps the
+// stable poles untouched, beta rescales them.
+TEST(StabilizePolicies, DivergeForHeavyDroppedPole) {
+  const auto model = with_far_unstable_pole(5e9, 3e9);
+  StabilizationReport rep_b, rep_d;
+  const auto beta = stabilize(model, &rep_b, StabilizePolicy::kBetaScaling);
+  const auto direct =
+      stabilize(model, &rep_d, StabilizePolicy::kDirectCompensation);
+  EXPECT_NE(rep_b.beta(0, 0), 1.0);
+  EXPECT_DOUBLE_EQ(rep_d.beta(0, 0), 1.0);
+  // Both preserve DC exactly.
+  const Complex dc = model.eval(0, 0, Complex{0.0, 0.0});
+  EXPECT_NEAR(beta.eval(0, 0, {0.0, 0.0}).real(), dc.real(),
+              1e-9 * std::abs(dc.real()));
+  EXPECT_NEAR(direct.eval(0, 0, {0.0, 0.0}).real(), dc.real(),
+              1e-9 * std::abs(dc.real()));
+  // But they differ well above DC.
+  const Complex s{0.0, 2 * M_PI * 3e9};
+  EXPECT_GT(std::abs(beta.eval(0, 0, s) - direct.eval(0, 0, s)),
+            0.01 * std::abs(direct.eval(0, 0, s)));
+}
+
+TEST(StabilizePolicies, ComplexUnstablePairDropped) {
+  Matrix direct(1, 1);
+  std::vector<Complex> poles{Complex{-2e9, 0.0}, Complex{1e9, 6e9},
+                             Complex{1e9, -6e9}};
+  std::vector<numeric::ComplexMatrix> residues(3,
+                                               numeric::ComplexMatrix(1, 1));
+  residues[0](0, 0) = 4e9;
+  residues[1](0, 0) = Complex{1e8, 5e7};
+  residues[2](0, 0) = Complex{1e8, -5e7};
+  PoleResidueModel model(1, direct, poles, residues);
+  StabilizationReport rep;
+  const auto st = stabilize(model, &rep);
+  EXPECT_EQ(rep.dropped_poles, 2u);
+  EXPECT_EQ(st.num_poles(), 1u);
+  EXPECT_EQ(st.count_unstable(), 0u);
+  // DC preserved.
+  EXPECT_NEAR(st.eval(0, 0, {0, 0}).real(),
+              model.eval(0, 0, {0, 0}).real(),
+              1e-9 * std::abs(model.eval(0, 0, {0, 0}).real()));
+}
+
+// PRIMA's projected injection matrix Br varies with the parameter; the
+// library must carry its sensitivity.
+TEST(VariationalInjection, PrimaBSensitivityIsNonzero) {
+  auto family = scalar_family([](double p) {
+    auto pencil = interconnect::example1_pencil_family()(p);
+    return with_port_conductance(std::move(pencil), Vector{1e-2});
+  });
+  VariationalOptions vopt;
+  vopt.method = ReductionMethod::kPrima;
+  vopt.library = LibraryMode::kFullReduction;
+  vopt.prima.block_moments = 3;
+  vopt.fd_step = 0.02;
+  const auto rom = build_variational_rom(family, 1, vopt);
+  EXPECT_GT(rom.sensitivity(0).b.norm(), 0.0);
+  const auto shifted = rom.evaluate(Vector{0.05});
+  EXPECT_GT((shifted.b - rom.nominal().b).norm(), 0.0);
+}
+
+}  // namespace
+}  // namespace lcsf::mor

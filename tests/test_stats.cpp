@@ -1,0 +1,228 @@
+// Tests for the statistics layer: RNG, LHS, PCA, MC, GA.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "stats/analysis.hpp"
+#include "stats/descriptive.hpp"
+#include "stats/pca.hpp"
+#include "stats/random.hpp"
+
+namespace lcsf::stats {
+namespace {
+
+using numeric::Matrix;
+using numeric::Vector;
+
+TEST(Rng, Reproducible) {
+  Rng a(42), b(42);
+  for (int k = 0; k < 10; ++k) {
+    EXPECT_DOUBLE_EQ(a.uniform(), b.uniform());
+  }
+  Rng c(43);
+  EXPECT_NE(Rng(42).uniform(), c.uniform());
+}
+
+TEST(Rng, PermutationIsBijective) {
+  Rng rng(7);
+  auto p = rng.permutation(20);
+  std::set<std::size_t> seen(p.begin(), p.end());
+  EXPECT_EQ(seen.size(), 20u);
+  EXPECT_EQ(*seen.rbegin(), 19u);
+}
+
+TEST(InverseNormalCdf, MatchesKnownQuantiles) {
+  EXPECT_NEAR(inverse_normal_cdf(0.5), 0.0, 1e-9);
+  EXPECT_NEAR(inverse_normal_cdf(0.8413447460685429), 1.0, 1e-6);
+  EXPECT_NEAR(inverse_normal_cdf(0.9772498680518208), 2.0, 1e-6);
+  EXPECT_NEAR(inverse_normal_cdf(0.0013498980316301), -3.0, 1e-5);
+  EXPECT_THROW(inverse_normal_cdf(0.0), std::invalid_argument);
+  EXPECT_THROW(inverse_normal_cdf(1.0), std::invalid_argument);
+}
+
+TEST(InverseNormalCdf, RoundTripsCdf) {
+  // Phi(Phi^{-1}(p)) == p via erfc-based CDF.
+  for (double p : {0.001, 0.01, 0.1, 0.3, 0.7, 0.95, 0.999}) {
+    const double x = inverse_normal_cdf(p);
+    const double cdf = 0.5 * std::erfc(-x / std::sqrt(2.0));
+    EXPECT_NEAR(cdf, p, 1e-8) << p;
+  }
+}
+
+TEST(LatinHypercube, StratifiesEveryDimension) {
+  Rng rng(11);
+  const std::size_t n = 50;
+  Matrix u = latin_hypercube(n, 3, rng);
+  for (std::size_t d = 0; d < 3; ++d) {
+    std::vector<bool> stratum(n, false);
+    for (std::size_t s = 0; s < n; ++s) {
+      EXPECT_GE(u(s, d), 0.0);
+      EXPECT_LT(u(s, d), 1.0);
+      stratum[static_cast<std::size_t>(u(s, d) * n)] = true;
+    }
+    // LHS guarantee: exactly one sample per stratum.
+    for (std::size_t k = 0; k < n; ++k) EXPECT_TRUE(stratum[k]) << k;
+  }
+}
+
+TEST(LatinHypercube, VarianceReductionVsPlainSampling) {
+  // The mean of a monotone function is estimated with lower spread by LHS.
+  auto spread_of = [&](bool lhs) {
+    std::vector<double> means;
+    for (unsigned seed = 0; seed < 30; ++seed) {
+      Rng rng(seed);
+      double acc = 0.0;
+      if (lhs) {
+        Matrix u = latin_hypercube(20, 1, rng);
+        for (std::size_t s = 0; s < 20; ++s) acc += u(s, 0) * u(s, 0);
+      } else {
+        for (std::size_t s = 0; s < 20; ++s) {
+          const double x = rng.uniform();
+          acc += x * x;
+        }
+      }
+      means.push_back(acc / 20.0);
+    }
+    return summarize(means).stddev();
+  };
+  EXPECT_LT(spread_of(true), 0.5 * spread_of(false));
+}
+
+TEST(OnlineStats, MatchesClosedForm) {
+  OnlineStats s;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_NEAR(s.stddev(), std::sqrt(32.0 / 7.0), 1e-12);
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+}
+
+TEST(Histogram, BinsAndRender) {
+  Histogram h(0.0, 10.0, 5);
+  for (double x : {0.5, 1.0, 3.0, 3.5, 9.9, -1.0, 11.0}) h.add(x);
+  EXPECT_EQ(h.total(), 7u);
+  EXPECT_EQ(h.bin_count(0), 3u);  // 0.5, 1.0, clamped -1.0
+  EXPECT_EQ(h.bin_count(1), 2u);
+  EXPECT_EQ(h.bin_count(4), 2u);  // 9.9, clamped 11.0
+  EXPECT_NEAR(h.bin_center(0), 1.0, 1e-12);
+  const std::string r = h.render(10);
+  EXPECT_NE(r.find('#'), std::string::npos);
+}
+
+TEST(Pca, RecoversAxisAlignedStructure) {
+  Vector sigmas{3.0, 1.0, 0.1};
+  Matrix cov = equicorrelated_covariance(sigmas, 0.0);
+  Pca pca(cov, Vector{1.0, 2.0, 3.0});
+  EXPECT_NEAR(pca.variances()[0], 9.0, 1e-9);
+  EXPECT_NEAR(pca.variances()[1], 1.0, 1e-9);
+  EXPECT_NEAR(pca.variances()[2], 0.01, 1e-9);
+  // 9/(10.01) = 0.899 -> one factor covers 89%, two cover 99.9%.
+  EXPECT_EQ(pca.factors_for(0.89), 1u);
+  EXPECT_EQ(pca.factors_for(0.999), 2u);
+}
+
+TEST(Pca, RoundTripAndDimensionalityReduction) {
+  Vector sigmas{1.0, 1.0, 1.0, 1.0};
+  Matrix cov = equicorrelated_covariance(sigmas, 0.9);
+  Pca pca(cov, Vector(4, 0.0));
+  // Strong common factor: first eigenvalue 1+3*0.9 = 3.7 of total 4.
+  EXPECT_NEAR(pca.variances()[0], 3.7, 1e-9);
+  EXPECT_EQ(pca.factors_for(0.9), 1u);
+
+  // Round trip through full factor space.
+  Vector x{0.3, -0.2, 0.5, 0.1};
+  Vector z = pca.to_factors(x);
+  Vector back = pca.from_factors(z);
+  for (std::size_t i = 0; i < 4; ++i) EXPECT_NEAR(back[i], x[i], 1e-9);
+}
+
+TEST(Pca, ReverseTransformReproducesCovariance) {
+  Vector sigmas{2.0, 1.0};
+  Matrix cov = equicorrelated_covariance(sigmas, 0.5);
+  Pca pca(cov, Vector(2, 0.0));
+  Rng rng(5);
+  OnlineStats s00, s01, s11;
+  for (int k = 0; k < 20000; ++k) {
+    Vector z{rng.normal(), rng.normal()};
+    Vector x = pca.from_factors(z);
+    s00.add(x[0] * x[0]);
+    s01.add(x[0] * x[1]);
+    s11.add(x[1] * x[1]);
+  }
+  EXPECT_NEAR(s00.mean(), 4.0, 0.15);
+  EXPECT_NEAR(s01.mean(), 1.0, 0.1);
+  EXPECT_NEAR(s11.mean(), 1.0, 0.05);
+}
+
+TEST(MonteCarlo, LinearFunctionStatistics) {
+  // f(w) = 10 + 2 w0 + 3 w1, w ~ N(0,1): mean 10, sigma sqrt(13).
+  std::vector<VariationSource> src(2);
+  auto f = [](const Vector& w) { return 10.0 + 2 * w[0] + 3 * w[1]; };
+  MonteCarloOptions opt;
+  opt.samples = 2000;
+  auto res = monte_carlo(f, src, opt);
+  EXPECT_EQ(res.values.size(), 2000u);
+  EXPECT_NEAR(res.stats.mean(), 10.0, 0.1);
+  EXPECT_NEAR(res.stats.stddev(), std::sqrt(13.0), 0.15);
+}
+
+TEST(MonteCarlo, UniformSourcesAndReproducibility) {
+  std::vector<VariationSource> src(1);
+  src[0].kind = VariationSource::Kind::kUniform;
+  src[0].sigma = 0.5;  // U(-0.5, 0.5)
+  auto f = [](const Vector& w) { return w[0]; };
+  MonteCarloOptions opt;
+  opt.samples = 500;
+  opt.seed = 99;
+  auto r1 = monte_carlo(f, src, opt);
+  auto r2 = monte_carlo(f, src, opt);
+  EXPECT_EQ(r1.values, r2.values);
+  EXPECT_NEAR(r1.stats.mean(), 0.0, 0.02);
+  // Uniform(-a,a) sigma = a/sqrt(3).
+  EXPECT_NEAR(r1.stats.stddev(), 0.5 / std::sqrt(3.0), 0.02);
+  EXPECT_GE(r1.stats.min(), -0.5);
+  EXPECT_LE(r1.stats.max(), 0.5);
+}
+
+TEST(GradientAnalysis, ExactOnLinearFunctions) {
+  std::vector<VariationSource> src(3);
+  src[0].sigma = 1.0;
+  src[1].sigma = 2.0;
+  src[2].sigma = 0.5;
+  auto f = [](const Vector& w) { return 5.0 + w[0] - 4 * w[1] + 2 * w[2]; };
+  auto res = gradient_analysis(f, src);
+  EXPECT_DOUBLE_EQ(res.nominal, 5.0);
+  EXPECT_NEAR(res.gradient[0], 1.0, 1e-9);
+  EXPECT_NEAR(res.gradient[1], -4.0, 1e-9);
+  EXPECT_NEAR(res.gradient[2], 2.0, 1e-9);
+  // Eq. 24: sqrt(1 + 64 + 1) = sqrt(66).
+  EXPECT_NEAR(res.stddev, std::sqrt(66.0), 1e-9);
+  EXPECT_EQ(res.evaluations, 7u);
+}
+
+TEST(GradientAnalysis, AgreesWithMonteCarloOnMildNonlinearity) {
+  std::vector<VariationSource> src(2);
+  src[0].sigma = 0.1;
+  src[1].sigma = 0.1;
+  auto f = [](const Vector& w) {
+    return std::exp(0.5 * w[0]) + 2.0 * w[1] + 0.1 * w[0] * w[1];
+  };
+  auto ga = gradient_analysis(f, src);
+  MonteCarloOptions opt;
+  opt.samples = 4000;
+  auto mc = monte_carlo(f, src, opt);
+  EXPECT_NEAR(ga.stddev, mc.stats.stddev(), 0.01);
+}
+
+TEST(GradientAnalysis, UniformSourceVariance) {
+  std::vector<VariationSource> src(1);
+  src[0].kind = VariationSource::Kind::kUniform;
+  src[0].sigma = 0.3;
+  auto f = [](const Vector& w) { return 7.0 * w[0]; };
+  auto res = gradient_analysis(f, src);
+  EXPECT_NEAR(res.stddev, 7.0 * 0.3 / std::sqrt(3.0), 1e-9);
+}
+
+}  // namespace
+}  // namespace lcsf::stats

@@ -1,0 +1,63 @@
+// Tests for timing-yield estimation and corner-pessimism helpers.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "stats/random.hpp"
+#include "stats/yield.hpp"
+
+namespace lcsf::stats {
+namespace {
+
+TEST(Yield, NormalCdfAnchors) {
+  EXPECT_NEAR(normal_cdf(0.0), 0.5, 1e-12);
+  EXPECT_NEAR(normal_cdf(1.0), 0.8413447460685429, 1e-9);
+  EXPECT_NEAR(normal_cdf(-3.0), 0.0013498980316301, 1e-9);
+}
+
+TEST(Yield, EmpiricalYield) {
+  std::vector<double> delays{1.0, 2.0, 3.0, 4.0};
+  EXPECT_DOUBLE_EQ(empirical_yield(delays, 2.5), 0.5);
+  EXPECT_DOUBLE_EQ(empirical_yield(delays, 0.5), 0.0);
+  EXPECT_DOUBLE_EQ(empirical_yield(delays, 4.0), 1.0);
+  EXPECT_THROW(empirical_yield({}, 1.0), std::invalid_argument);
+}
+
+TEST(Yield, GaussianYieldAndInverse) {
+  const double nominal = 300e-12;
+  const double sigma = 10e-12;
+  EXPECT_NEAR(gaussian_yield(nominal, sigma, nominal), 0.5, 1e-12);
+  EXPECT_NEAR(gaussian_yield(nominal, sigma, nominal + 2 * sigma),
+              0.9772498680518208, 1e-9);
+  // Round trip.
+  for (double y : {0.1, 0.5, 0.9, 0.99}) {
+    const double period = gaussian_period_for_yield(nominal, sigma, y);
+    EXPECT_NEAR(gaussian_yield(nominal, sigma, period), y, 1e-9);
+  }
+  EXPECT_DOUBLE_EQ(gaussian_yield(nominal, 0.0, nominal + 1e-15), 1.0);
+  EXPECT_THROW(gaussian_yield(nominal, -1.0, nominal),
+               std::invalid_argument);
+}
+
+TEST(Yield, PeriodForYieldMatchesGaussianOnLargeSample) {
+  Rng rng(3);
+  std::vector<double> delays;
+  for (int k = 0; k < 50000; ++k) delays.push_back(rng.normal(1.0, 0.1));
+  for (double y : {0.5, 0.9, 0.99}) {
+    const double emp = period_for_yield(delays, y);
+    const double gauss = gaussian_period_for_yield(1.0, 0.1, y);
+    EXPECT_NEAR(emp, gauss, 0.01) << y;
+  }
+  EXPECT_THROW(period_for_yield({}, 0.5), std::invalid_argument);
+  EXPECT_THROW(period_for_yield({1.0}, 1.5), std::invalid_argument);
+}
+
+TEST(Yield, CornerPessimism) {
+  // Corner margin 30 ps vs statistical margin 10 ps -> 3x pessimistic.
+  EXPECT_NEAR(corner_pessimism(330e-12, 310e-12, 300e-12), 3.0, 1e-9);
+  EXPECT_THROW(corner_pessimism(330e-12, 290e-12, 300e-12),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace lcsf::stats

@@ -1,0 +1,137 @@
+// lcsf_sta: statistical path-delay report for a benchmark circuit.
+//
+//   lcsf_sta --circuit s208 [--elements 10] [--samples 100] [--seed 1]
+//            [--std-dl 0.33] [--std-vt 0.33] [--rho r] [--corner]
+//            [--yield-target 0.9987]
+//
+// Generates the circuit, extracts the longest latch-to-latch path with the
+// unit-delay analyzer, pre-characterizes the variational stage loads, and
+// prints Monte-Carlo + Gradient-Analysis statistics, the timing yield
+// curve, and (optionally) the worst-case-corner comparison.
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "core/path.hpp"
+#include "stats/yield.hpp"
+
+using namespace lcsf;
+
+namespace {
+
+[[noreturn]] void usage() {
+  std::fprintf(
+      stderr,
+      "usage: lcsf_sta --circuit <name> [--elements n] [--samples n]\n"
+      "                [--seed n] [--std-dl s] [--std-vt s] [--rho r]\n"
+      "                [--corner] [--yield-target y]\n"
+      "circuits: s27 s208 s832 s444 s1423 s1423d s9234\n");
+  std::exit(2);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string circuit_name;
+  std::size_t elements = 10;
+  std::size_t samples = 100;
+  std::uint64_t seed = 1;
+  double std_dl = 0.33;
+  double std_vt = 0.33;
+  double rho = -1.0;
+  bool corner = false;
+  double yield_target = 0.9987;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> std::string {
+      if (++i >= argc) usage();
+      return argv[i];
+    };
+    if (arg == "--circuit") {
+      circuit_name = next();
+    } else if (arg == "--elements") {
+      elements = std::stoul(next());
+    } else if (arg == "--samples") {
+      samples = std::stoul(next());
+    } else if (arg == "--seed") {
+      seed = std::stoull(next());
+    } else if (arg == "--std-dl") {
+      std_dl = std::stod(next());
+    } else if (arg == "--std-vt") {
+      std_vt = std::stod(next());
+    } else if (arg == "--rho") {
+      rho = std::stod(next());
+    } else if (arg == "--corner") {
+      corner = true;
+    } else if (arg == "--yield-target") {
+      yield_target = std::stod(next());
+    } else {
+      usage();
+    }
+  }
+  if (circuit_name.empty()) usage();
+
+  const auto& bspec = timing::find_benchmark(circuit_name);
+  const auto nl = timing::generate_benchmark(bspec);
+  const auto path = timing::longest_path(nl);
+
+  std::printf("circuit %s: %zu gates, %zu latches; longest path %zu "
+              "stages\n",
+              bspec.name.c_str(), nl.gates.size(), bspec.num_latches,
+              path.length());
+  std::printf("path:");
+  for (std::size_t g : path.gates) {
+    std::printf(" %s",
+                timing::cell_library()[nl.gates[g].cell].name.c_str());
+  }
+  std::printf("\n\n");
+
+  core::PathSpec spec = core::PathSpec::from_benchmark(
+      circuit::technology_180nm(), nl, path, elements);
+  spec.stage_window = 1.0e-9;
+  core::PathAnalyzer analyzer(spec);
+
+  core::PathVariationModel model;
+  model.std_dl = std_dl;
+  model.std_vt = std_vt;
+
+  stats::MonteCarloOptions mco;
+  mco.samples = samples;
+  mco.seed = seed;
+
+  stats::MonteCarloResult mc;
+  if (rho > 0.0) {
+    const auto corr = analyzer.monte_carlo_correlated(model, rho, mco);
+    std::printf("correlated MC (rho = %.2f): %zu sources -> %zu PCA "
+                "factors\n",
+                rho, corr.total_sources, corr.factors_used);
+    mc = corr.mc;
+  } else {
+    mc = analyzer.monte_carlo(model, mco);
+  }
+  const auto ga = analyzer.gradient_analysis(model);
+
+  std::printf("Monte-Carlo (%zu samples): mean %.2f ps, std %.2f ps\n",
+              mc.values.size(), mc.stats.mean() * 1e12,
+              mc.stats.stddev() * 1e12);
+  std::printf("Gradient Analysis (%zu sims): mean %.2f ps, std %.2f ps\n\n",
+              ga.simulations, ga.nominal_delay * 1e12, ga.stddev * 1e12);
+
+  const double t_mc = stats::period_for_yield(mc.values, yield_target);
+  const double t_ga = stats::gaussian_period_for_yield(
+      ga.nominal_delay, ga.stddev, yield_target);
+  std::printf("clock period for %.2f%% yield: %.2f ps (MC), %.2f ps (GA)\n",
+              100 * yield_target, t_mc * 1e12, t_ga * 1e12);
+
+  if (corner) {
+    const auto wc = analyzer.worst_case_corner(model, 3.0);
+    std::printf("worst-case +/-3-sigma corner: %.2f ps (pessimism %.2fx "
+                "vs GA quantile)\n",
+                wc.delay * 1e12,
+                stats::corner_pessimism(wc.delay, t_ga, ga.nominal_delay));
+  }
+  std::printf("\ndelay histogram:\n%s",
+              stats::Histogram::from_data(mc.values, 12).render(40).c_str());
+  return 0;
+}
