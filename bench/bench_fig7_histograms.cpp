@@ -8,6 +8,7 @@
 
 #include "bench_common.hpp"
 #include "core/path.hpp"
+#include "core/thread_pool.hpp"
 
 using namespace lcsf;
 
@@ -15,6 +16,8 @@ int main() {
   bench::print_header("Figure 7: MC vs GA path-delay histograms");
   const bool quick = bench::quick_mode();
   const std::size_t mc_samples = quick ? 20 : 100;
+  std::printf("MC engine threads: %zu (set LCSF_THREADS to override)\n",
+              core::ThreadPool::default_threads());
 
   for (const char* name : {"s27", "s208"}) {
     const auto& bspec = timing::find_benchmark(name);
@@ -32,6 +35,7 @@ int main() {
     stats::MonteCarloOptions mco;
     mco.samples = mc_samples;
     mco.seed = 7000 + bspec.seed;
+    mco.threads = 0;  // auto: parallel across samples, deterministic
     const auto mc = analyzer.monte_carlo(model, mco);
     const auto ga = analyzer.gradient_analysis(model);
 

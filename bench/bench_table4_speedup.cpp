@@ -7,17 +7,25 @@
 // engine is sample-independent), so the SPICE column uses fewer probe
 // samples on the large circuits; speedup = SPICE-per-sample /
 // (framework-per-sample + amortized characterization over 100 samples).
+//
+// The framework probe runs through the parallel Monte-Carlo engine, once
+// serially and once on all cores: the "MT" column reports the extra
+// wall-clock speed-up threading adds on this host on top of the
+// algorithmic speed-up the paper measures.
 #include <cstdio>
 #include <vector>
 
 #include "bench_common.hpp"
 #include "core/path.hpp"
+#include "core/thread_pool.hpp"
 
 using namespace lcsf;
 
 int main() {
   bench::print_header("Table 4: framework speedup vs SPICE (Example 3)");
   const bool quick = bench::quick_mode();
+  const std::size_t threads = core::ThreadPool::default_threads();
+  std::printf("host threads for the MT column: %zu\n", threads);
 
   struct Row {
     const char* circuit;
@@ -36,10 +44,10 @@ int main() {
   std::printf("\npaper rows: s27 8.12/74.2, s208 18.59/78.76, s444 "
               "12.47/84.62,\n            s1423 25.25/120.42, s9234 "
               "20.3/100.6  (10/500 elements)\n\n");
-  std::printf("%-10s %-8s %-10s %-14s %-14s %-10s\n", "circuit", "stages",
-              "elements", "SPICE", "framework", "speedup");
-  std::printf("%-10s %-8s %-10s %-14s %-14s %-10s\n", "", "", "",
-              "[s/sample]", "[s/sample]", "");
+  std::printf("%-10s %-8s %-10s %-14s %-14s %-10s %-6s\n", "circuit",
+              "stages", "elements", "SPICE", "framework", "speedup", "MT");
+  std::printf("%-10s %-8s %-10s %-14s %-14s %-10s %-6s\n", "", "", "",
+              "[s/sample]", "[s/sample]", "", "[x]");
 
   for (const Row& row : rows) {
     const auto& bspec = timing::find_benchmark(row.circuit);
@@ -58,17 +66,25 @@ int main() {
     core::PathSample nominal;
     nominal.device.resize(analyzer.num_stages());
 
-    const std::size_t fw_probe = quick ? 3 : 10;
+    // Framework probe: a small MC through the parallel engine, serial
+    // first (the per-sample cost the paper's Table 4 compares), then on
+    // all threads for the wall-clock MT ratio.
+    core::PathVariationModel probe_model;
+    probe_model.std_vt = 0.01;
+    stats::MonteCarloOptions probe_mco;
+    probe_mco.samples = quick ? 3 : 10;
+    probe_mco.seed = 4;
+    probe_mco.threads = 1;
     bench::Stopwatch fw_sw;
-    for (std::size_t s = 0; s < fw_probe; ++s) {
-      core::PathSample sample = nominal;
-      sample.device[s % sample.device.size()].delta_vt =
-          0.01 * (double(s % 3) - 1.0);
-      (void)analyzer.framework_delay(sample);
-    }
+    (void)analyzer.monte_carlo(probe_model, probe_mco);
+    const double fw_serial = fw_sw.seconds();
+    probe_mco.threads = threads;
+    bench::Stopwatch fw_mt_sw;
+    (void)analyzer.monte_carlo(probe_model, probe_mco);
+    const double fw_mt = fw_mt_sw.seconds();
     // Amortize characterization over the 100-sample MC the paper runs.
     const double fw_per =
-        fw_sw.seconds() / double(fw_probe) + char_s / 100.0;
+        fw_serial / double(probe_mco.samples) + char_s / 100.0;
 
     const std::size_t sp_probe =
         (path.length() > 20 || row.elements > 100) ? 1 : (quick ? 1 : 3);
@@ -86,9 +102,9 @@ int main() {
       continue;
     }
 
-    std::printf("%-10s %-8zu %-10zu %-14.4f %-14.4f %-10.2f\n", row.circuit,
-                analyzer.num_stages(), row.elements, sp_per, fw_per,
-                sp_per / fw_per);
+    std::printf("%-10s %-8zu %-10zu %-14.4f %-14.4f %-10.2f %-6.2f\n",
+                row.circuit, analyzer.num_stages(), row.elements, sp_per,
+                fw_per, sp_per / fw_per, fw_serial / fw_mt);
     std::fflush(stdout);
   }
   std::printf(

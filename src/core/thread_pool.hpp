@@ -1,0 +1,77 @@
+// Shared parallel-execution substrate for the statistical drivers.
+//
+// The paper's framework makes per-sample evaluation cheap enough that a
+// Monte-Carlo run is embarrassingly parallel across samples; this header
+// provides the chunked work distribution every driver shares. Determinism
+// is the caller's job (see stats/random.hpp: per-sample counter-based
+// streams make results independent of the thread count); this layer only
+// guarantees that every index in [0, n) is executed exactly once and that
+// the first exception thrown by a body is rethrown on the calling thread.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <memory>
+#include <thread>
+#include <vector>
+
+namespace lcsf::core {
+
+/// A persistent pool of worker threads with a dynamically-chunked
+/// parallel_for. Work is claimed from a shared atomic cursor in grains, so
+/// load imbalance between samples (e.g. SPICE retries on hard samples)
+/// does not serialize the run -- the cheap equivalent of work stealing for
+/// index ranges.
+///
+/// Thread-safety: parallel_for may be called from one thread at a time.
+/// Calling parallel_for from *inside* a pool task runs the nested loop
+/// inline on the calling worker (no deadlock, no oversubscription).
+class ThreadPool {
+ public:
+  /// `num_threads == 0` resolves via default_threads(). A pool of size 1
+  /// spawns no workers and runs everything inline.
+  explicit ThreadPool(std::size_t num_threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Number of threads that execute work (workers + the calling thread).
+  std::size_t size() const { return workers_.size() + 1; }
+
+  /// Runs body(begin, end) over disjoint chunks covering [0, n).
+  /// `grain == 0` picks a chunk size that gives each thread several chunks
+  /// for load balancing. The calling thread participates. The first
+  /// exception thrown by any chunk is rethrown here after all in-flight
+  /// chunks finish; remaining unclaimed chunks are abandoned.
+  void parallel_for(std::size_t n,
+                    const std::function<void(std::size_t, std::size_t)>& body,
+                    std::size_t grain = 0);
+
+  /// Thread-count resolution used by every `threads = 0` knob:
+  /// set_default_threads() override, else the LCSF_THREADS environment
+  /// variable, else std::thread::hardware_concurrency().
+  static std::size_t default_threads();
+  /// Process-wide override for default_threads(); 0 restores the
+  /// environment/hardware resolution. Used by the CLI `--threads` flags.
+  static void set_default_threads(std::size_t n);
+
+ private:
+  struct Batch;
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  // Guarded by mu_ in thread_pool.cpp via an impl block; kept as opaque
+  // members to avoid leaking <mutex> into every includer.
+  struct State;
+  std::unique_ptr<State> state_;
+};
+
+/// One-shot convenience: run body over [0, n) on `threads` threads
+/// (0 = default_threads(), <= 1 = inline serial). Constructs a transient
+/// pool; prefer a long-lived ThreadPool when calling in a loop.
+void parallel_for(std::size_t threads, std::size_t n,
+                  const std::function<void(std::size_t, std::size_t)>& body,
+                  std::size_t grain = 0);
+
+}  // namespace lcsf::core

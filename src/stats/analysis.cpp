@@ -3,40 +3,76 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "core/thread_pool.hpp"
+
 namespace lcsf::stats {
 
 using numeric::Vector;
 
+namespace {
+
+// Stream tags separating the independent uses of one (seed, counter) pair.
+constexpr std::uint64_t kLhsPermTag = 0x1a71;
+
+}  // namespace
+
 MonteCarloResult monte_carlo(const PerformanceFn& f,
                              const std::vector<VariationSource>& sources,
                              const MonteCarloOptions& opt) {
-  if (sources.empty() || opt.samples == 0) {
-    throw std::invalid_argument("monte_carlo: empty design");
+  if (sources.empty()) {
+    throw std::invalid_argument(
+        "monte_carlo: `sources` must contain at least one VariationSource");
   }
-  Rng rng(opt.seed);
+  if (opt.samples == 0) {
+    throw std::invalid_argument(
+        "monte_carlo: MonteCarloOptions::samples must be >= 1");
+  }
   const std::size_t nw = sources.size();
+  const std::size_t n = opt.samples;
+
+  // Latin-Hypercube stratum assignment: one deterministic permutation per
+  // dimension, derived from (seed, dimension) -- generation is O(n * nw)
+  // and serial, negligible next to the f(w) evaluations. With n == 1 every
+  // permutation is the identity and the single stratum spans (0, 1).
+  std::vector<std::vector<std::size_t>> strata;
+  if (opt.latin_hypercube) {
+    strata.reserve(nw);
+    for (std::size_t d = 0; d < nw; ++d) {
+      SplitMix64 perm_stream = sample_stream(opt.seed, d, kLhsPermTag);
+      strata.push_back(stream_permutation(n, perm_stream));
+    }
+  }
 
   MonteCarloResult res;
-  res.values.reserve(opt.samples);
-  res.samples.reserve(opt.samples);
+  res.values.resize(n);
+  res.samples.resize(n);
 
-  numeric::Matrix u(0, 0);
-  if (opt.latin_hypercube) u = latin_hypercube(opt.samples, nw, rng);
-
-  for (std::size_t s = 0; s < opt.samples; ++s) {
-    Vector w(nw);
-    for (std::size_t d = 0; d < nw; ++d) {
-      const double uu = opt.latin_hypercube ? u(s, d) : rng.uniform();
-      const VariationSource& src = sources[d];
-      w[d] = (src.kind == VariationSource::Kind::kUniform)
-                 ? to_uniform(uu, src.mean - src.sigma, src.mean + src.sigma)
-                 : to_normal(uu, src.mean, src.sigma);
+  // Each sample draws every variate from its own counter-based stream, so
+  // the partition of [0, n) across threads cannot change any value.
+  core::parallel_for(opt.threads, n, [&](std::size_t begin, std::size_t end) {
+    for (std::size_t s = begin; s < end; ++s) {
+      SplitMix64 stream = sample_stream(opt.seed, s);
+      Vector w(nw);
+      for (std::size_t d = 0; d < nw; ++d) {
+        const double jitter = stream.uniform_open();
+        const double uu =
+            opt.latin_hypercube
+                ? (static_cast<double>(strata[d][s]) + jitter) /
+                      static_cast<double>(n)
+                : jitter;
+        const VariationSource& src = sources[d];
+        w[d] = (src.kind == VariationSource::Kind::kUniform)
+                   ? to_uniform(uu, src.mean - src.sigma,
+                                src.mean + src.sigma)
+                   : to_normal(uu, src.mean, src.sigma);
+      }
+      res.values[s] = f(w);
+      res.samples[s] = std::move(w);
     }
-    const double v = f(w);
-    res.stats.add(v);
-    res.values.push_back(v);
-    res.samples.push_back(std::move(w));
-  }
+  });
+
+  // Accumulate in sample order: identical to a serial run by construction.
+  for (double v : res.values) res.stats.add(v);
   return res;
 }
 
@@ -58,16 +94,25 @@ GradientAnalysisResult gradient_analysis(
   res.nominal = f(w0);
   res.evaluations = 1;
 
+  // The 2 * nw central-difference probes are independent; run them on the
+  // pool and fold the Eq. 24 sum serially in source order afterwards.
+  core::parallel_for(opt.threads, nw,
+                     [&](std::size_t begin, std::size_t end) {
+    for (std::size_t d = begin; d < end; ++d) {
+      const double h = opt.step_fraction * sources[d].sigma;
+      if (h <= 0.0) continue;
+      Vector wp = w0, wm = w0;
+      wp[d] += h;
+      wm[d] -= h;
+      res.gradient[d] = (f(wp) - f(wm)) / (2.0 * h);
+    }
+  });
+
   double var = 0.0;
   for (std::size_t d = 0; d < nw; ++d) {
-    const double h = opt.step_fraction * sources[d].sigma;
-    if (h <= 0.0) continue;
-    Vector wp = w0, wm = w0;
-    wp[d] += h;
-    wm[d] -= h;
-    const double g = (f(wp) - f(wm)) / (2.0 * h);
+    if (opt.step_fraction * sources[d].sigma <= 0.0) continue;
     res.evaluations += 2;
-    res.gradient[d] = g;
+    const double g = res.gradient[d];
     // Uniform(+-sigma) has variance sigma^2/3; normal has sigma^2.
     const double s2 =
         sources[d].kind == VariationSource::Kind::kUniform

@@ -2,7 +2,10 @@
 //
 // Both operate on an abstract performance function f(w) over independent
 // variation sources w (use Pca::from_factors upstream if the physical
-// parameters are correlated).
+// parameters are correlated). Both evaluate f in parallel on the shared
+// core::ThreadPool substrate; results are bitwise identical for every
+// thread count because each sample draws from its own counter-based
+// stream (see stats/random.hpp and docs/monte_carlo.md).
 #pragma once
 
 #include <functional>
@@ -14,6 +17,9 @@
 
 namespace lcsf::stats {
 
+/// Performance function under analysis: maps one realization of the
+/// normalized variation sources w to a scalar metric (a delay, a skew...).
+/// Must be safe to call concurrently from multiple threads.
 using PerformanceFn = std::function<double(const numeric::Vector&)>;
 
 /// Description of one independent variation source.
@@ -24,18 +30,35 @@ struct VariationSource {
 };
 
 struct MonteCarloOptions {
-  std::size_t samples = 100;
+  std::size_t samples = 100;  ///< sample count; must be >= 1
+  /// Base seed. Sample s draws from stream (seed, s) regardless of how
+  /// samples are partitioned across threads, so two runs with equal
+  /// (samples, seed, latin_hypercube) agree bitwise whatever `threads` is.
   std::uint64_t seed = 1;
   bool latin_hypercube = true;  ///< stratified (paper Example 2) vs plain
+  /// Worker threads for the f(w) evaluations. 0 = auto-detect via
+  /// core::ThreadPool::default_threads() (LCSF_THREADS env, then hardware
+  /// concurrency); 1 = serial.
+  std::size_t threads = 0;
 };
 
 struct MonteCarloResult {
-  OnlineStats stats;
+  OnlineStats stats;                       ///< accumulated in sample order
   std::vector<double> values;              ///< per-sample performance
   std::vector<numeric::Vector> samples;    ///< per-sample w
 };
 
 /// Exhaustive sampling of f over the variation sources.
+///
+/// Determinism contract: values[s] and samples[s] depend only on
+/// (opt.seed, s, opt.samples if Latin-Hypercube, sources) -- never on
+/// opt.threads or the machine's core count. `samples == 1` with
+/// latin_hypercube is well-defined: the single stratum is the whole unit
+/// interval, so it degenerates to one plain draw.
+///
+/// Throws std::invalid_argument naming the offending option if `sources`
+/// is empty or `opt.samples == 0`; exceptions thrown by f propagate to the
+/// caller (first one wins, remaining samples are abandoned).
 MonteCarloResult monte_carlo(const PerformanceFn& f,
                              const std::vector<VariationSource>& sources,
                              const MonteCarloOptions& opt);
@@ -45,6 +68,11 @@ struct GradientAnalysisOptions {
   /// sigma. The paper evaluates "five simulations per variation source";
   /// central differences use two plus the shared nominal run.
   double step_fraction = 0.1;
+  /// Worker threads for the 2 x #sources probe evaluations (same semantics
+  /// as MonteCarloOptions::threads). The result is thread-count invariant:
+  /// each source's probes are independent and the Eq. 24 sum is
+  /// accumulated in source order.
+  std::size_t threads = 0;
 };
 
 struct GradientAnalysisResult {

@@ -18,6 +18,12 @@ class OnlineStats {
   double min() const { return min_; }
   double max() const { return max_; }
 
+  /// Absorb another accumulator (Chan et al. pairwise update). Merging a
+  /// fixed chunk decomposition in a fixed order is deterministic, which is
+  /// how per-thread partials can be combined reproducibly; note the
+  /// floating-point result differs from adding the same values serially.
+  void merge(const OnlineStats& other);
+
  private:
   std::size_t n_ = 0;
   double mean_ = 0.0;

@@ -7,6 +7,27 @@
 
 namespace lcsf::stats {
 
+std::uint64_t SplitMix64::below(std::uint64_t bound) {
+  if (bound <= 1) return 0;
+  // Reject the top partial cycle so every value is equally likely.
+  const std::uint64_t limit = UINT64_MAX - UINT64_MAX % bound;
+  std::uint64_t x;
+  do {
+    x = next();
+  } while (x >= limit);
+  return x % bound;
+}
+
+std::vector<std::size_t> stream_permutation(std::size_t n,
+                                            SplitMix64& stream) {
+  std::vector<std::size_t> p(n);
+  std::iota(p.begin(), p.end(), std::size_t{0});
+  for (std::size_t k = n; k > 1; --k) {
+    std::swap(p[k - 1], p[stream.below(k)]);
+  }
+  return p;
+}
+
 std::vector<std::size_t> Rng::permutation(std::size_t n) {
   std::vector<std::size_t> p(n);
   std::iota(p.begin(), p.end(), std::size_t{0});

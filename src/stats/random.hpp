@@ -1,5 +1,14 @@
 // Reproducible random sampling utilities: every statistical experiment in
 // the benches is seeded, so tables regenerate bit-identically.
+//
+// Two generator families live here:
+//  * Rng -- a stateful mt19937_64 wrapper for inherently serial uses
+//    (ad-hoc experiments, the legacy latin_hypercube() entry point).
+//  * SplitMix64 + sample_stream() -- counter-based streams for the
+//    parallel Monte-Carlo engine: every sample index owns an independent
+//    stream derived from (seed, index), so a run partitioned across any
+//    number of threads draws bitwise-identical variates. This is the
+//    determinism contract documented in docs/monte_carlo.md.
 #pragma once
 
 #include <cstdint>
@@ -9,6 +18,65 @@
 #include "numeric/matrix.hpp"
 
 namespace lcsf::stats {
+
+/// SplitMix64 finalizer: a cheap, high-quality 64-bit mixing function
+/// (Steele et al., "Fast splittable pseudorandom number generators").
+/// Used both as the stream generator and to hash (seed, counter) pairs
+/// into stream states.
+constexpr std::uint64_t mix64(std::uint64_t z) {
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+/// Minimal counter-based generator. Unlike mt19937_64 it is trivially
+/// seedable per sample (one multiply-add + finalizer per draw) and its
+/// output is fully defined by this header -- no library-dependent
+/// std::distribution behaviour -- so parallel Monte-Carlo results are
+/// reproducible across platforms as well as thread counts.
+class SplitMix64 {
+ public:
+  explicit SplitMix64(std::uint64_t state) : state_(state) {}
+
+  std::uint64_t next() {
+    std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    return mix64(z);
+  }
+
+  /// Uniform double strictly inside (0, 1): the 53-bit mantissa is offset
+  /// by half an ulp, so 0.0 and 1.0 are unreachable and the result can be
+  /// fed to inverse_normal_cdf() without a domain check.
+  double uniform_open() {
+    return (static_cast<double>(next() >> 11) + 0.5) * 0x1.0p-53;
+  }
+
+  double uniform(double lo, double hi) {
+    return lo + (hi - lo) * uniform_open();
+  }
+
+  /// Unbiased integer in [0, bound) by rejection (no modulo bias).
+  std::uint64_t below(std::uint64_t bound);
+
+ private:
+  std::uint64_t state_;
+};
+
+/// The per-sample stream of the parallel Monte-Carlo engine: a SplitMix64
+/// whose state hashes (seed, index, tag) together. `tag` separates
+/// independent uses of the same (seed, index) pair -- e.g. the
+/// Latin-Hypercube permutation streams use one tag per dimension while the
+/// jitters come from the plain per-sample stream.
+inline SplitMix64 sample_stream(std::uint64_t seed, std::uint64_t index,
+                                std::uint64_t tag = 0) {
+  return SplitMix64(mix64(seed + 0x9e3779b97f4a7c15ULL * (index + 1)) ^
+                    mix64(tag + 0x94d049bb133111ebULL));
+}
+
+/// Deterministic Fisher-Yates permutation of 0..n-1 driven by a
+/// counter-based stream (the thread-count-independent analogue of
+/// Rng::permutation).
+std::vector<std::size_t> stream_permutation(std::size_t n,
+                                            SplitMix64& stream);
 
 class Rng {
  public:

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "core/thread_pool.hpp"
 #include "stats/random.hpp"
 
 namespace lcsf::stats {
@@ -18,6 +19,34 @@ double empirical_yield(const std::vector<double>& delays,
     if (d <= clock_period) ++pass;
   }
   return static_cast<double>(pass) / static_cast<double>(delays.size());
+}
+
+std::vector<double> empirical_yield_curve(const std::vector<double>& delays,
+                                          const std::vector<double>& periods,
+                                          std::size_t threads) {
+  if (delays.empty()) {
+    throw std::invalid_argument("empirical_yield_curve: empty sample");
+  }
+  std::vector<double> out(periods.size());
+  core::parallel_for(threads, periods.size(),
+                     [&](std::size_t begin, std::size_t end) {
+                       for (std::size_t k = begin; k < end; ++k) {
+                         out[k] = empirical_yield(delays, periods[k]);
+                       }
+                     });
+  return out;
+}
+
+McYieldEstimate monte_carlo_yield(const PerformanceFn& f,
+                                  const std::vector<VariationSource>& sources,
+                                  double clock_period,
+                                  const MonteCarloOptions& opt) {
+  McYieldEstimate est;
+  est.mc = monte_carlo(f, sources, opt);
+  est.yield = empirical_yield(est.mc.values, clock_period);
+  est.std_error = std::sqrt(est.yield * (1.0 - est.yield) /
+                            static_cast<double>(est.mc.values.size()));
+  return est;
 }
 
 double gaussian_yield(double nominal, double sigma, double clock_period) {

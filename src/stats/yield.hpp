@@ -8,6 +8,8 @@
 #include <cstddef>
 #include <vector>
 
+#include "stats/analysis.hpp"
+
 namespace lcsf::stats {
 
 /// Standard normal CDF.
@@ -17,6 +19,28 @@ double normal_cdf(double x);
 /// (fraction of samples meeting the period).
 double empirical_yield(const std::vector<double>& delays,
                        double clock_period);
+
+/// empirical_yield over a grid of clock periods, evaluated on the shared
+/// thread pool (`threads` has MonteCarloOptions::threads semantics). The
+/// returned vector is ordered like `periods` regardless of thread count.
+std::vector<double> empirical_yield_curve(const std::vector<double>& delays,
+                                          const std::vector<double>& periods,
+                                          std::size_t threads = 0);
+
+struct McYieldEstimate {
+  MonteCarloResult mc;       ///< the underlying sample (reusable)
+  double yield = 0.0;        ///< fraction of samples meeting the period
+  double std_error = 0.0;    ///< binomial std error sqrt(y(1-y)/n)
+};
+
+/// End-to-end Monte-Carlo yield estimator: samples f over the variation
+/// sources with the parallel monte_carlo() engine and counts the fraction
+/// meeting `clock_period`. Inherits monte_carlo()'s determinism contract:
+/// the estimate is bitwise identical for every opt.threads value.
+McYieldEstimate monte_carlo_yield(const PerformanceFn& f,
+                                  const std::vector<VariationSource>& sources,
+                                  double clock_period,
+                                  const MonteCarloOptions& opt);
 
 /// P(delay <= clock_period) under the Gaussian model implied by Gradient
 /// Analysis (Eq. 24): N(nominal, sigma).

@@ -3,6 +3,9 @@
 
 #include <cmath>
 #include <set>
+#include <stdexcept>
+#include <string>
+#include <vector>
 
 #include "stats/analysis.hpp"
 #include "stats/descriptive.hpp"
@@ -183,6 +186,173 @@ TEST(MonteCarlo, UniformSourcesAndReproducibility) {
   EXPECT_NEAR(r1.stats.stddev(), 0.5 / std::sqrt(3.0), 0.02);
   EXPECT_GE(r1.stats.min(), -0.5);
   EXPECT_LE(r1.stats.max(), 0.5);
+}
+
+TEST(SplitMix64, StreamsAreReproducibleAndDistinct) {
+  SplitMix64 a = sample_stream(42, 7);
+  SplitMix64 b = sample_stream(42, 7);
+  for (int k = 0; k < 16; ++k) EXPECT_EQ(a.next(), b.next());
+  SplitMix64 c = sample_stream(42, 8);
+  SplitMix64 d = sample_stream(43, 7);
+  SplitMix64 e = sample_stream(42, 7, 1);  // distinct tag
+  SplitMix64 base = sample_stream(42, 7);
+  EXPECT_NE(base.next(), c.next());
+  EXPECT_NE(sample_stream(42, 7).next(), d.next());
+  EXPECT_NE(sample_stream(42, 7).next(), e.next());
+}
+
+TEST(SplitMix64, UniformOpenStaysInsideUnitInterval) {
+  SplitMix64 s(123);
+  for (int k = 0; k < 100000; ++k) {
+    const double u = s.uniform_open();
+    ASSERT_GT(u, 0.0);
+    ASSERT_LT(u, 1.0);
+  }
+  // Values near the interval edges must still survive the normal inverse.
+  EXPECT_NO_THROW(inverse_normal_cdf(0.5 * 0x1.0p-53));
+}
+
+TEST(SplitMix64, StreamPermutationIsBijective) {
+  SplitMix64 s = sample_stream(9, 0);
+  auto p = stream_permutation(50, s);
+  std::set<std::size_t> seen(p.begin(), p.end());
+  EXPECT_EQ(seen.size(), 50u);
+  EXPECT_EQ(*seen.rbegin(), 49u);
+  SplitMix64 s2 = sample_stream(9, 0);
+  EXPECT_EQ(p, stream_permutation(50, s2));
+}
+
+TEST(MonteCarlo, BitwiseIdenticalAcrossThreadCounts) {
+  std::vector<VariationSource> src(3);
+  src[1].kind = VariationSource::Kind::kUniform;
+  src[1].sigma = 0.4;
+  auto f = [](const Vector& w) { return w[0] + 2.0 * w[1] - w[2]; };
+
+  for (bool lhs : {false, true}) {
+    MonteCarloOptions opt;
+    opt.samples = 333;  // not a multiple of any thread count
+    opt.seed = 5;
+    opt.latin_hypercube = lhs;
+
+    opt.threads = 1;
+    const auto serial = monte_carlo(f, src, opt);
+    for (std::size_t threads : {std::size_t{2}, std::size_t{8}}) {
+      opt.threads = threads;
+      const auto par = monte_carlo(f, src, opt);
+      // Element-wise bitwise equality: values AND the sampled w vectors.
+      EXPECT_EQ(serial.values, par.values) << "lhs=" << lhs;
+      ASSERT_EQ(serial.samples.size(), par.samples.size());
+      for (std::size_t s = 0; s < serial.samples.size(); ++s) {
+        EXPECT_EQ(serial.samples[s], par.samples[s]) << "lhs=" << lhs;
+      }
+      // Stats accumulate in sample order, so they match bitwise too.
+      EXPECT_EQ(serial.stats.mean(), par.stats.mean());
+      EXPECT_EQ(serial.stats.stddev(), par.stats.stddev());
+    }
+  }
+}
+
+TEST(MonteCarlo, LatinHypercubeStillStratifiesInParallel) {
+  // The identity map exposes the underlying variates: with n samples and
+  // U(0,1)-shaped uniform sources, LHS puts exactly one sample per
+  // stratum in every dimension, whatever the thread count.
+  std::vector<VariationSource> src(2);
+  for (auto& s : src) {
+    s.kind = VariationSource::Kind::kUniform;
+    s.mean = 0.5;
+    s.sigma = 0.5;  // maps the (0,1) variate to itself
+  }
+  MonteCarloOptions opt;
+  opt.samples = 40;
+  opt.seed = 17;
+  opt.threads = 8;
+  auto id0 = [](const Vector& w) { return w[0]; };
+  const auto res = monte_carlo(id0, src, opt);
+  for (std::size_t d = 0; d < 2; ++d) {
+    std::vector<bool> stratum(opt.samples, false);
+    for (const auto& w : res.samples) {
+      ASSERT_GT(w[d], 0.0);
+      ASSERT_LT(w[d], 1.0);
+      stratum[static_cast<std::size_t>(w[d] * double(opt.samples))] = true;
+    }
+    for (std::size_t k = 0; k < opt.samples; ++k) EXPECT_TRUE(stratum[k]);
+  }
+}
+
+TEST(MonteCarlo, SingleSampleLatinHypercubeIsWellDefined) {
+  // samples == 1 with stratification: the lone stratum is the whole unit
+  // interval, so this must behave like one plain draw, not throw.
+  std::vector<VariationSource> src(2);
+  MonteCarloOptions opt;
+  opt.samples = 1;
+  opt.latin_hypercube = true;
+  auto f = [](const Vector& w) { return w[0] + w[1]; };
+  const auto res = monte_carlo(f, src, opt);
+  EXPECT_EQ(res.values.size(), 1u);
+  EXPECT_TRUE(std::isfinite(res.values[0]));
+
+  // ...and it equals the plain draw from the same per-sample stream.
+  opt.latin_hypercube = false;
+  const auto plain = monte_carlo(f, src, opt);
+  EXPECT_EQ(res.values, plain.values);
+}
+
+TEST(MonteCarlo, ErrorsNameTheOffendingOption) {
+  auto f = [](const Vector&) { return 0.0; };
+  MonteCarloOptions opt;
+  try {
+    monte_carlo(f, {}, opt);
+    FAIL() << "expected invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("sources"), std::string::npos)
+        << e.what();
+  }
+  std::vector<VariationSource> src(1);
+  opt.samples = 0;
+  try {
+    monte_carlo(f, src, opt);
+    FAIL() << "expected invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("samples"), std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(MonteCarlo, WorkerExceptionPropagates) {
+  std::vector<VariationSource> src(1);
+  MonteCarloOptions opt;
+  opt.samples = 64;
+  opt.threads = 4;
+  auto f = [](const Vector& w) {
+    if (w[0] > -10.0) throw std::runtime_error("engine diverged");
+    return 0.0;
+  };
+  EXPECT_THROW(monte_carlo(f, src, opt), std::runtime_error);
+}
+
+TEST(GradientAnalysis, ThreadCountInvariant) {
+  std::vector<VariationSource> src(6);
+  for (std::size_t d = 0; d < src.size(); ++d) {
+    src[d].sigma = 0.1 + 0.05 * static_cast<double>(d);
+  }
+  auto f = [](const Vector& w) {
+    double acc = 1.0;
+    for (std::size_t d = 0; d < w.size(); ++d) {
+      acc += std::sin(w[d]) * static_cast<double>(d + 1);
+    }
+    return acc;
+  };
+  GradientAnalysisOptions opt;
+  opt.threads = 1;
+  const auto serial = gradient_analysis(f, src, opt);
+  opt.threads = 8;
+  const auto par = gradient_analysis(f, src, opt);
+  EXPECT_EQ(serial.nominal, par.nominal);
+  EXPECT_EQ(serial.stddev, par.stddev);
+  EXPECT_EQ(serial.evaluations, par.evaluations);
+  for (std::size_t d = 0; d < src.size(); ++d) {
+    EXPECT_EQ(serial.gradient[d], par.gradient[d]);
+  }
 }
 
 TEST(GradientAnalysis, ExactOnLinearFunctions) {

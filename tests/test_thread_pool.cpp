@@ -1,0 +1,184 @@
+// Tests for the parallel-execution substrate: coverage of the index
+// range, exception propagation, nested calls, and the thread-count
+// resolution knobs.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cmath>
+#include <mutex>
+#include <stdexcept>
+#include <utility>
+#include <vector>
+
+#include "core/thread_pool.hpp"
+#include "stats/descriptive.hpp"
+
+namespace lcsf::core {
+namespace {
+
+TEST(ThreadPool, CoversEveryIndexExactlyOnce) {
+  for (std::size_t threads : {std::size_t{1}, std::size_t{2},
+                              std::size_t{4}, std::size_t{7}}) {
+    ThreadPool pool(threads);
+    EXPECT_EQ(pool.size(), threads);
+    const std::size_t n = 1000;
+    std::vector<std::atomic<int>> hits(n);
+    pool.parallel_for(n, [&](std::size_t begin, std::size_t end) {
+      for (std::size_t k = begin; k < end; ++k) hits[k].fetch_add(1);
+    });
+    for (std::size_t k = 0; k < n; ++k) {
+      EXPECT_EQ(hits[k].load(), 1) << "index " << k << " with " << threads
+                                   << " threads";
+    }
+  }
+}
+
+TEST(ThreadPool, ChunkGrainRespected) {
+  ThreadPool pool(4);
+  std::mutex mu;
+  std::vector<std::pair<std::size_t, std::size_t>> chunks;
+  pool.parallel_for(
+      100,
+      [&](std::size_t begin, std::size_t end) {
+        std::lock_guard<std::mutex> lock(mu);
+        chunks.emplace_back(begin, end);
+      },
+      /*grain=*/7);
+  std::size_t covered = 0;
+  for (const auto& [b, e] : chunks) {
+    EXPECT_LE(e - b, 7u);
+    covered += e - b;
+  }
+  EXPECT_EQ(covered, 100u);
+}
+
+TEST(ThreadPool, EmptyAndSingletonRanges) {
+  ThreadPool pool(3);
+  bool called = false;
+  pool.parallel_for(0, [&](std::size_t, std::size_t) { called = true; });
+  EXPECT_FALSE(called);
+  std::size_t count = 0;
+  pool.parallel_for(1, [&](std::size_t begin, std::size_t end) {
+    count += end - begin;
+  });
+  EXPECT_EQ(count, 1u);
+}
+
+TEST(ThreadPool, PropagatesFirstException) {
+  ThreadPool pool(4);
+  EXPECT_THROW(
+      pool.parallel_for(256,
+                        [&](std::size_t begin, std::size_t) {
+                          if (begin >= 128) {
+                            throw std::runtime_error("sample failed");
+                          }
+                        }),
+      std::runtime_error);
+
+  // The pool survives a failed batch and runs the next one fully.
+  std::atomic<std::size_t> done{0};
+  pool.parallel_for(64, [&](std::size_t begin, std::size_t end) {
+    done.fetch_add(end - begin);
+  });
+  EXPECT_EQ(done.load(), 64u);
+}
+
+TEST(ThreadPool, ExceptionAbandonsRemainingChunks) {
+  ThreadPool pool(2);
+  std::atomic<std::size_t> executed{0};
+  try {
+    pool.parallel_for(
+        10000,
+        [&](std::size_t begin, std::size_t end) {
+          executed.fetch_add(end - begin);
+          if (begin == 0) throw std::logic_error("early");
+        },
+        /*grain=*/1);
+    FAIL() << "expected throw";
+  } catch (const std::logic_error&) {
+  }
+  // Unclaimed work after the failure is skipped (not all 10000 ran).
+  EXPECT_LT(executed.load(), 10000u);
+}
+
+TEST(ThreadPool, NestedParallelForRunsInline) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(64 * 8);
+  pool.parallel_for(64, [&](std::size_t begin, std::size_t end) {
+    for (std::size_t outer = begin; outer < end; ++outer) {
+      // Nested call on the same pool: must complete inline, no deadlock.
+      pool.parallel_for(8, [&](std::size_t b2, std::size_t e2) {
+        for (std::size_t inner = b2; inner < e2; ++inner) {
+          hits[outer * 8 + inner].fetch_add(1);
+        }
+      });
+    }
+  });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, FreeFunctionSerialAndParallelAgree) {
+  // Sum of f(k) accumulated per index slot: independent of threading.
+  const std::size_t n = 512;
+  auto run = [&](std::size_t threads) {
+    std::vector<double> out(n);
+    parallel_for(threads, n, [&](std::size_t begin, std::size_t end) {
+      for (std::size_t k = begin; k < end; ++k) {
+        out[k] = static_cast<double>(k * k % 97);
+      }
+    });
+    return out;
+  };
+  const auto serial = run(1);
+  EXPECT_EQ(serial, run(2));
+  EXPECT_EQ(serial, run(8));
+}
+
+TEST(ThreadPool, DefaultThreadsOverride) {
+  const std::size_t original = ThreadPool::default_threads();
+  EXPECT_GE(original, 1u);
+  ThreadPool::set_default_threads(3);
+  EXPECT_EQ(ThreadPool::default_threads(), 3u);
+  ThreadPool::set_default_threads(0);  // restore env/hardware resolution
+  EXPECT_EQ(ThreadPool::default_threads(), original);
+}
+
+TEST(OnlineStatsMerge, MatchesChunkedDecomposition) {
+  std::vector<double> data(1000);
+  for (std::size_t k = 0; k < data.size(); ++k) {
+    data[k] = std::sin(static_cast<double>(k)) * 3.0 + 1.0;
+  }
+  stats::OnlineStats whole;
+  for (double x : data) whole.add(x);
+
+  stats::OnlineStats merged;
+  for (std::size_t begin = 0; begin < data.size(); begin += 137) {
+    stats::OnlineStats chunk;
+    const std::size_t end = std::min(data.size(), begin + 137);
+    for (std::size_t k = begin; k < end; ++k) chunk.add(data[k]);
+    merged.merge(chunk);
+  }
+  EXPECT_EQ(merged.count(), whole.count());
+  EXPECT_NEAR(merged.mean(), whole.mean(), 1e-12);
+  EXPECT_NEAR(merged.stddev(), whole.stddev(), 1e-12);
+  EXPECT_DOUBLE_EQ(merged.min(), whole.min());
+  EXPECT_DOUBLE_EQ(merged.max(), whole.max());
+}
+
+TEST(OnlineStatsMerge, EmptySidesAreIdentity) {
+  stats::OnlineStats a, b;
+  a.merge(b);
+  EXPECT_EQ(a.count(), 0u);
+  b.add(2.0);
+  b.add(4.0);
+  a.merge(b);
+  EXPECT_EQ(a.count(), 2u);
+  EXPECT_DOUBLE_EQ(a.mean(), 3.0);
+  stats::OnlineStats c;
+  b.merge(c);  // merging empty into non-empty is a no-op
+  EXPECT_EQ(b.count(), 2u);
+}
+
+}  // namespace
+}  // namespace lcsf::core

@@ -52,6 +52,40 @@ TEST(Yield, PeriodForYieldMatchesGaussianOnLargeSample) {
   EXPECT_THROW(period_for_yield({1.0}, 1.5), std::invalid_argument);
 }
 
+TEST(Yield, EmpiricalYieldCurveMatchesPointwise) {
+  std::vector<double> delays{1.0, 2.0, 3.0, 4.0};
+  std::vector<double> periods{0.5, 2.5, 4.0};
+  for (std::size_t threads : {std::size_t{1}, std::size_t{4}}) {
+    const auto curve = empirical_yield_curve(delays, periods, threads);
+    ASSERT_EQ(curve.size(), periods.size());
+    for (std::size_t k = 0; k < periods.size(); ++k) {
+      EXPECT_DOUBLE_EQ(curve[k], empirical_yield(delays, periods[k]));
+    }
+  }
+  EXPECT_THROW(empirical_yield_curve({}, periods), std::invalid_argument);
+}
+
+TEST(Yield, MonteCarloYieldEstimatorIsThreadCountInvariant) {
+  // f(w) = w0 with w0 ~ N(0,1): P(f <= 1) = Phi(1) ~= 0.841.
+  std::vector<VariationSource> src(1);
+  auto f = [](const numeric::Vector& w) { return w[0]; };
+  MonteCarloOptions opt;
+  opt.samples = 2000;
+  opt.seed = 31;
+
+  opt.threads = 1;
+  const auto serial = monte_carlo_yield(f, src, 1.0, opt);
+  EXPECT_NEAR(serial.yield, 0.8413, 0.03);
+  EXPECT_NEAR(serial.std_error,
+              std::sqrt(serial.yield * (1.0 - serial.yield) / 2000.0),
+              1e-12);
+
+  opt.threads = 8;
+  const auto par = monte_carlo_yield(f, src, 1.0, opt);
+  EXPECT_EQ(serial.yield, par.yield);
+  EXPECT_EQ(serial.mc.values, par.mc.values);
+}
+
 TEST(Yield, CornerPessimism) {
   // Corner margin 30 ps vs statistical margin 10 ps -> 3x pessimistic.
   EXPECT_NEAR(corner_pessimism(330e-12, 310e-12, 300e-12), 3.0, 1e-9);

@@ -1,0 +1,67 @@
+#!/usr/bin/env bash
+# Documentation lint, runnable standalone or as the `doc_lint` ctest:
+#   1. every relative markdown link in README.md and docs/*.md resolves;
+#   2. the required docs/ guides exist and are linked from README.md;
+#   3. if doxygen is installed, the Doxyfile builds warning-free.
+# Exits non-zero on the first failure class, printing every offender.
+set -u
+cd "$(dirname "$0")/.."
+
+fail=0
+
+required_docs="docs/architecture.md docs/monte_carlo.md docs/stabilization.md"
+for doc in $required_docs; do
+  if [ ! -f "$doc" ]; then
+    echo "doc-lint: missing required guide: $doc"
+    fail=1
+  fi
+  if ! grep -q "$doc" README.md; then
+    echo "doc-lint: README.md does not link $doc"
+    fail=1
+  fi
+done
+
+# Relative markdown links: [text](target). Skips http(s), mailto and
+# pure-anchor links; strips #fragments before the existence check.
+check_links() {
+  file="$1"
+  dir=$(dirname "$file")
+  grep -o '](\([^)]*\))' "$file" | sed 's/^](//; s/)$//' |
+    while IFS= read -r target; do
+      case "$target" in
+        http://*|https://*|mailto:*|\#*) continue ;;
+      esac
+      path="${target%%#*}"
+      [ -z "$path" ] && continue
+      if [ ! -e "$dir/$path" ] && [ ! -e "$path" ]; then
+        echo "doc-lint: $file -> broken link: $target"
+      fi
+    done
+}
+
+broken=$( { check_links README.md
+            for f in docs/*.md; do check_links "$f"; done; } )
+if [ -n "$broken" ]; then
+  echo "$broken"
+  fail=1
+fi
+
+if command -v doxygen > /dev/null 2>&1; then
+  out=$(doxygen Doxyfile 2>&1)
+  status=$?
+  warnings=$(printf '%s\n' "$out" | grep -i 'warning' || true)
+  if [ $status -ne 0 ] || [ -n "$warnings" ]; then
+    echo "doc-lint: doxygen failed or warned:"
+    printf '%s\n' "$out" | tail -30
+    fail=1
+  else
+    echo "doc-lint: doxygen build clean"
+  fi
+else
+  echo "doc-lint: doxygen not installed, skipping API-reference build"
+fi
+
+if [ $fail -eq 0 ]; then
+  echo "doc-lint: OK"
+fi
+exit $fail

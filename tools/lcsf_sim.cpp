@@ -1,10 +1,15 @@
 // lcsf_sim: transient simulation of a SPICE-format deck.
 //
 //   lcsf_sim <deck.sp> --tstop 2n [--dt 1p] [--probe node]...
-//            [--tech 180nm|600nm] [--points 40]
+//            [--tech 180nm|600nm] [--points 40] [--threads n]
 //
 // Runs the conventional Newton/trapezoidal engine on the parsed netlist
 // and prints the probed node waveforms as a TSV table.
+//
+// --threads (or LCSF_THREADS) sets the process-wide default worker count
+// for any parallel library section reached from this tool; the transient
+// engine itself is serial today, so the flag exists for CLI uniformity
+// with lcsf_sta and for library features that pick up the default.
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -12,6 +17,7 @@
 #include <vector>
 
 #include "circuit/parser.hpp"
+#include "core/thread_pool.hpp"
 #include "spice/transient.hpp"
 
 using namespace lcsf;
@@ -21,7 +27,8 @@ namespace {
 [[noreturn]] void usage() {
   std::fprintf(stderr,
                "usage: lcsf_sim <deck.sp> --tstop <t> [--dt <t>] "
-               "[--probe <node>]... [--tech 180nm|600nm] [--points n]\n");
+               "[--probe <node>]... [--tech 180nm|600nm] [--points n] "
+               "[--threads n]\n");
   std::exit(2);
 }
 
@@ -52,6 +59,9 @@ int main(int argc, char** argv) {
       tech_name = next();
     } else if (arg == "--points") {
       points = static_cast<std::size_t>(std::stoul(next()));
+    } else if (arg == "--threads") {
+      core::ThreadPool::set_default_threads(
+          static_cast<std::size_t>(std::stoul(next())));
     } else if (arg.rfind("--", 0) == 0) {
       usage();
     } else {

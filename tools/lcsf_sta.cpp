@@ -2,7 +2,11 @@
 //
 //   lcsf_sta --circuit s208 [--elements 10] [--samples 100] [--seed 1]
 //            [--std-dl 0.33] [--std-vt 0.33] [--rho r] [--corner]
-//            [--yield-target 0.9987]
+//            [--yield-target 0.9987] [--threads n]
+//
+// --threads (or the LCSF_THREADS environment variable) sets the worker
+// count for the Monte-Carlo sweep; results are bitwise identical for any
+// value (see docs/monte_carlo.md). 0 = auto-detect.
 //
 // Generates the circuit, extracts the longest latch-to-latch path with the
 // unit-delay analyzer, pre-characterizes the variational stage loads, and
@@ -24,7 +28,7 @@ namespace {
       stderr,
       "usage: lcsf_sta --circuit <name> [--elements n] [--samples n]\n"
       "                [--seed n] [--std-dl s] [--std-vt s] [--rho r]\n"
-      "                [--corner] [--yield-target y]\n"
+      "                [--corner] [--yield-target y] [--threads n]\n"
       "circuits: s27 s208 s832 s444 s1423 s1423d s9234\n");
   std::exit(2);
 }
@@ -41,6 +45,7 @@ int main(int argc, char** argv) {
   double rho = -1.0;
   bool corner = false;
   double yield_target = 0.9987;
+  std::size_t threads = 0;  // 0 = auto (LCSF_THREADS env / hardware)
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -66,6 +71,8 @@ int main(int argc, char** argv) {
       corner = true;
     } else if (arg == "--yield-target") {
       yield_target = std::stod(next());
+    } else if (arg == "--threads") {
+      threads = std::stoul(next());
     } else {
       usage();
     }
@@ -99,6 +106,7 @@ int main(int argc, char** argv) {
   stats::MonteCarloOptions mco;
   mco.samples = samples;
   mco.seed = seed;
+  mco.threads = threads;
 
   stats::MonteCarloResult mc;
   if (rho > 0.0) {
