@@ -124,7 +124,7 @@ int main() {
     topt.vdd = vdd;
     const auto tres = teta::simulate_stage(stage, z, topt);
     if (!tres.converged) {
-      std::printf("TETA failed: %s\n", tres.failure.c_str());
+      std::printf("TETA failed: %s\n", tres.failure().c_str());
       return 1;
     }
     const double fw =
@@ -151,7 +151,7 @@ int main() {
     sopt.dt = kDt;
     const auto sres = sim.run(sopt);
     if (!sres.converged) {
-      std::printf("SPICE failed: %s\n", sres.failure.c_str());
+      std::printf("SPICE failed: %s\n", sres.failure().c_str());
       return 1;
     }
     const double sp = noise_peak(sres.waveform(b.far_ends[1]), vdd);

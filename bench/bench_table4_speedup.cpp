@@ -75,9 +75,18 @@ int main() {
     probe_mco.samples = quick ? 3 : 10;
     probe_mco.seed = 4;
     probe_mco.threads = 1;
+    // Fail-soft: a divergent sample is recorded and excluded instead of
+    // aborting the whole timing row.
+    probe_mco.on_failure = stats::FailurePolicy::kSkip;
     bench::Stopwatch fw_sw;
-    (void)analyzer.monte_carlo(probe_model, probe_mco);
+    const auto probe_mc = analyzer.monte_carlo(probe_model, probe_mco);
     const double fw_serial = fw_sw.seconds();
+    if (probe_mc.failures.any()) {
+      std::printf("%-10s framework sample failures: %zu of %zu\n%s",
+                  row.circuit, probe_mc.failures.failed(),
+                  probe_mc.failures.attempted,
+                  probe_mc.failures.table().c_str());
+    }
     probe_mco.threads = threads;
     bench::Stopwatch fw_mt_sw;
     (void)analyzer.monte_carlo(probe_model, probe_mco);
@@ -95,6 +104,12 @@ int main() {
         (void)analyzer.spice_delay(nominal);
       }
       sp_per = sp_sw.seconds() / double(sp_probe);
+    } catch (const sim::SimulationError& e) {
+      std::printf("%-10s %-8zu %-10zu SPICE failed [%s]: %s\n",
+                  row.circuit, analyzer.num_stages(), row.elements,
+                  sim::failure_kind_name(e.kind()), e.what());
+      std::fflush(stdout);
+      continue;
     } catch (const std::exception& e) {
       std::printf("%-10s %-8zu %-10zu SPICE failed: %s\n", row.circuit,
                   analyzer.num_stages(), row.elements, e.what());

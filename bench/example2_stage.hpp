@@ -137,7 +137,7 @@ class Example2Stage {
     opt.vdd = tech_.vdd;
     const auto res = teta::simulate_stage(stage, z, opt);
     if (!res.converged) {
-      throw std::runtime_error("Example2Stage TETA: " + res.failure);
+      throw std::runtime_error("Example2Stage TETA: " + res.failure());
     }
     return timing::measure_ramp(res.waveform(kLines), tech_.vdd, true).m;
   }
@@ -163,7 +163,7 @@ class Example2Stage {
     opt.tstop = sim_window();
     const auto res = sim.run(opt);
     if (!res.converged) {
-      throw std::runtime_error("Example2Stage SPICE: " + res.failure);
+      throw std::runtime_error("Example2Stage SPICE: " + res.failure());
     }
     return timing::measure_ramp(res.waveform(b.far_ends[0]), tech_.vdd,
                                 true)

@@ -78,7 +78,7 @@ double branch_arrival(const circuit::Technology& tech,
   opt.dt = 2e-12;
   opt.vdd = tech.vdd;
   const auto res = teta::simulate_stage(stage, z, opt);
-  if (!res.converged) throw std::runtime_error(res.failure);
+  if (!res.converged) throw std::runtime_error(res.failure());
   return timing::measure_ramp(res.waveform(1), tech.vdd, false).m;
 }
 

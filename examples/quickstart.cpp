@@ -76,7 +76,7 @@ int main() {
   topt.vdd = tech.vdd;
   const teta::TetaResult res = teta::simulate_stage(stage, z, topt);
   if (!res.converged) {
-    std::printf("simulation failed: %s\n", res.failure.c_str());
+    std::printf("simulation failed: %s\n", res.failure().c_str());
     return 1;
   }
 

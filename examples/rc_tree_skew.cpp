@@ -70,7 +70,7 @@ int main() {
   opt.vdd = tech.vdd;
   const auto res = teta::simulate_stage(stage, z, opt);
   if (!res.converged) {
-    std::printf("TETA failed: %s\n", res.failure.c_str());
+    std::printf("TETA failed: %s\n", res.failure().c_str());
     return 1;
   }
   const auto near = timing::measure_ramp(res.waveform(1), tech.vdd, true);

@@ -107,8 +107,8 @@ int main() {
                 p_demo, res.converged ? "converged (unexpected!)\n"
                                       : "DIVERGED -- ");
     if (!res.converged) {
-      std::printf("%s at t = %.0f ps\n", res.failure.c_str(),
-                  res.failure_time * 1e12);
+      std::printf("%s at t = %.0f ps\n", res.failure().c_str(),
+                  res.diag.failure_time * 1e12);
     }
   }
 
@@ -126,7 +126,7 @@ int main() {
   auto stage = make_driver_stage(tech);
   const auto teta_res = teta::simulate_stage(stage, z, topt);
   if (!teta_res.converged) {
-    std::printf("TETA failed: %s\n", teta_res.failure.c_str());
+    std::printf("TETA failed: %s\n", teta_res.failure().c_str());
     return 1;
   }
   const auto teta_ramp =

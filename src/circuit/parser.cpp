@@ -10,7 +10,8 @@ namespace lcsf::circuit {
 ParseError::ParseError(std::size_t line, const std::string& what)
     : std::runtime_error("netlist line " + std::to_string(line) + ": " +
                          what),
-      line_(line) {}
+      line_(line),
+      detail_(what) {}
 
 namespace {
 
@@ -100,7 +101,9 @@ SourceWaveform parse_source(const std::vector<std::string>& tok,
     try {
       return parse_value(tok[i]);
     } catch (const ParseError& e) {
-      throw ParseError(lineno, e.what());
+      // Re-wrap the bare detail so the message carries the real deck line
+      // exactly once (never "line 7: netlist line 0: ...").
+      throw ParseError(lineno, e.detail());
     }
   };
   if (kind == "dc") return SourceWaveform::dc(val(start + 1));
@@ -143,15 +146,15 @@ Netlist parse_netlist(std::istream& in, const Technology& tech) {
   // Join continuation lines first.
   while (std::getline(in, raw)) {
     ++lineno;
-    // Strip comments.
-    if (!raw.empty() && raw[0] == '*') continue;
     const auto semi = raw.find(';');
     if (semi != std::string::npos) raw.erase(semi);
-    // Trim.
+    // Trim, THEN strip comments -- indented "  * note" lines are comments
+    // too, not unknown cards.
     const auto first = raw.find_first_not_of(" \t\r");
     if (first == std::string::npos) continue;
     const auto last = raw.find_last_not_of(" \t\r");
     std::string body = raw.substr(first, last - first + 1);
+    if (body[0] == '*') continue;
     if (body[0] == '+') {
       if (cards.empty()) throw ParseError(lineno, "continuation first");
       cards.back().second += " " + body.substr(1);
@@ -175,7 +178,7 @@ Netlist parse_netlist(std::istream& in, const Technology& tech) {
       try {
         return parse_value(tok[i]);
       } catch (const ParseError& e) {
-        throw ParseError(ln, e.what());
+        throw ParseError(ln, e.detail());
       }
     };
     switch (head[0]) {

@@ -30,14 +30,18 @@
 namespace lcsf::circuit {
 
 /// Thrown with a message containing the line number and the offending
-/// text.
+/// text. `detail()` carries the bare message without the "netlist line
+/// N:" prefix so re-throw sites can attach the real deck line exactly
+/// once (line 0 means "no line context", e.g. a bare parse_value call).
 class ParseError : public std::runtime_error {
  public:
   ParseError(std::size_t line, const std::string& what);
   std::size_t line() const { return line_; }
+  const std::string& detail() const { return detail_; }
 
  private:
   std::size_t line_;
+  std::string detail_;
 };
 
 /// Parse a full deck. Throws ParseError on malformed input.

@@ -186,9 +186,10 @@ Samples PathAnalyzer::simulate_stage(
   opt.dt = spec_.dt;
   opt.tstop = spec_.stage_window * window_scale;
   opt.vdd = spec_.tech.vdd;
+  opt.recovery = spec_.recovery;
   teta::TetaResult res = teta::simulate_stage(stage, z, opt);
   if (!res.converged) {
-    throw std::runtime_error("PathAnalyzer: TETA failed: " + res.failure);
+    throw sim::SimulationError(res.diag);
   }
   return res.waveform(1);  // far port
 }
@@ -200,7 +201,7 @@ RampParams PathAnalyzer::measure_with_retry(
     Samples* out_samples) const {
   // The stage window is a heuristic; if the output transition does not
   // complete inside it, re-simulate with a doubled window (bounded).
-  std::string last_error;
+  sim::SimDiagnostics last;
   for (double scale : {1.0, 2.0, 4.0}) {
     try {
       Samples out = simulate_stage(k, input, dev, wire, scale);
@@ -208,12 +209,18 @@ RampParams PathAnalyzer::measure_with_retry(
       p.m += shift;
       if (out_samples != nullptr) *out_samples = shifted(out, shift);
       return p;
+    } catch (const sim::SimulationError& e) {
+      last = e.diagnostics();
     } catch (const std::runtime_error& e) {
-      last_error = e.what();
+      // measure_ramp: the transition never completed in the window.
+      last = {};
+      last.kind = sim::FailureKind::kOther;
+      last.detail = e.what();
     }
   }
-  throw std::runtime_error("PathAnalyzer: stage " + std::to_string(k) +
-                           " did not complete: " + last_error);
+  last.detail = "stage " + std::to_string(k) +
+                " did not complete: " + last.detail;
+  throw sim::SimulationError(std::move(last));
 }
 
 PathDelayResult PathAnalyzer::framework_delay(const PathSample& sample)
@@ -315,12 +322,15 @@ PathDelayResult PathAnalyzer::spice_delay(const PathSample& sample) const {
   spice::TransientSimulator sim(nl);
   spice::TransientOptions opt;
   opt.dt = spec_.dt;
+  opt.recovery = spec_.recovery;
   // The whole transition must march down the path inside one window.
   opt.tstop = spec_.input.m + 0.5 * spec_.input.s +
               static_cast<double>(stages_.size()) * spec_.stage_window;
   spice::TransientResult res = sim.run(opt);
   if (!res.converged) {
-    throw std::runtime_error("PathAnalyzer: SPICE failed: " + res.failure);
+    sim::SimDiagnostics diag = res.diag;
+    diag.detail = "whole-path SPICE: " + diag.detail;
+    throw sim::SimulationError(std::move(diag));
   }
   bool rising = spec_.input.rising;
   for (const Stage& st : stages_) {

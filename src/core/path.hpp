@@ -18,6 +18,7 @@
 
 #include "circuit/technology.hpp"
 #include "interconnect/sakurai.hpp"
+#include "sim/diagnostics.hpp"
 #include "mor/poleres.hpp"
 #include "mor/variational.hpp"
 #include "stats/analysis.hpp"
@@ -41,6 +42,11 @@ struct PathSpec {
   double dt = 2e-12;              ///< timestep for both engines
   double stage_window = 2.0e-9;   ///< simulated window per stage [s]
   std::size_t rom_internal_modes = 6;  ///< PACT order per stage load
+  /// Bounded per-step (SPICE) / per-run (TETA) dt-halving retry budget,
+  /// forwarded to both engines. Defaults to no retries; statistical
+  /// drivers typically enable it together with
+  /// stats::FailurePolicy::kSkip (see docs/robustness.md).
+  sim::RecoveryOptions recovery;
 
   /// Convenience: build from a generated benchmark's longest path.
   static PathSpec from_benchmark(const circuit::Technology& tech,
@@ -85,10 +91,15 @@ class PathAnalyzer {
   std::size_t num_stages() const { return spec_.cells.size(); }
   const PathSpec& spec() const { return spec_; }
 
-  /// Stage-by-stage TETA evaluation at one parameter sample.
+  /// Stage-by-stage TETA evaluation at one parameter sample. Throws
+  /// sim::SimulationError (with classified diagnostics) when a stage does
+  /// not converge within spec().recovery's retry budget.
   PathDelayResult framework_delay(const PathSample& sample) const;
 
-  /// Conventional whole-path transient (the SPICE baseline).
+  /// Conventional whole-path transient (the SPICE baseline). Throws
+  /// sim::SimulationError on divergence -- the paper-predicted outcome for
+  /// non-passive loads; statistical drivers record it instead of dying
+  /// when run with stats::FailurePolicy::kSkip.
   PathDelayResult spice_delay(const PathSample& sample) const;
 
   /// Map a normalized source vector w (layout: [dl_0, vt_0, dl_1, vt_1,

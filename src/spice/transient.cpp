@@ -22,6 +22,11 @@ constexpr double kInductorDcShort = 1e3;
 
 std::vector<std::pair<double, double>> TransientResult::waveform(
     NodeId n) const {
+  // `time` is populated even when store_waveforms was off; indexing
+  // node_voltages by time's length would read out of bounds then.
+  if (node_voltages.size() != time.size()) {
+    throw std::runtime_error("TransientResult: no stored waveforms");
+  }
   std::vector<std::pair<double, double>> w;
   w.reserve(time.size());
   for (std::size_t k = 0; k < time.size(); ++k) {
@@ -339,100 +344,159 @@ TransientResult TransientSimulator::run(const TransientOptions& opt) {
         if (code >= 0) x[static_cast<std::size_t>(code)] = vfull[n];
       }
     } catch (const std::runtime_error& e) {
-      res.failure = std::string("DC failed: ") + e.what();
+      res.diag.kind = sim::FailureKind::kDcFailure;
+      res.diag.detail = e.what();
       return res;
     }
   }
 
-  const double ceff = 2.0 / opt.dt;
-  Vector vk_prev = known_voltages(0.0, 1.0);
-  Vector ic(num_unknowns_, 0.0);  // capacitor currents C dv/dt
-
-  // Inductor branch states, initialized from the DC short approximation.
-  std::vector<double> il(inductors_.size(), 0.0);
-  std::vector<double> ul(inductors_.size(), 0.0);
+  // Committed dynamic state. The capacitor companion currents and inductor
+  // branch states are *physical* quantities (C dv/dt resp. i_L, u_L), so
+  // a retried step may integrate from them with a different dt.
+  struct DynState {
+    Vector x;
+    Vector ic;  ///< capacitor currents C dv/dt at the committed time
+    std::vector<double> il, ul;
+    Vector vk_prev;
+  };
+  DynState st;
+  st.x = x;
+  st.ic.assign(num_unknowns_, 0.0);
+  st.vk_prev = known_voltages(0.0, 1.0);
+  st.il.assign(inductors_.size(), 0.0);
+  st.ul.assign(inductors_.size(), 0.0);
   {
-    const Vector v0 = assemble_node_voltages(x, vk_prev);
+    // Inductor branch states from the DC short approximation.
+    const Vector v0 = assemble_node_voltages(st.x, st.vk_prev);
     for (std::size_t k = 0; k < inductors_.size(); ++k) {
-      ul[k] = v0[static_cast<std::size_t>(inductors_[k].a)] -
-              v0[static_cast<std::size_t>(inductors_[k].b)];
-      il[k] = kInductorDcShort * ul[k];
+      st.ul[k] = v0[static_cast<std::size_t>(inductors_[k].a)] -
+                 v0[static_cast<std::size_t>(inductors_[k].b)];
+      st.il[k] = kInductorDcShort * st.ul[k];
     }
   }
 
-  auto store = [&](double t, const Vector& xv, const Vector& vk) {
-    res.time.push_back(t);
-    if (opt.store_waveforms) {
-      res.node_voltages.push_back(assemble_node_voltages(xv, vk));
-    }
-  };
-  store(0.0, x, vk_prev);
-
-  const auto nsteps = static_cast<std::size_t>(
-      std::ceil(opt.tstop / opt.dt - 1e-9));
-  for (std::size_t step = 1; step <= nsteps; ++step) {
-    const double t = static_cast<double>(step) * opt.dt;
-    const Vector vk = known_voltages(t, 1.0);
-    const Vector x_prev = x;
+  // One trapezoidal step advancing `s` from its committed time to t1 with
+  // local step h = t1 - t0; commits into `s` only on success.
+  auto try_step = [&](DynState& s, double t0, double t1,
+                      double damping) -> sim::SimDiagnostics {
+    sim::SimDiagnostics d;
+    const double ceff = 2.0 / (t1 - t0);
+    const Vector vk = known_voltages(t1, 1.0);
+    const Vector x_prev = s.x;
 
     // Constant part of the RHS for this timestep (trapezoidal companions).
-    Vector rhs = isource_rhs(t, 1.0);
+    Vector rhs = isource_rhs(t1, 1.0);
     for (const auto& e : g_uk_) rhs[e.row] -= e.val * vk[e.vsrc];
     for (const auto& e : c_uk_) {
-      rhs[e.row] -= ceff * e.val * (vk[e.vsrc] - vk_prev[e.vsrc]);
+      rhs[e.row] -= ceff * e.val * (vk[e.vsrc] - s.vk_prev[e.vsrc]);
     }
     for (const auto& e : c_uu_) rhs[e.row] += ceff * e.val * x_prev[e.col];
-    for (std::size_t i = 0; i < num_unknowns_; ++i) rhs[i] += ic[i];
+    for (std::size_t i = 0; i < num_unknowns_; ++i) rhs[i] += s.ic[i];
     // Inductor history: i^{n+1} = geq u^{n+1} + (i^n + geq u^n).
     for (std::size_t k = 0; k < inductors_.size(); ++k) {
       const double geq = 1.0 / (ceff * inductors_[k].henries);
-      const double hist = il[k] + geq * ul[k];
+      const double hist = s.il[k] + geq * s.ul[k];
       const int ca = node_to_unknown_[inductors_[k].a];
       const int cb = node_to_unknown_[inductors_[k].b];
       if (ca >= 0) rhs[static_cast<std::size_t>(ca)] -= hist;
       if (cb >= 0) rhs[static_cast<std::size_t>(cb)] += hist;
     }
 
-    if (!newton_loop(ceff, vk, rhs, 1.0, opt, x,
+    TransientOptions sopt = opt;
+    sopt.damping = damping;
+    Vector xn = s.x;
+    if (!newton_loop(ceff, vk, rhs, 1.0, sopt, xn,
                      &res.total_newton_iterations)) {
-      res.failure = "Newton failed to converge (nonpassive/unstable load?)";
-      res.failure_time = t;
-      return res;
+      d.kind = sim::FailureKind::kNewtonNonConvergence;
+      d.failure_time = t1;
+      d.detail = "iteration limit " + std::to_string(opt.max_newton) +
+                 (macromodels_.empty()
+                      ? " hit"
+                      : " hit (nonpassive/unstable macromodel load?)");
+      const double mv = numeric::max_abs(xn);
+      d.max_abs_v = std::isfinite(mv) ? mv : opt.vblowup;
+      return d;
     }
-    if (numeric::max_abs(x) > opt.vblowup) {
-      res.failure = "solution blew up (unstable macromodel)";
-      res.failure_time = t;
-      return res;
+    const double mv = numeric::max_abs(xn);
+    if (mv > opt.vblowup) {
+      d.kind = sim::FailureKind::kBlowUp;
+      d.failure_time = t1;
+      d.max_abs_v = mv;
+      d.detail = macromodels_.empty() ? "solution blew up"
+                                      : "solution blew up "
+                                        "(unstable macromodel)";
+      return d;
     }
 
-    // Update capacitor currents: i' = ceff (C dx) - i.
+    // Commit: capacitor currents i' = ceff (C dx) - i, inductor states.
     Vector ic_new(num_unknowns_, 0.0);
     for (const auto& e : c_uu_) {
-      ic_new[e.row] += ceff * e.val * (x[e.col] - x_prev[e.col]);
+      ic_new[e.row] += ceff * e.val * (xn[e.col] - x_prev[e.col]);
     }
     for (const auto& e : c_uk_) {
-      ic_new[e.row] += ceff * e.val * (vk[e.vsrc] - vk_prev[e.vsrc]);
+      ic_new[e.row] += ceff * e.val * (vk[e.vsrc] - s.vk_prev[e.vsrc]);
     }
-    for (std::size_t i = 0; i < num_unknowns_; ++i) {
-      ic_new[i] -= ic[i];
-    }
-    ic = std::move(ic_new);
+    for (std::size_t i = 0; i < num_unknowns_; ++i) ic_new[i] -= s.ic[i];
+    s.ic = std::move(ic_new);
+    s.x = xn;
     {
-      const Vector vn = assemble_node_voltages(x, vk);
+      const Vector vn = assemble_node_voltages(s.x, vk);
       for (std::size_t k = 0; k < inductors_.size(); ++k) {
         const double geq = 1.0 / (ceff * inductors_[k].henries);
-        const double u_new =
-            vn[static_cast<std::size_t>(inductors_[k].a)] -
-            vn[static_cast<std::size_t>(inductors_[k].b)];
-        il[k] += geq * (u_new + ul[k]);
-        ul[k] = u_new;
+        const double u_new = vn[static_cast<std::size_t>(inductors_[k].a)] -
+                             vn[static_cast<std::size_t>(inductors_[k].b)];
+        s.il[k] += geq * (u_new + s.ul[k]);
+        s.ul[k] = u_new;
       }
     }
-    vk_prev = vk;
-    store(t, x, vk);
+    s.vk_prev = vk;
+    return d;  // kind == kNone
+  };
+
+  // Bounded recovery: advance across [t0, t1]; on failure, halve the
+  // interval and retry both halves with tightened damping, recursing up to
+  // the configured budget. The committed state is restored on failure so
+  // an enclosing level retries from a consistent point.
+  const auto recurse = [&](auto&& self, DynState& s, double t0, double t1,
+                           double damping, int depth) -> sim::SimDiagnostics {
+    sim::SimDiagnostics d = try_step(s, t0, t1, damping);
+    if (!d.failed() || depth >= opt.recovery.max_dt_retries) return d;
+    ++res.diag.retries_used;
+    const double esc = damping * opt.recovery.damping_factor;
+    const double mid = 0.5 * (t0 + t1);
+    DynState backup = s;
+    d = self(self, s, t0, mid, esc, depth + 1);
+    if (!d.failed()) d = self(self, s, mid, t1, esc, depth + 1);
+    if (d.failed()) s = std::move(backup);
+    return d;
+  };
+
+  auto store = [&](double t) {
+    res.time.push_back(t);
+    if (opt.store_waveforms) {
+      res.node_voltages.push_back(assemble_node_voltages(st.x, st.vk_prev));
+    }
+  };
+  store(0.0);
+
+  const auto nsteps = static_cast<std::size_t>(
+      std::ceil(opt.tstop / opt.dt - 1e-9));
+  for (std::size_t step = 1; step <= nsteps; ++step) {
+    const double t0 = static_cast<double>(step - 1) * opt.dt;
+    const double t = static_cast<double>(step) * opt.dt;
+    const sim::SimDiagnostics d = recurse(recurse, st, t0, t, opt.damping, 0);
+    if (d.failed()) {
+      const int retries = res.diag.retries_used;
+      res.diag = d;
+      res.diag.retries_used = retries;
+      res.diag.iterations = res.total_newton_iterations;
+      return res;
+    }
+    store(t);
   }
 
   res.converged = true;
+  res.diag.iterations = res.total_newton_iterations;
   return res;
 }
 

@@ -21,6 +21,7 @@
 #include "circuit/netlist.hpp"
 #include "numeric/matrix.hpp"
 #include "numeric/sparse.hpp"
+#include "sim/diagnostics.hpp"
 
 namespace lcsf::spice {
 
@@ -45,19 +46,28 @@ struct TransientOptions {
   double vblowup = 1e4;      ///< any |v| above this is declared divergence
   double damping = 1.0;      ///< max Newton voltage step [V]
   bool store_waveforms = true;
+  /// Per-step recovery: on Newton failure, retry the step with halved dt
+  /// and tightened damping up to `recovery.max_dt_retries` halvings before
+  /// declaring the step dead (see docs/robustness.md).
+  sim::RecoveryOptions recovery;
 };
 
 struct TransientResult {
   bool converged = false;
-  std::string failure;  ///< human-readable reason when !converged
-  double failure_time = 0.0;
+  /// Structured outcome record: kind/time/iterations of the failure when
+  /// !converged (kind == kNone plus retry counts on a converged run).
+  sim::SimDiagnostics diag;
   std::vector<double> time;
   /// node_voltages[k][n] is the voltage of netlist node n at time[k]
   /// (only filled when store_waveforms is set).
   std::vector<numeric::Vector> node_voltages;
   long total_newton_iterations = 0;
 
-  /// (t, v) samples of one node.
+  /// Human-readable failure reason ("converged" when none).
+  std::string failure() const { return diag.message(); }
+
+  /// (t, v) samples of one node. Throws if the run did not store
+  /// waveforms (store_waveforms = false).
   std::vector<std::pair<double, double>> waveform(circuit::NodeId n) const;
   /// Voltage of node n at the last stored timepoint.
   double final_voltage(circuit::NodeId n) const;

@@ -14,7 +14,46 @@ namespace {
 // Stream tags separating the independent uses of one (seed, counter) pair.
 constexpr std::uint64_t kLhsPermTag = 0x1a71;
 
+/// Evaluate one sample under the kSkip policy: returns true and fills
+/// `value` on success, false and fills `failure` on a classified failure.
+/// std::logic_error (misuse) propagates.
+bool eval_fail_soft(const PerformanceFn& f, const Vector& w,
+                    std::size_t index, double& value,
+                    SampleFailure& failure) {
+  try {
+    value = f(w);
+    return true;
+  } catch (const sim::SimulationError& e) {
+    failure = {index, e.kind(), e.diagnostics().message()};
+  } catch (const std::runtime_error& e) {
+    // A foreign engine that does not speak SimulationError: still a
+    // simulation outcome, classified as kOther.
+    failure = {index, sim::FailureKind::kOther, e.what()};
+  }
+  return false;
+}
+
 }  // namespace
+
+std::string FailureSummary::table() const {
+  if (!any()) return {};
+  std::string out;
+  for (std::size_t k = 0; k < sim::kNumFailureKinds; ++k) {
+    if (counts[k] == 0) continue;
+    const auto kind = static_cast<sim::FailureKind>(k);
+    out += "  " + std::string(sim::failure_kind_name(kind)) + " : " +
+           std::to_string(counts[k]);
+    for (const SampleFailure& f : failures) {
+      if (f.kind == kind) {
+        out += "  (first sample " + std::to_string(f.index) + ": " +
+               f.detail + ")";
+        break;
+      }
+    }
+    out += "\n";
+  }
+  return out;
+}
 
 MonteCarloResult monte_carlo(const PerformanceFn& f,
                              const std::vector<VariationSource>& sources,
@@ -43,12 +82,16 @@ MonteCarloResult monte_carlo(const PerformanceFn& f,
     }
   }
 
-  MonteCarloResult res;
-  res.values.resize(n);
-  res.samples.resize(n);
+  // Per-sample slots; compacted to survivors after the parallel loop.
+  std::vector<double> values(n);
+  std::vector<Vector> samples(n);
+  std::vector<char> died(n, 0);
+  std::vector<SampleFailure> deaths(n);
+  const bool fail_soft = opt.on_failure == FailurePolicy::kSkip;
 
   // Each sample draws every variate from its own counter-based stream, so
-  // the partition of [0, n) across threads cannot change any value.
+  // the partition of [0, n) across threads cannot change any value; and
+  // under kSkip, neither can the set of failed indices.
   core::parallel_for(opt.threads, n, [&](std::size_t begin, std::size_t end) {
     for (std::size_t s = begin; s < end; ++s) {
       SplitMix64 stream = sample_stream(opt.seed, s);
@@ -66,13 +109,32 @@ MonteCarloResult monte_carlo(const PerformanceFn& f,
                                 src.mean + src.sigma)
                    : to_normal(uu, src.mean, src.sigma);
       }
-      res.values[s] = f(w);
-      res.samples[s] = std::move(w);
+      if (fail_soft) {
+        died[s] = eval_fail_soft(f, w, s, values[s], deaths[s]) ? 0 : 1;
+      } else {
+        values[s] = f(w);
+      }
+      samples[s] = std::move(w);
     }
   });
 
-  // Accumulate in sample order: identical to a serial run by construction.
-  for (double v : res.values) res.stats.add(v);
+  // Compact + accumulate serially in sample order: identical to a serial
+  // run (and to any other thread count) by construction.
+  MonteCarloResult res;
+  res.failures.attempted = n;
+  res.values.reserve(n);
+  res.samples.reserve(n);
+  for (std::size_t s = 0; s < n; ++s) {
+    if (died[s]) {
+      ++res.failures.counts[static_cast<std::size_t>(deaths[s].kind)];
+      res.failures.failures.push_back(std::move(deaths[s]));
+      continue;
+    }
+    res.stats.add(values[s]);
+    res.values.push_back(values[s]);
+    res.samples.push_back(std::move(samples[s]));
+  }
+  res.failures.survived = res.values.size();
   return res;
 }
 
@@ -91,8 +153,14 @@ GradientAnalysisResult gradient_analysis(
 
   Vector w0(nw);
   for (std::size_t d = 0; d < nw; ++d) w0[d] = sources[d].mean;
+  // A failed nominal always rethrows: there is no gradient about a point
+  // that does not evaluate.
   res.nominal = f(w0);
   res.evaluations = 1;
+
+  const bool fail_soft = opt.on_failure == FailurePolicy::kSkip;
+  std::vector<char> died(nw, 0);
+  std::vector<SampleFailure> deaths(nw);
 
   // The 2 * nw central-difference probes are independent; run them on the
   // pool and fold the Eq. 24 sum serially in source order afterwards.
@@ -104,13 +172,29 @@ GradientAnalysisResult gradient_analysis(
       Vector wp = w0, wm = w0;
       wp[d] += h;
       wm[d] -= h;
-      res.gradient[d] = (f(wp) - f(wm)) / (2.0 * h);
+      if (fail_soft) {
+        double fp = 0.0, fm = 0.0;
+        if (eval_fail_soft(f, wp, d, fp, deaths[d]) &&
+            eval_fail_soft(f, wm, d, fm, deaths[d])) {
+          res.gradient[d] = (fp - fm) / (2.0 * h);
+        } else {
+          died[d] = 1;  // gradient entry stays 0 and leaves the RSS sum
+        }
+      } else {
+        res.gradient[d] = (f(wp) - f(wm)) / (2.0 * h);
+      }
     }
   });
 
   double var = 0.0;
+  res.failures.attempted = nw;
   for (std::size_t d = 0; d < nw; ++d) {
     if (opt.step_fraction * sources[d].sigma <= 0.0) continue;
+    if (died[d]) {
+      ++res.failures.counts[static_cast<std::size_t>(deaths[d].kind)];
+      res.failures.failures.push_back(std::move(deaths[d]));
+      continue;
+    }
     res.evaluations += 2;
     const double g = res.gradient[d];
     // Uniform(+-sigma) has variance sigma^2/3; normal has sigma^2.
@@ -120,6 +204,7 @@ GradientAnalysisResult gradient_analysis(
             : sources[d].sigma * sources[d].sigma;
     var += s2 * g * g;
   }
+  res.failures.survived = nw - res.failures.failures.size();
   res.stddev = std::sqrt(var);
   return res;
 }

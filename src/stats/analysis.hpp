@@ -8,10 +8,13 @@
 // stream (see stats/random.hpp and docs/monte_carlo.md).
 #pragma once
 
+#include <array>
 #include <functional>
+#include <string>
 #include <vector>
 
 #include "numeric/matrix.hpp"
+#include "sim/diagnostics.hpp"
 #include "stats/descriptive.hpp"
 #include "stats/random.hpp"
 
@@ -29,6 +32,44 @@ struct VariationSource {
   double mean = 0.0;
 };
 
+/// What a statistical driver does when one sample's evaluation fails
+/// (throws sim::SimulationError or another std::runtime_error).
+enum class FailurePolicy {
+  kAbort,  ///< rethrow: one bad sample kills the whole run (legacy)
+  kSkip,   ///< record + classify the failure, compute stats over survivors
+};
+
+/// One failed sample. `index` is the reproduction handle: rerunning with
+/// the same (seed, samples, latin_hypercube, sources) makes sample `index`
+/// draw the identical variate vector.
+struct SampleFailure {
+  std::size_t index = 0;
+  sim::FailureKind kind = sim::FailureKind::kOther;
+  std::string detail;  ///< diagnostics message of the failure
+};
+
+/// Deterministic aggregate of per-sample failures: built serially in
+/// sample-index order after the parallel evaluation, so it is bitwise
+/// identical for every thread count (same contract as the values).
+struct FailureSummary {
+  std::size_t attempted = 0;  ///< samples evaluated (or aborted mid-run)
+  std::size_t survived = 0;   ///< samples that produced a value
+  /// Failure count per sim::FailureKind (indexed by the enum's value).
+  std::array<std::size_t, sim::kNumFailureKinds> counts{};
+  /// Every failure, ordered by sample index (the first entry per kind is
+  /// the cheapest reproduction case).
+  std::vector<SampleFailure> failures;
+
+  std::size_t failed() const { return attempted - survived; }
+  bool any() const { return failed() > 0; }
+  std::size_t count(sim::FailureKind k) const {
+    return counts[static_cast<std::size_t>(k)];
+  }
+  /// Multi-line "kind : count (first sample i: detail)" report table;
+  /// empty string when nothing failed.
+  std::string table() const;
+};
+
 struct MonteCarloOptions {
   std::size_t samples = 100;  ///< sample count; must be >= 1
   /// Base seed. Sample s draws from stream (seed, s) regardless of how
@@ -40,12 +81,21 @@ struct MonteCarloOptions {
   /// core::ThreadPool::default_threads() (LCSF_THREADS env, then hardware
   /// concurrency); 1 = serial.
   std::size_t threads = 0;
+  /// Fail-soft switch. With kSkip, a sample whose f(w) throws
+  /// sim::SimulationError (or std::runtime_error, classified kOther) is
+  /// skipped, counted and classified in the result's FailureSummary;
+  /// statistics cover the survivors. std::logic_error still propagates --
+  /// misuse is not a simulation outcome.
+  FailurePolicy on_failure = FailurePolicy::kAbort;
 };
 
 struct MonteCarloResult {
   OnlineStats stats;                       ///< accumulated in sample order
-  std::vector<double> values;              ///< per-sample performance
-  std::vector<numeric::Vector> samples;    ///< per-sample w
+  /// Per-sample performance / variates of the *survivors*, in sample-index
+  /// order (== all samples when nothing failed).
+  std::vector<double> values;
+  std::vector<numeric::Vector> samples;
+  FailureSummary failures;  ///< who died, and why (empty under kAbort)
 };
 
 /// Exhaustive sampling of f over the variation sources.
@@ -57,8 +107,10 @@ struct MonteCarloResult {
 /// interval, so it degenerates to one plain draw.
 ///
 /// Throws std::invalid_argument naming the offending option if `sources`
-/// is empty or `opt.samples == 0`; exceptions thrown by f propagate to the
-/// caller (first one wins, remaining samples are abandoned).
+/// is empty or `opt.samples == 0`. With the default kAbort policy,
+/// exceptions thrown by f propagate to the caller (first one wins,
+/// remaining samples are abandoned); with kSkip, simulation failures are
+/// recorded in the result's FailureSummary instead.
 MonteCarloResult monte_carlo(const PerformanceFn& f,
                              const std::vector<VariationSource>& sources,
                              const MonteCarloOptions& opt);
@@ -73,6 +125,12 @@ struct GradientAnalysisOptions {
   /// each source's probes are independent and the Eq. 24 sum is
   /// accumulated in source order.
   std::size_t threads = 0;
+  /// Fail-soft switch for the probe evaluations: with kSkip a failed
+  /// probe zeroes that source's gradient entry, drops it from the Eq. 24
+  /// sum and records it (SampleFailure::index = source index). A failed
+  /// *nominal* evaluation always rethrows -- there is no gradient about a
+  /// point that does not evaluate.
+  FailurePolicy on_failure = FailurePolicy::kAbort;
 };
 
 struct GradientAnalysisResult {
@@ -80,6 +138,7 @@ struct GradientAnalysisResult {
   numeric::Vector gradient;  ///< dD/dw_l at nominal
   double stddev = 0.0;       ///< Eq. 24 RSS
   std::size_t evaluations = 0;
+  FailureSummary failures;   ///< failed probes by source index
 };
 
 /// First-order (RSS) estimate of the performance spread, paper Eq. 24:

@@ -43,6 +43,14 @@ McYieldEstimate monte_carlo_yield(const PerformanceFn& f,
                                   const MonteCarloOptions& opt) {
   McYieldEstimate est;
   est.mc = monte_carlo(f, sources, opt);
+  if (est.mc.values.empty()) {
+    // Every sample failed under FailurePolicy::kSkip: by the ISLE-style
+    // convention a sample that diverges cannot meet timing, so the yield
+    // estimate is 0 (the summary in est.mc.failures tells the story).
+    est.yield = 0.0;
+    est.std_error = 0.0;
+    return est;
+  }
   est.yield = empirical_yield(est.mc.values, clock_period);
   est.std_error = std::sqrt(est.yield * (1.0 - est.yield) /
                             static_cast<double>(est.mc.values.size()));

@@ -36,7 +36,12 @@ struct McYieldEstimate {
 /// End-to-end Monte-Carlo yield estimator: samples f over the variation
 /// sources with the parallel monte_carlo() engine and counts the fraction
 /// meeting `clock_period`. Inherits monte_carlo()'s determinism contract:
-/// the estimate is bitwise identical for every opt.threads value.
+/// the estimate is bitwise identical for every opt.threads value. With
+/// opt.on_failure == FailurePolicy::kSkip, failed samples are excluded
+/// from the survivor fraction and classified in mc.failures (a run where
+/// *every* sample fails reports yield 0); importance-sampling-style tail
+/// estimation needs exactly this, since the tail samples are the ones
+/// that misbehave.
 McYieldEstimate monte_carlo_yield(const PerformanceFn& f,
                                   const std::vector<VariationSource>& sources,
                                   double clock_period,

@@ -166,12 +166,13 @@ std::vector<std::pair<double, double>> TetaResult::waveform(
   return w;
 }
 
-TetaResult simulate_stage(const StageCircuit& stage,
-                          const mor::PoleResidueModel& load,
-                          const TetaOptions& opt) {
-  if (load.num_ports() != stage.num_ports()) {
-    throw std::invalid_argument("simulate_stage: port count mismatch");
-  }
+namespace {
+
+/// One full transient attempt at a fixed dt/damping; simulate_stage() owns
+/// the retry policy around it.
+TetaResult simulate_stage_once(const StageCircuit& stage,
+                               const mor::PoleResidueModel& load,
+                               const TetaOptions& opt) {
   TetaResult res;
   const Indexer idx(stage);
   const std::size_t n = idx.num_unknowns;
@@ -242,7 +243,8 @@ TetaResult simulate_stage(const StageCircuit& stage,
     y_h = numeric::inverse(conv.step_impedance());
     y_dc = numeric::inverse(conv.dc_impedance());
   } catch (const std::runtime_error&) {
-    res.failure = "singular load impedance";
+    res.diag.kind = sim::FailureKind::kSingularSystem;
+    res.diag.detail = "singular load impedance";
     return res;
   }
   for (std::size_t i = 0; i < np; ++i) {
@@ -288,7 +290,8 @@ TetaResult simulate_stage(const StageCircuit& stage,
     lu_dc = std::make_unique<LuFactorization>(a_dc);
     lu_tr = std::make_unique<LuFactorization>(a_tr);
   } catch (const std::runtime_error& e) {
-    res.failure = std::string("singular SC system: ") + e.what();
+    res.diag.kind = sim::FailureKind::kSingularSystem;
+    res.diag.detail = std::string("singular SC system: ") + e.what();
     return res;
   }
 
@@ -389,7 +392,9 @@ TetaResult simulate_stage(const StageCircuit& stage,
       }
     }
     if (!ok) {
-      res.failure = "Newton failed at DC";
+      res.diag.kind = sim::FailureKind::kDcFailure;
+      res.diag.detail = "Newton failed at DC";
+      res.diag.iterations = res.total_sc_iterations;
       return res;
     }
   }
@@ -461,7 +466,20 @@ TetaResult simulate_stage(const StageCircuit& stage,
       }
     }
     if (!ok) {
-      res.failure = "SC iteration failed at t = " + std::to_string(t);
+      res.diag.kind = sim::FailureKind::kNewtonNonConvergence;
+      res.diag.failure_time = t;
+      res.diag.detail =
+          "SC iteration limit " + std::to_string(opt.max_sc_iters) + " hit";
+      res.diag.iterations = res.total_sc_iterations;
+      res.diag.max_abs_v = numeric::max_abs(x);
+      return res;
+    }
+    if (const double mv = numeric::max_abs(x); mv > opt.vblowup) {
+      res.diag.kind = sim::FailureKind::kBlowUp;
+      res.diag.failure_time = t;
+      res.diag.detail = "port/internal voltage blew up (unstable load?)";
+      res.diag.iterations = res.total_sc_iterations;
+      res.diag.max_abs_v = mv;
       return res;
     }
 
@@ -484,7 +502,52 @@ TetaResult simulate_stage(const StageCircuit& stage,
   }
 
   res.converged = true;
+  res.diag.iterations = res.total_sc_iterations;
   return res;
+}
+
+}  // namespace
+
+TetaResult simulate_stage(const StageCircuit& stage,
+                          const mor::PoleResidueModel& load,
+                          const TetaOptions& opt) {
+  if (load.num_ports() != stage.num_ports()) {
+    throw std::invalid_argument("simulate_stage: port count mismatch");
+  }
+  // An unstable pole/residue load can never be convolved (the recursive
+  // convolver requires stabilize() first), so classify it up front
+  // instead of leaking the convolver's invalid_argument. The
+  // reject_unstable_load flag only makes the rejection an explicit policy
+  // choice in the diagnostics.
+  if (load.count_unstable() > 0) {
+    TetaResult res;
+    res.diag.kind = sim::FailureKind::kUnstableMacromodel;
+    res.diag.detail = std::to_string(load.count_unstable()) +
+                      " right-half-plane pole(s), max Re = " +
+                      std::to_string(load.max_unstable_real()) +
+                      (opt.reject_unstable_load ? " (rejected by policy)"
+                                                : "; stabilize() the load");
+    return res;
+  }
+
+  // The SC system matrix is constant across the whole transient (one LU
+  // per run), so recovery reruns the transient at halved dt / tightened
+  // damping instead of retrying a single step.
+  TetaOptions attempt = opt;
+  long iterations = 0;
+  for (int retry = 0;; ++retry) {
+    TetaResult res = simulate_stage_once(stage, load, attempt);
+    iterations += res.total_sc_iterations;
+    res.total_sc_iterations = iterations;
+    res.diag.iterations = iterations;
+    res.diag.retries_used = retry;
+    if (res.converged || retry >= opt.recovery.max_dt_retries ||
+        res.diag.kind == sim::FailureKind::kSingularSystem) {
+      return res;
+    }
+    attempt.dt *= 0.5;
+    attempt.damping_frac *= opt.recovery.damping_factor;
+  }
 }
 
 std::vector<std::pair<double, double>> compress_pwl(

@@ -22,6 +22,7 @@
 #include "circuit/source_waveform.hpp"
 #include "mor/poleres.hpp"
 #include "numeric/matrix.hpp"
+#include "sim/diagnostics.hpp"
 
 namespace lcsf::teta {
 
@@ -95,14 +96,35 @@ struct TetaOptions {
   /// iterations through multi-stage cells (BUF, XOR) can overshoot at high
   /// gain points; damping restores the contraction.
   double damping_frac = 0.25;
+  /// Any |v| above this is declared divergence (the chord engine should
+  /// never blow up on a *stabilized* load; this catches raw unstable ones
+  /// handed in deliberately).
+  double vblowup = 1e4;
+  /// An unstable pole/residue load is always classified
+  /// sim::FailureKind::kUnstableMacromodel (the recursive convolver
+  /// cannot integrate right-half-plane poles; stabilize() first). This
+  /// flag marks the rejection as an explicit policy choice in the
+  /// diagnostics detail. Non-passivity of the *original* circuit is fine
+  /// either way -- the chord engine consumes its stabilized ROM.
+  bool reject_unstable_load = false;
+  /// Whole-transient recovery: on failure, rerun with halved dt and
+  /// tightened damping up to `recovery.max_dt_retries` times. The SC
+  /// system matrix is constant per transient (one LU), so TETA retries the
+  /// run rather than the step (see docs/robustness.md).
+  sim::RecoveryOptions recovery;
 };
 
 struct TetaResult {
   bool converged = false;
-  std::string failure;
+  /// Structured outcome record (kind == kNone on success; retries_used is
+  /// filled either way).
+  sim::SimDiagnostics diag;
   std::vector<double> time;
   std::vector<numeric::Vector> port_voltages;  ///< per step, size Np
   long total_sc_iterations = 0;
+
+  /// Human-readable failure reason ("converged" when none).
+  std::string failure() const { return diag.message(); }
 
   std::vector<std::pair<double, double>> waveform(std::size_t port) const;
 };

@@ -93,7 +93,7 @@ std::pair<double, double> evaluate_cell_point(
   opt.vdd = tech.vdd;
   const auto res = teta::simulate_stage(stage, z, opt);
   if (!res.converged) {
-    throw std::runtime_error("evaluate_cell_point: " + res.failure);
+    throw std::runtime_error("evaluate_cell_point: " + res.failure());
   }
   const bool out_rising = input_rising != cell.inverting;
   const RampParams o = measure_ramp(res.waveform(0), tech.vdd, out_rising);

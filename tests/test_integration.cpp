@@ -71,7 +71,7 @@ TEST_P(CellStageAccuracy, FrameworkTracksSpice) {
   topt.dt = dt;
   topt.vdd = tech.vdd;
   const auto tres = teta::simulate_stage(stage, z, topt);
-  ASSERT_TRUE(tres.converged) << cell.name << ": " << tres.failure;
+  ASSERT_TRUE(tres.converged) << cell.name << ": " << tres.failure();
   const auto fw =
       timing::measure_ramp(tres.waveform(1), tech.vdd, out_rising);
 
@@ -93,7 +93,7 @@ TEST_P(CellStageAccuracy, FrameworkTracksSpice) {
   sopt.tstop = tstop;
   sopt.dt = dt;
   const auto sres = sim.run(sopt);
-  ASSERT_TRUE(sres.converged) << cell.name << ": " << sres.failure;
+  ASSERT_TRUE(sres.converged) << cell.name << ": " << sres.failure();
   const auto sp = timing::measure_ramp(sres.waveform(bundle.far_ends[0]),
                                        tech.vdd, out_rising);
 

@@ -133,7 +133,7 @@ TEST(StageEngine, SimultaneousOpposingSwitchingMatchesSpice) {
   topt.dt = dt;
   topt.vdd = t.vdd;
   const auto tres = teta::simulate_stage(stage, z, topt);
-  ASSERT_TRUE(tres.converged) << tres.failure;
+  ASSERT_TRUE(tres.converged) << tres.failure();
 
   Netlist nl = bundle.netlist;
   const auto nvdd = nl.add_node("vdd");
@@ -152,7 +152,7 @@ TEST(StageEngine, SimultaneousOpposingSwitchingMatchesSpice) {
   sopt.tstop = tstop;
   sopt.dt = dt;
   const auto sres = sim.run(sopt);
-  ASSERT_TRUE(sres.converged) << sres.failure;
+  ASSERT_TRUE(sres.converged) << sres.failure();
 
   for (int l = 0; l < 2; ++l) {
     const auto sw = sres.waveform(bundle.far_ends[static_cast<std::size_t>(l)]);

@@ -105,6 +105,58 @@ TEST(Parser, Errors) {
   }
 }
 
+TEST(Parser, IndentedCommentsAreComments) {
+  // Comment lines may be indented; the '*' marker counts after trimming.
+  // Interleave with blank lines and a continuation to make sure joining
+  // still targets the right card.
+  const std::string deck =
+      "* leading comment\n"
+      "R1 in mid 1k\n"
+      "   * indented comment between cards\n"
+      "\n"
+      "C1 mid 0 2.5p\n"
+      "\t* tab-indented comment\n"
+      "Vin in 0 PWL(0 0\n"
+      "   * comment inside a continuation block\n"
+      "+ 1n 1.8)\n"
+      ".end\n";
+  Netlist nl = parse_netlist(deck, kTech);
+  EXPECT_EQ(nl.resistors().size(), 1u);
+  EXPECT_EQ(nl.capacitors().size(), 1u);
+  ASSERT_EQ(nl.vsources().size(), 1u);
+  EXPECT_DOUBLE_EQ(nl.vsources()[0].wave.value(2e-9), 1.8);
+}
+
+TEST(Parser, ErrorsCarryTheDeckLineExactlyOnce) {
+  // A bad value deep in a deck must report the real line, not a nested
+  // "netlist line 7: netlist line 0: ..." double wrap.
+  const std::string deck =
+      "* title\n"
+      "R1 a 0 1k\n"
+      "C1 a 0 1p\n"
+      "V1 a 0 DC bogus\n";
+  try {
+    parse_netlist(deck, kTech);
+    FAIL() << "expected ParseError";
+  } catch (const ParseError& e) {
+    EXPECT_EQ(e.line(), 4u);
+    const std::string msg = e.what();
+    EXPECT_EQ(msg.find("netlist line"), msg.rfind("netlist line")) << msg;
+    EXPECT_EQ(msg.find("line 0"), std::string::npos) << msg;
+    EXPECT_NE(e.detail().find("bogus"), std::string::npos) << e.detail();
+  }
+  // Same contract for the element-value path (value_at).
+  try {
+    parse_netlist("R1 a 0 1k\nC2 b 0 oops\n", kTech);
+    FAIL() << "expected ParseError";
+  } catch (const ParseError& e) {
+    EXPECT_EQ(e.line(), 2u);
+    const std::string msg = e.what();
+    EXPECT_EQ(msg.find("netlist line"), msg.rfind("netlist line")) << msg;
+    EXPECT_EQ(msg.find("line 0"), std::string::npos) << msg;
+  }
+}
+
 TEST(Parser, ParsedInverterSimulates) {
   const std::string deck = R"(
 * inverter driving an RC load
@@ -123,7 +175,7 @@ Cw far 0 20f
   opt.tstop = 1e-9;
   opt.dt = 1e-12;
   const auto res = sim.run(opt);
-  ASSERT_TRUE(res.converged) << res.failure;
+  ASSERT_TRUE(res.converged) << res.failure();
   EXPECT_NEAR(res.final_voltage(nl.node("far")), 0.0, 0.01);
 }
 
@@ -188,7 +240,7 @@ TEST(Inductor, SeriesRlcMatchesAnalytic) {
   opt.tstop = 4e-10;
   opt.dt = 2e-14;
   const auto res = sim.run(opt);
-  ASSERT_TRUE(res.converged) << res.failure;
+  ASSERT_TRUE(res.converged) << res.failure();
 
   const double wn = 1.0 / std::sqrt(l * c);
   const double zeta = 0.5 * r * std::sqrt(c / l);

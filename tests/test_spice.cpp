@@ -49,7 +49,7 @@ TEST(Transient, RcStepMatchesAnalytic) {
   opt.tstop = 5e-9;
   opt.dt = 5e-12;
   TransientResult res = sim.run(opt);
-  ASSERT_TRUE(res.converged) << res.failure;
+  ASSERT_TRUE(res.converged) << res.failure();
 
   // Trapezoidal integration sees the step as a ramp across the first
   // timestep, so the response lags the ideal step response by dt/2.
@@ -79,7 +79,7 @@ TEST(Transient, CoupledCapsChargeShare) {
   opt.tstop = 3e-9;
   opt.dt = 1e-12;
   TransientResult res = sim.run(opt);
-  ASSERT_TRUE(res.converged) << res.failure;
+  ASSERT_TRUE(res.converged) << res.failure();
   // Early charge sharing: v_b jumps toward V*C1/(C1+C2) = 2/3.
   double vb_peak = 0.0;
   for (const auto& [t, v] : res.waveform(b)) vb_peak = std::max(vb_peak, v);
@@ -126,7 +126,7 @@ TEST(Transient, InverterSwitches) {
   opt.tstop = 2e-9;
   opt.dt = 1e-12;
   TransientResult res = sim.run(opt);
-  ASSERT_TRUE(res.converged) << res.failure;
+  ASSERT_TRUE(res.converged) << res.failure();
   // Output starts high, ends low.
   auto w = res.waveform(f.out);
   EXPECT_NEAR(w.front().second, t.vdd, 1e-2);
@@ -168,7 +168,7 @@ TEST(Transient, InverterChainPropagates) {
   opt.tstop = 2e-9;
   opt.dt = 1e-12;
   TransientResult res = sim.run(opt);
-  ASSERT_TRUE(res.converged) << res.failure;
+  ASSERT_TRUE(res.converged) << res.failure();
   // After three inversions of a rising input: o0 low, o1 high, o2 low.
   EXPECT_NEAR(res.final_voltage(outs[0]), 0.0, 1e-2);
   EXPECT_NEAR(res.final_voltage(outs[1]), t.vdd, 1e-2);
@@ -197,7 +197,7 @@ TEST(Transient, StableMacromodelMatchesDirectRc) {
   opt.tstop = 4e-9;
   opt.dt = 2e-12;
   TransientResult res = sim.run(opt);
-  ASSERT_TRUE(res.converged) << res.failure;
+  ASSERT_TRUE(res.converged) << res.failure();
 
   // Reference: same circuit stamped natively.
   Netlist ref;
@@ -243,7 +243,12 @@ TEST(Transient, UnstableMacromodelDiverges) {
   opt.dt = 2e-12;
   TransientResult res = sim.run(opt);
   EXPECT_FALSE(res.converged);
-  EXPECT_FALSE(res.failure.empty());
+  EXPECT_TRUE(res.diag.failed());
+  // An unstable macromodel must classify as divergence, not misuse.
+  EXPECT_TRUE(res.diag.kind == sim::FailureKind::kBlowUp ||
+              res.diag.kind == sim::FailureKind::kNewtonNonConvergence)
+      << res.failure();
+  EXPECT_GT(res.diag.failure_time, 0.0);
 }
 
 TEST(Transient, RejectsFloatingVoltageSources) {

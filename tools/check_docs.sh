@@ -9,7 +9,7 @@ cd "$(dirname "$0")/.."
 
 fail=0
 
-required_docs="docs/architecture.md docs/monte_carlo.md docs/stabilization.md"
+required_docs="docs/architecture.md docs/monte_carlo.md docs/stabilization.md docs/robustness.md"
 for doc in $required_docs; do
   if [ ! -f "$doc" ]; then
     echo "doc-lint: missing required guide: $doc"

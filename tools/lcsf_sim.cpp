@@ -2,9 +2,16 @@
 //
 //   lcsf_sim <deck.sp> --tstop 2n [--dt 1p] [--probe node]...
 //            [--tech 180nm|600nm] [--points 40] [--threads n]
+//            [--on-failure abort|skip|retry]
 //
 // Runs the conventional Newton/trapezoidal engine on the parsed netlist
 // and prints the probed node waveforms as a TSV table.
+//
+// --on-failure controls divergence handling (docs/robustness.md): abort
+// exits 1 with the classified diagnostic (default); skip prints the
+// partial waveform up to the failure point and exits 0; retry grants a
+// 3-deep per-step dt-halving budget, then behaves like skip if the run
+// still diverges.
 //
 // --threads (or LCSF_THREADS) sets the process-wide default worker count
 // for any parallel library section reached from this tool; the transient
@@ -28,7 +35,7 @@ namespace {
   std::fprintf(stderr,
                "usage: lcsf_sim <deck.sp> --tstop <t> [--dt <t>] "
                "[--probe <node>]... [--tech 180nm|600nm] [--points n] "
-               "[--threads n]\n");
+               "[--threads n] [--on-failure abort|skip|retry]\n");
   std::exit(2);
 }
 
@@ -41,6 +48,7 @@ int main(int argc, char** argv) {
   double dt = 1e-12;
   std::size_t points = 40;
   std::string tech_name = "180nm";
+  std::string on_failure = "abort";
   std::vector<std::string> probes;
 
   for (int i = 1; i < argc; ++i) {
@@ -62,6 +70,10 @@ int main(int argc, char** argv) {
     } else if (arg == "--threads") {
       core::ThreadPool::set_default_threads(
           static_cast<std::size_t>(std::stoul(next())));
+    } else if (arg == "--on-failure") {
+      on_failure = next();
+    } else if (arg.rfind("--on-failure=", 0) == 0) {
+      on_failure = arg.substr(std::strlen("--on-failure="));
     } else if (arg.rfind("--", 0) == 0) {
       usage();
     } else {
@@ -69,6 +81,10 @@ int main(int argc, char** argv) {
     }
   }
   if (deck_path.empty() || tstop <= 0.0) usage();
+  if (on_failure != "abort" && on_failure != "skip" &&
+      on_failure != "retry") {
+    usage();
+  }
 
   const circuit::Technology tech = tech_name == "600nm"
                                        ? circuit::technology_600nm()
@@ -100,11 +116,19 @@ int main(int argc, char** argv) {
   spice::TransientOptions opt;
   opt.tstop = tstop;
   opt.dt = dt;
+  if (on_failure == "retry") opt.recovery.max_dt_retries = 3;
   const auto res = sim.run(opt);
   if (!res.converged) {
-    std::fprintf(stderr, "lcsf_sim: simulation failed: %s (t = %g)\n",
-                 res.failure.c_str(), res.failure_time);
-    return 1;
+    std::fprintf(stderr,
+                 "lcsf_sim: simulation failed: %s [%s] (t = %g, "
+                 "%d retries used)\n",
+                 res.failure().c_str(),
+                 sim::failure_kind_name(res.diag.kind),
+                 res.diag.failure_time, res.diag.retries_used);
+    if (on_failure == "abort") return 1;
+    std::fprintf(stderr,
+                 "lcsf_sim: printing partial waveform up to t = %g\n",
+                 res.time.empty() ? 0.0 : res.time.back());
   }
 
   std::printf("# t");
@@ -122,6 +146,7 @@ int main(int argc, char** argv) {
     std::printf("\n");
   }
   std::fprintf(stderr, "lcsf_sim: %zu steps, %ld Newton iterations\n",
-               res.time.size() - 1, res.total_newton_iterations);
+               res.time.empty() ? 0 : res.time.size() - 1,
+               res.total_newton_iterations);
   return 0;
 }

@@ -3,10 +3,17 @@
 //   lcsf_sta --circuit s208 [--elements 10] [--samples 100] [--seed 1]
 //            [--std-dl 0.33] [--std-vt 0.33] [--rho r] [--corner]
 //            [--yield-target 0.9987] [--threads n]
+//            [--on-failure abort|skip|retry]
 //
 // --threads (or the LCSF_THREADS environment variable) sets the worker
 // count for the Monte-Carlo sweep; results are bitwise identical for any
 // value (see docs/monte_carlo.md). 0 = auto-detect.
+//
+// --on-failure picks the fail-soft policy (docs/robustness.md): abort
+// rethrows the first divergent sample (default), skip records and
+// excludes divergent samples, retry additionally grants each sample a
+// 3-deep dt-halving budget before it may fail. With skip/retry a
+// classified failure table is printed after the statistics.
 //
 // Generates the circuit, extracts the longest latch-to-latch path with the
 // unit-delay analyzer, pre-characterizes the variational stage loads, and
@@ -29,6 +36,7 @@ namespace {
       "usage: lcsf_sta --circuit <name> [--elements n] [--samples n]\n"
       "                [--seed n] [--std-dl s] [--std-vt s] [--rho r]\n"
       "                [--corner] [--yield-target y] [--threads n]\n"
+      "                [--on-failure abort|skip|retry]\n"
       "circuits: s27 s208 s832 s444 s1423 s1423d s9234\n");
   std::exit(2);
 }
@@ -46,6 +54,7 @@ int main(int argc, char** argv) {
   bool corner = false;
   double yield_target = 0.9987;
   std::size_t threads = 0;  // 0 = auto (LCSF_THREADS env / hardware)
+  std::string on_failure = "abort";
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -73,11 +82,19 @@ int main(int argc, char** argv) {
       yield_target = std::stod(next());
     } else if (arg == "--threads") {
       threads = std::stoul(next());
+    } else if (arg == "--on-failure") {
+      on_failure = next();
+    } else if (arg.rfind("--on-failure=", 0) == 0) {
+      on_failure = arg.substr(std::strlen("--on-failure="));
     } else {
       usage();
     }
   }
   if (circuit_name.empty()) usage();
+  if (on_failure != "abort" && on_failure != "skip" &&
+      on_failure != "retry") {
+    usage();
+  }
 
   const auto& bspec = timing::find_benchmark(circuit_name);
   const auto nl = timing::generate_benchmark(bspec);
@@ -97,6 +114,7 @@ int main(int argc, char** argv) {
   core::PathSpec spec = core::PathSpec::from_benchmark(
       circuit::technology_180nm(), nl, path, elements);
   spec.stage_window = 1.0e-9;
+  if (on_failure == "retry") spec.recovery.max_dt_retries = 3;
   core::PathAnalyzer analyzer(spec);
 
   core::PathVariationModel model;
@@ -107,6 +125,8 @@ int main(int argc, char** argv) {
   mco.samples = samples;
   mco.seed = seed;
   mco.threads = threads;
+  mco.on_failure = on_failure == "abort" ? stats::FailurePolicy::kAbort
+                                         : stats::FailurePolicy::kSkip;
 
   stats::MonteCarloResult mc;
   if (rho > 0.0) {
@@ -120,6 +140,15 @@ int main(int argc, char** argv) {
   }
   const auto ga = analyzer.gradient_analysis(model);
 
+  if (mc.failures.any()) {
+    std::printf("sample failures: %zu of %zu attempted\n%s\n",
+                mc.failures.failed(), mc.failures.attempted,
+                mc.failures.table().c_str());
+  }
+  if (mc.values.empty()) {
+    std::fprintf(stderr, "lcsf_sta: every Monte-Carlo sample failed\n");
+    return 1;
+  }
   std::printf("Monte-Carlo (%zu samples): mean %.2f ps, std %.2f ps\n",
               mc.values.size(), mc.stats.mean() * 1e12,
               mc.stats.stddev() * 1e12);

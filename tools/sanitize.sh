@@ -1,0 +1,31 @@
+#!/usr/bin/env bash
+# One-command sanitizer run: configure a dedicated build tree with
+# LCSF_SANITIZE, build everything, and run the full ctest suite under the
+# instrumented binaries.
+#
+#   tools/sanitize.sh                 # address,undefined (the default)
+#   tools/sanitize.sh thread          # TSan instead
+#   tools/sanitize.sh address         # a single sanitizer
+#
+# The build tree is build-san-<sanitizers> next to the regular build/, so
+# sanitizer runs never dirty the primary configuration. Any additional
+# arguments are forwarded to ctest (e.g. tools/sanitize.sh '' -R FailSoft).
+set -eu
+cd "$(dirname "$0")/.."
+
+san="${1:-address,undefined}"
+[ -z "$san" ] && san="address,undefined"
+shift $(( $# > 0 ? 1 : 0 ))
+
+builddir="build-san-$(printf '%s' "$san" | tr ',' '-')"
+
+cmake -B "$builddir" -S . -DLCSF_SANITIZE="$san" \
+      -DCMAKE_BUILD_TYPE=RelWithDebInfo
+cmake --build "$builddir" -j"$(nproc 2>/dev/null || echo 4)"
+
+# Make sanitizer findings fatal and loud.
+export ASAN_OPTIONS="${ASAN_OPTIONS:-abort_on_error=1:detect_leaks=0}"
+export UBSAN_OPTIONS="${UBSAN_OPTIONS:-print_stacktrace=1:halt_on_error=1}"
+
+ctest --test-dir "$builddir" --output-on-failure "$@"
+echo "sanitize.sh: ctest clean under -fsanitize=$san"
