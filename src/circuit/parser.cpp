@@ -1,4 +1,5 @@
 #include "circuit/parser.hpp"
+#include "numeric/fp_compare.hpp"
 
 #include <algorithm>
 #include <cctype>
@@ -318,8 +319,8 @@ std::string to_spice_deck(const Netlist& nl, const std::string& title) {
        << name(m.source) << " "
        << (m.type == MosType::kNmos ? "NMOS" : "PMOS") << " W=" << m.w
        << " L=" << m.l;
-    if (m.delta_vt != 0.0) os << " DVT=" << m.delta_vt;
-    if (m.delta_l != 0.0) os << " DL=" << m.delta_l;
+    if (!numeric::exact_zero(m.delta_vt)) os << " DVT=" << m.delta_vt;
+    if (!numeric::exact_zero(m.delta_l)) os << " DL=" << m.delta_l;
     os << "\n";
   }
   os << ".end\n";

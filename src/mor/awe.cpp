@@ -4,6 +4,7 @@
 #include <stdexcept>
 
 #include "numeric/eigen_real.hpp"
+#include "numeric/fp_compare.hpp"
 #include "numeric/lu.hpp"
 
 namespace lcsf::mor {
@@ -44,7 +45,7 @@ PoleResidueModel awe_approximation(const interconnect::PortedPencil& pencil,
   // Frequency-scale the moments (s' = s / w0) so the Hankel system is
   // workably conditioned -- the standard AWE practice. w0 is the
   // dominant-pole estimate |m0/m1|.
-  if (m[0] == 0.0 || m[1] == 0.0) {
+  if (numeric::exact_zero(m[0]) || numeric::exact_zero(m[1])) {
     throw std::runtime_error("awe_approximation: degenerate leading moments");
   }
   const double w0 = std::abs(m[0] / m[1]);
@@ -75,7 +76,7 @@ PoleResidueModel awe_approximation(const interconnect::PortedPencil& pencil,
         "awe_approximation: singular moment (Hankel) system -- the classic "
         "AWE order limit");
   }
-  if (b[q - 1] == 0.0) {
+  if (numeric::exact_zero(b[q - 1])) {
     throw std::runtime_error("awe_approximation: degenerate denominator");
   }
 

@@ -2,6 +2,7 @@
 
 #include <stdexcept>
 
+#include "numeric/fp_compare.hpp"
 #include "numeric/lu.hpp"
 #include "numeric/orthonormal.hpp"
 
@@ -30,7 +31,7 @@ PrimaResult prima_reduce(const interconnect::PortedPencil& pencil,
 
   // Factor (G + s0 C) once; each Krylov block is one back-substitution.
   Matrix m = pencil.g;
-  if (opt.expansion_point != 0.0) {
+  if (!numeric::exact_zero(opt.expansion_point)) {
     m += opt.expansion_point * pencil.c;
   }
   numeric::LuFactorization lu(m);

@@ -4,6 +4,8 @@
 #include <stdexcept>
 #include <utility>
 
+#include "numeric/fp_compare.hpp"
+
 namespace lcsf::mor {
 
 using numeric::Matrix;
@@ -26,7 +28,7 @@ ReducedModel VariationalRom::evaluate(const Vector& w) const {
   }
   ReducedModel m = nominal_;
   for (std::size_t i = 0; i < w.size(); ++i) {
-    if (w[i] == 0.0) continue;
+    if (numeric::exact_zero(w[i])) continue;
     const ReducedModel& d = sensitivity_[i];
     m.g += w[i] * d.g;
     m.c += w[i] * d.c;
@@ -113,7 +115,7 @@ PencilFamily linear_matrix_family(const PencilFamily& base,
   auto dg = std::make_shared<std::vector<Matrix>>();
   auto dc = std::make_shared<std::vector<Matrix>>();
   for (std::size_t i = 0; i < nw; ++i) {
-    if (anchors[i] == 0.0) {
+    if (numeric::exact_zero(anchors[i])) {
       throw std::invalid_argument("linear_matrix_family: zero anchor");
     }
     Vector w(nw, 0.0);
@@ -128,7 +130,7 @@ PencilFamily linear_matrix_family(const PencilFamily& base,
     }
     interconnect::PortedPencil out = *p0;
     for (std::size_t i = 0; i < nw; ++i) {
-      if (w[i] == 0.0) continue;
+      if (numeric::exact_zero(w[i])) continue;
       out.g += w[i] * (*dg)[i];
       out.c += w[i] * (*dc)[i];
     }

@@ -4,6 +4,8 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "numeric/fp_compare.hpp"
+
 namespace lcsf::numeric {
 
 ComplexMatrix::ComplexMatrix(const Matrix& m)
@@ -86,7 +88,7 @@ ComplexLu::ComplexLu(ComplexMatrix a) : lu_(std::move(a)) {
         p = i;
       }
     }
-    if (pmax == 0.0) throw std::runtime_error("ComplexLu: singular matrix");
+    if (exact_zero(pmax)) throw std::runtime_error("ComplexLu: singular matrix");
     if (p != k) {
       for (std::size_t j = 0; j < n; ++j) std::swap(lu_(p, j), lu_(k, j));
       std::swap(piv_[p], piv_[k]);

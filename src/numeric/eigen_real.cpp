@@ -4,6 +4,8 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "numeric/fp_compare.hpp"
+
 namespace lcsf::numeric {
 namespace {
 
@@ -48,7 +50,7 @@ struct Hqr2Workspace {
     for (std::size_t m = low + 1; m <= high - 1; ++m) {
       double scale = 0.0;
       for (std::size_t i = m; i <= high; ++i) scale += std::abs(h(i, m - 1));
-      if (scale == 0.0) continue;
+      if (exact_zero(scale)) continue;
 
       double hsum = 0.0;
       for (std::size_t i = high + 1; i-- > m;) {
@@ -79,7 +81,7 @@ struct Hqr2Workspace {
 
     // Accumulate transformations into v.
     for (std::size_t m = high - 1; m >= low + 1; --m) {
-      if (h(m, m - 1) != 0.0) {
+      if (!exact_zero(h(m, m - 1))) {
         for (std::size_t i = m + 1; i <= high; ++i) ort[i] = h(i, m - 1);
         for (std::size_t j = m; j <= high; ++j) {
           double g = 0.0;
@@ -126,7 +128,7 @@ struct Hqr2Workspace {
       int l = nIter;
       while (l > low) {
         s = std::abs(H(l - 1, l - 1)) + std::abs(H(l, l));
-        if (s == 0.0) s = norm;
+        if (exact_zero(s)) s = norm;
         if (std::abs(H(l, l - 1)) < eps * s) break;
         --l;
       }
@@ -153,7 +155,7 @@ struct Hqr2Workspace {
           z = (p >= 0) ? p + z : p - z;
           d[static_cast<std::size_t>(nIter - 1)] = x + z;
           d[static_cast<std::size_t>(nIter)] =
-              (z != 0.0) ? x - w / z : d[static_cast<std::size_t>(nIter - 1)];
+              (!exact_zero(z)) ? x - w / z : d[static_cast<std::size_t>(nIter - 1)];
           e[static_cast<std::size_t>(nIter - 1)] = 0.0;
           e[static_cast<std::size_t>(nIter)] = 0.0;
           x = H(nIter, nIter - 1);
@@ -242,7 +244,7 @@ struct Hqr2Workspace {
             q = H(k + 1, k - 1);
             r = notlast ? H(k + 2, k - 1) : 0.0;
             x = std::abs(p) + std::abs(q) + std::abs(r);
-            if (x == 0.0) continue;
+            if (exact_zero(x)) continue;
             p /= x;
             q /= x;
             r /= x;
@@ -299,13 +301,13 @@ struct Hqr2Workspace {
     }
 
     // Back-substitute to find vectors of the quasi-triangular form.
-    if (norm == 0.0) return;
+    if (exact_zero(norm)) return;
 
     for (int k = nn - 1; k >= 0; --k) {
       p = d[static_cast<std::size_t>(k)];
       q = e[static_cast<std::size_t>(k)];
 
-      if (q == 0.0) {
+      if (exact_zero(q)) {
         // Real eigenvector.
         int l = k;
         H(k, k) = 1.0;
@@ -318,8 +320,8 @@ struct Hqr2Workspace {
             s = r;
           } else {
             l = i;
-            if (e[static_cast<std::size_t>(i)] == 0.0) {
-              H(i, k) = (w != 0.0) ? -r / w : -r / (eps * norm);
+            if (exact_zero(e[static_cast<std::size_t>(i)])) {
+              H(i, k) = (!exact_zero(w)) ? -r / w : -r / (eps * norm);
             } else {
               // Solve the 2x2 real block.
               x = H(i, i + 1);
@@ -368,7 +370,7 @@ struct Hqr2Workspace {
             s = sa;
           } else {
             l = i;
-            if (e[static_cast<std::size_t>(i)] == 0.0) {
+            if (exact_zero(e[static_cast<std::size_t>(i)])) {
               double cr, ci;
               cdiv(-ra, -sa, w, q, cr, ci);
               H(i, k - 1) = cr;
@@ -383,7 +385,7 @@ struct Hqr2Workspace {
                               e[static_cast<std::size_t>(i)] -
                           q * q;
               const double vi = (d[static_cast<std::size_t>(i)] - p) * 2.0 * q;
-              if (vr == 0.0 && vi == 0.0) {
+              if (exact_zero(vr) && exact_zero(vi)) {
                 vr = eps * norm *
                      (std::abs(w) + std::abs(q) + std::abs(x) + std::abs(y) +
                       std::abs(z));
@@ -435,7 +437,7 @@ struct Hqr2Workspace {
 std::vector<std::complex<double>> RealEigen::vector(std::size_t k) const {
   const std::size_t n = packed_vectors.rows();
   std::vector<std::complex<double>> v(n);
-  if (values[k].imag() == 0.0) {
+  if (exact_zero(values[k].imag())) {
     for (std::size_t i = 0; i < n; ++i) v[i] = packed_vectors(i, k);
   } else if (values[k].imag() > 0.0) {
     // First of a conjugate pair: col(k) + i col(k+1).

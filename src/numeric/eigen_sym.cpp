@@ -6,6 +6,7 @@
 #include <stdexcept>
 
 #include "numeric/cholesky.hpp"
+#include "numeric/fp_compare.hpp"
 
 namespace lcsf::numeric {
 namespace {
@@ -62,12 +63,15 @@ SymmetricEigen eigen_symmetric_jacobi(Matrix a, int max_sweeps) {
     for (std::size_t i = 0; i < n; ++i) {
       for (std::size_t j = i + 1; j < n; ++j) off += a(i, j) * a(i, j);
     }
-    if (std::sqrt(off) <= 1e-15 * std::max(a.max_abs(), 1e-300) * n) break;
+    // The convergence threshold scales with the dimension; the size_t ->
+    // double conversion is exact for any practical n (< 2^53).
+    const double dim = static_cast<double>(n);
+    if (std::sqrt(off) <= 1e-15 * std::max(a.max_abs(), 1e-300) * dim) break;
 
     for (std::size_t p = 0; p < n; ++p) {
       for (std::size_t q = p + 1; q < n; ++q) {
         const double apq = a(p, q);
-        if (apq == 0.0) continue;
+        if (exact_zero(apq)) continue;
         const double app = a(p, p);
         const double aqq = a(q, q);
         // Classic Jacobi rotation annihilating a(p,q).
@@ -121,7 +125,7 @@ SymmetricEigen eigen_symmetric_tridiagonal(Matrix a) {
     double scale = 0.0;
     double h = 0.0;
     for (std::size_t k = 0; k < i; ++k) scale += std::abs(d[k]);
-    if (scale == 0.0) {
+    if (exact_zero(scale)) {
       e[i] = d[i - 1];
       for (std::size_t j = 0; j < i; ++j) {
         d[j] = v(i - 1, j);
@@ -176,7 +180,7 @@ SymmetricEigen eigen_symmetric_tridiagonal(Matrix a) {
     v(n - 1, i) = v(i, i);
     v(i, i) = 1.0;
     const double h = d[i + 1];
-    if (h != 0.0) {
+    if (!exact_zero(h)) {
       for (std::size_t k = 0; k <= i; ++k) d[k] = v(k, i + 1) / h;
       for (std::size_t j = 0; j <= i; ++j) {
         double g = 0.0;

@@ -4,6 +4,8 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "numeric/fp_compare.hpp"
+
 namespace lcsf::numeric {
 
 LuFactorization::LuFactorization(Matrix a) : lu_(std::move(a)) {
@@ -25,7 +27,7 @@ LuFactorization::LuFactorization(Matrix a) : lu_(std::move(a)) {
         p = i;
       }
     }
-    if (pmax == 0.0) {
+    if (exact_zero(pmax)) {
       throw std::runtime_error("LuFactorization: singular matrix");
     }
     if (p != k) {
@@ -37,7 +39,7 @@ LuFactorization::LuFactorization(Matrix a) : lu_(std::move(a)) {
     for (std::size_t i = k + 1; i < n; ++i) {
       const double lik = lu_(i, k) / ukk;
       lu_(i, k) = lik;
-      if (lik == 0.0) continue;
+      if (exact_zero(lik)) continue;
       for (std::size_t j = k + 1; j < n; ++j) {
         lu_(i, j) -= lik * lu_(k, j);
       }

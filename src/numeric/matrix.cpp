@@ -5,6 +5,8 @@
 #include <ostream>
 #include <sstream>
 
+#include "numeric/fp_compare.hpp"
+
 namespace lcsf::numeric {
 
 Matrix::Matrix(std::initializer_list<std::initializer_list<double>> init) {
@@ -70,7 +72,7 @@ Matrix operator*(const Matrix& a, const Matrix& b) {
   for (std::size_t i = 0; i < a.rows(); ++i) {
     for (std::size_t k = 0; k < a.cols(); ++k) {
       const double aik = a(i, k);
-      if (aik == 0.0) continue;
+      if (exact_zero(aik)) continue;
       for (std::size_t j = 0; j < b.cols(); ++j) {
         c(i, j) += aik * b(k, j);
       }
@@ -207,7 +209,7 @@ Vector transposed_times(const Matrix& a, const Vector& x) {
   Vector y(a.cols(), 0.0);
   for (std::size_t i = 0; i < a.rows(); ++i) {
     const double xi = x[i];
-    if (xi == 0.0) continue;
+    if (exact_zero(xi)) continue;
     for (std::size_t j = 0; j < a.cols(); ++j) y[j] += a(i, j) * xi;
   }
   return y;

@@ -2,6 +2,8 @@
 
 #include <cmath>
 
+#include "numeric/fp_compare.hpp"
+
 namespace lcsf::numeric {
 
 OrthonormalizeResult orthonormalize(const Matrix& a, const Matrix* against,
@@ -13,7 +15,7 @@ OrthonormalizeResult orthonormalize(const Matrix& a, const Matrix* against,
   for (std::size_t j = 0; j < a.cols(); ++j) {
     Vector v = a.col(j);
     const double v0 = norm(v);
-    if (v0 == 0.0) {
+    if (exact_zero(v0)) {
       ++res.deflated;
       continue;
     }

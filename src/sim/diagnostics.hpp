@@ -28,6 +28,7 @@ enum class FailureKind {
   kBlowUp,               ///< solution exceeded the blow-up bound
   kUnstableMacromodel,   ///< load model rejected as unstable/non-passive
   kSingularSystem,       ///< LU hit a zero pivot / singular impedance
+  kInvalidInput,         ///< precondition violated: bad options/topology
   kOther,                ///< anything else (wrapped foreign exception)
   kCount,                ///< sentinel: number of kinds above
 };
@@ -50,6 +51,8 @@ constexpr const char* failure_kind_name(FailureKind k) {
       return "unstable-macromodel";
     case FailureKind::kSingularSystem:
       return "singular-system";
+    case FailureKind::kInvalidInput:
+      return "invalid-input";
     case FailureKind::kOther:
       return "other";
     case FailureKind::kCount:
@@ -117,5 +120,16 @@ class SimulationError : public std::runtime_error {
  private:
   SimDiagnostics diag_;
 };
+
+/// Precondition failure in engine code (bad options, inconsistent
+/// topology, out-of-domain argument). Engine code under src/{spice,teta,
+/// stats} must not throw naked std::invalid_argument/runtime_error -- the
+/// lcsf_lint rule `raw-engine-throw` enforces it -- because the fail-soft
+/// drivers classify exceptions by FailureKind and a naked throw would be
+/// lumped into kOther. This shorthand keeps the one-line throw sites
+/// readable.
+[[noreturn]] inline void throw_invalid_input(const std::string& detail) {
+  throw SimulationError(FailureKind::kInvalidInput, detail);
+}
 
 }  // namespace lcsf::sim

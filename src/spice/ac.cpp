@@ -4,6 +4,7 @@
 #include <stdexcept>
 
 #include "circuit/mosfet.hpp"
+#include "sim/diagnostics.hpp"
 #include "spice/transient.hpp"
 
 namespace lcsf::spice {
@@ -17,7 +18,7 @@ using numeric::CVector;
 std::vector<double> log_frequencies(double f_lo, double f_hi,
                                     std::size_t n) {
   if (f_lo <= 0.0 || f_hi <= f_lo || n < 2) {
-    throw std::invalid_argument("log_frequencies: bad grid");
+    sim::throw_invalid_input("log_frequencies: bad grid");
   }
   std::vector<double> f(n);
   const double ratio = std::log(f_hi / f_lo);
@@ -30,7 +31,7 @@ std::vector<double> log_frequencies(double f_lo, double f_hi,
 
 AcResult ac_analysis(const circuit::Netlist& nl, const AcOptions& opt) {
   if (opt.ac_source >= nl.vsources().size()) {
-    throw std::invalid_argument("ac_analysis: bad ac_source index");
+    sim::throw_invalid_input("ac_analysis: bad ac_source index");
   }
   // DC operating point via the transient engine (shared device handling).
   TransientSimulator dc_sim(nl);

@@ -5,6 +5,7 @@
 #include <stdexcept>
 
 #include "circuit/mosfet.hpp"
+#include "numeric/fp_compare.hpp"
 
 namespace lcsf::spice {
 
@@ -25,7 +26,7 @@ std::vector<std::pair<double, double>> TransientResult::waveform(
   // `time` is populated even when store_waveforms was off; indexing
   // node_voltages by time's length would read out of bounds then.
   if (node_voltages.size() != time.size()) {
-    throw std::runtime_error("TransientResult: no stored waveforms");
+    sim::throw_invalid_input("TransientResult: no stored waveforms");
   }
   std::vector<std::pair<double, double>> w;
   w.reserve(time.size());
@@ -37,7 +38,7 @@ std::vector<std::pair<double, double>> TransientResult::waveform(
 
 double TransientResult::final_voltage(NodeId n) const {
   if (node_voltages.empty()) {
-    throw std::runtime_error("TransientResult: no stored waveforms");
+    sim::throw_invalid_input("TransientResult: no stored waveforms");
   }
   return node_voltages.back()[static_cast<std::size_t>(n)];
 }
@@ -48,14 +49,14 @@ TransientSimulator::TransientSimulator(const circuit::Netlist& nl) : nl_(nl) {
   for (std::size_t k = 0; k < nl.vsources().size(); ++k) {
     const auto& v = nl.vsources()[k];
     if (v.neg != kGround) {
-      throw std::invalid_argument(
+      sim::throw_invalid_input(
           "TransientSimulator: only grounded voltage sources supported");
     }
     if (v.pos == kGround) {
-      throw std::invalid_argument("TransientSimulator: source shorted");
+      sim::throw_invalid_input("TransientSimulator: source shorted");
     }
     if (node_to_unknown_[v.pos] < 0) {
-      throw std::invalid_argument(
+      sim::throw_invalid_input(
           "TransientSimulator: node driven by two sources");
     }
     node_to_unknown_[v.pos] = -2 - static_cast<int>(k);
@@ -75,7 +76,7 @@ void TransientSimulator::add_macromodel(MacromodelStamp stamp) {
   }
   if (!stamp.g.square() || stamp.g.rows() != stamp.c.rows() ||
       stamp.ports.size() > stamp.g.rows()) {
-    throw std::invalid_argument("add_macromodel: inconsistent dimensions");
+    sim::throw_invalid_input("add_macromodel: inconsistent dimensions");
   }
   macromodels_.push_back(std::move(stamp));
 }
@@ -94,7 +95,7 @@ void TransientSimulator::build_structure() {
 
   auto add_pair = [this](std::vector<Entry>& uu, std::vector<KnownEntry>& uk,
                          int row_code, int col_code, double val) {
-    if (row_code < 0 || val == 0.0) return;  // ground or known row: no eqn
+    if (row_code < 0 || numeric::exact_zero(val)) return;  // ground or known row: no eqn
     const auto row = static_cast<std::size_t>(row_code);
     if (col_code >= 0) {
       uu.push_back({row, static_cast<std::size_t>(col_code), val});
@@ -182,7 +183,7 @@ double TransientSimulator::newton_iteration(double ceff, const Vector& vk,
                                             Vector& x) {
   SparseMatrix a(num_unknowns_);
   for (const auto& e : g_uu_) a.add(e.row, e.col, e.val);
-  if (ceff != 0.0) {
+  if (!numeric::exact_zero(ceff)) {
     for (const auto& e : c_uu_) a.add(e.row, e.col, ceff * e.val);
   }
   for (std::size_t i = 0; i < num_unknowns_; ++i) a.add(i, i, opt.gmin);
@@ -193,7 +194,7 @@ double TransientSimulator::newton_iteration(double ceff, const Vector& vk,
   // at DC (conventional-simulator initial condition).
   for (const auto& l : inductors_) {
     const double geq =
-        (ceff != 0.0) ? 1.0 / (ceff * l.henries) : kInductorDcShort;
+        (!numeric::exact_zero(ceff)) ? 1.0 / (ceff * l.henries) : kInductorDcShort;
     const int ca = node_to_unknown_[l.a];
     const int cb = node_to_unknown_[l.b];
     if (ca >= 0) a.add(static_cast<std::size_t>(ca),
@@ -242,7 +243,7 @@ double TransientSimulator::newton_iteration(double ceff, const Vector& vk,
       for (const auto& cc : cols) {
         const int col = node_to_unknown_[cc.node];
         const double val = sign * cc.coeff;
-        if (val == 0.0) continue;
+        if (numeric::exact_zero(val)) continue;
         if (col >= 0) {
           a.add(r, static_cast<std::size_t>(col), val);
         } else if (col <= -2) {
@@ -323,7 +324,8 @@ Vector TransientSimulator::dc_operating_point(const TransientOptions& opt) {
     }
   }
   if (!ok) {
-    throw std::runtime_error(
+    throw sim::SimulationError(
+        sim::FailureKind::kDcFailure,
         "dc_operating_point: Newton failed even with source/gmin stepping");
   }
   return assemble_node_voltages(x, known_voltages(0.0, 1.0));

@@ -59,11 +59,11 @@ MonteCarloResult monte_carlo(const PerformanceFn& f,
                              const std::vector<VariationSource>& sources,
                              const MonteCarloOptions& opt) {
   if (sources.empty()) {
-    throw std::invalid_argument(
+    sim::throw_invalid_input(
         "monte_carlo: `sources` must contain at least one VariationSource");
   }
   if (opt.samples == 0) {
-    throw std::invalid_argument(
+    sim::throw_invalid_input(
         "monte_carlo: MonteCarloOptions::samples must be >= 1");
   }
   const std::size_t nw = sources.size();
@@ -142,10 +142,10 @@ GradientAnalysisResult gradient_analysis(
     const PerformanceFn& f, const std::vector<VariationSource>& sources,
     const GradientAnalysisOptions& opt) {
   if (sources.empty()) {
-    throw std::invalid_argument("gradient_analysis: no sources");
+    sim::throw_invalid_input("gradient_analysis: no sources");
   }
   if (opt.step_fraction <= 0.0) {
-    throw std::invalid_argument("gradient_analysis: bad step");
+    sim::throw_invalid_input("gradient_analysis: bad step");
   }
   const std::size_t nw = sources.size();
   GradientAnalysisResult res;

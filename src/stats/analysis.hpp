@@ -106,7 +106,8 @@ struct MonteCarloResult {
 /// latin_hypercube is well-defined: the single stratum is the whole unit
 /// interval, so it degenerates to one plain draw.
 ///
-/// Throws std::invalid_argument naming the offending option if `sources`
+/// Throws sim::SimulationError (kInvalidInput) naming the offending
+/// option if `sources`
 /// is empty or `opt.samples == 0`. With the default kAbort policy,
 /// exceptions thrown by f propagate to the caller (first one wins,
 /// remaining samples are abandoned); with kSkip, simulation failures are

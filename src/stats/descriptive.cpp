@@ -5,6 +5,8 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "sim/diagnostics.hpp"
+
 namespace lcsf::stats {
 
 void OnlineStats::add(double x) {
@@ -45,13 +47,13 @@ double OnlineStats::stddev() const {
 Histogram::Histogram(double lo, double hi, std::size_t bins)
     : lo_(lo), hi_(hi), counts_(bins, 0) {
   if (bins == 0 || !(hi > lo)) {
-    throw std::invalid_argument("Histogram: bad range or bin count");
+    sim::throw_invalid_input("Histogram: bad range or bin count");
   }
 }
 
 Histogram Histogram::from_data(const std::vector<double>& data,
                                std::size_t bins) {
-  if (data.empty()) throw std::invalid_argument("Histogram: no data");
+  if (data.empty()) sim::throw_invalid_input("Histogram: no data");
   auto [mn, mx] = std::minmax_element(data.begin(), data.end());
   double lo = *mn;
   double hi = *mx;

@@ -4,6 +4,8 @@
 #include <stdexcept>
 
 #include "numeric/eigen_sym.hpp"
+#include "numeric/fp_compare.hpp"
+#include "sim/diagnostics.hpp"
 
 namespace lcsf::stats {
 
@@ -12,7 +14,7 @@ using numeric::Vector;
 
 Pca::Pca(Matrix covariance, Vector means) : means_(std::move(means)) {
   if (!covariance.square() || covariance.rows() != means_.size()) {
-    throw std::invalid_argument("Pca: dimension mismatch");
+    sim::throw_invalid_input("Pca: dimension mismatch");
   }
   const auto eig = numeric::eigen_symmetric(std::move(covariance));
   const std::size_t n = means_.size();
@@ -23,7 +25,7 @@ Pca::Pca(Matrix covariance, Vector means) : means_(std::move(means)) {
     const std::size_t src = n - 1 - k;
     double v = eig.values[src];
     if (v < -1e-9 * std::abs(eig.values[n - 1])) {
-      throw std::invalid_argument("Pca: covariance not PSD");
+      sim::throw_invalid_input("Pca: covariance not PSD");
     }
     variances_[k] = std::max(v, 0.0);
     directions_.set_col(k, eig.vectors.col(src));
@@ -32,7 +34,7 @@ Pca::Pca(Matrix covariance, Vector means) : means_(std::move(means)) {
 
 std::size_t Pca::factors_for(double fraction) const {
   if (fraction <= 0.0 || fraction > 1.0) {
-    throw std::invalid_argument("Pca::factors_for: fraction in (0,1]");
+    sim::throw_invalid_input("Pca::factors_for: fraction in (0,1]");
   }
   double total = 0.0;
   for (double v : variances_) total += v;
@@ -47,12 +49,12 @@ std::size_t Pca::factors_for(double fraction) const {
 
 Vector Pca::from_factors(const Vector& z) const {
   if (z.size() > dimension()) {
-    throw std::invalid_argument("Pca::from_factors: too many factors");
+    sim::throw_invalid_input("Pca::from_factors: too many factors");
   }
   Vector x = means_;
   for (std::size_t k = 0; k < z.size(); ++k) {
     const double scale = std::sqrt(variances_[k]) * z[k];
-    if (scale == 0.0) continue;
+    if (numeric::exact_zero(scale)) continue;
     for (std::size_t i = 0; i < dimension(); ++i) {
       x[i] += scale * directions_(i, k);
     }
@@ -62,7 +64,7 @@ Vector Pca::from_factors(const Vector& z) const {
 
 Vector Pca::to_factors(const Vector& x) const {
   if (x.size() != dimension()) {
-    throw std::invalid_argument("Pca::to_factors: dimension mismatch");
+    sim::throw_invalid_input("Pca::to_factors: dimension mismatch");
   }
   Vector z(dimension(), 0.0);
   for (std::size_t k = 0; k < dimension(); ++k) {
@@ -78,7 +80,7 @@ Vector Pca::to_factors(const Vector& x) const {
 
 Matrix equicorrelated_covariance(const Vector& sigmas, double rho) {
   if (rho < -1.0 || rho > 1.0) {
-    throw std::invalid_argument("equicorrelated_covariance: bad rho");
+    sim::throw_invalid_input("equicorrelated_covariance: bad rho");
   }
   const std::size_t n = sigmas.size();
   Matrix cov(n, n);

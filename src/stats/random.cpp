@@ -5,6 +5,8 @@
 #include <numeric>
 #include <stdexcept>
 
+#include "sim/diagnostics.hpp"
+
 namespace lcsf::stats {
 
 std::uint64_t SplitMix64::below(std::uint64_t bound) {
@@ -37,7 +39,7 @@ std::vector<std::size_t> Rng::permutation(std::size_t n) {
 
 double inverse_normal_cdf(double p) {
   if (p <= 0.0 || p >= 1.0) {
-    throw std::invalid_argument("inverse_normal_cdf: p must be in (0,1)");
+    sim::throw_invalid_input("inverse_normal_cdf: p must be in (0,1)");
   }
   // Acklam's algorithm: rational approximations in three regions.
   static const double a[] = {-3.969683028665376e+01, 2.209460984245205e+02,
@@ -77,7 +79,7 @@ double inverse_normal_cdf(double p) {
 numeric::Matrix latin_hypercube(std::size_t n_samples, std::size_t n_dims,
                                 Rng& rng) {
   if (n_samples == 0 || n_dims == 0) {
-    throw std::invalid_argument("latin_hypercube: empty design");
+    sim::throw_invalid_input("latin_hypercube: empty design");
   }
   numeric::Matrix u(n_samples, n_dims);
   for (std::size_t d = 0; d < n_dims; ++d) {

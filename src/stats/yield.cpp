@@ -5,6 +5,8 @@
 #include <stdexcept>
 
 #include "core/thread_pool.hpp"
+#include "numeric/fp_compare.hpp"
+#include "sim/diagnostics.hpp"
 #include "stats/random.hpp"
 
 namespace lcsf::stats {
@@ -13,7 +15,7 @@ double normal_cdf(double x) { return 0.5 * std::erfc(-x / std::sqrt(2.0)); }
 
 double empirical_yield(const std::vector<double>& delays,
                        double clock_period) {
-  if (delays.empty()) throw std::invalid_argument("empirical_yield: empty");
+  if (delays.empty()) sim::throw_invalid_input("empirical_yield: empty");
   std::size_t pass = 0;
   for (double d : delays) {
     if (d <= clock_period) ++pass;
@@ -25,7 +27,7 @@ std::vector<double> empirical_yield_curve(const std::vector<double>& delays,
                                           const std::vector<double>& periods,
                                           std::size_t threads) {
   if (delays.empty()) {
-    throw std::invalid_argument("empirical_yield_curve: empty sample");
+    sim::throw_invalid_input("empirical_yield_curve: empty sample");
   }
   std::vector<double> out(periods.size());
   core::parallel_for(threads, periods.size(),
@@ -58,17 +60,17 @@ McYieldEstimate monte_carlo_yield(const PerformanceFn& f,
 }
 
 double gaussian_yield(double nominal, double sigma, double clock_period) {
-  if (sigma < 0.0) throw std::invalid_argument("gaussian_yield: sigma < 0");
-  if (sigma == 0.0) return clock_period >= nominal ? 1.0 : 0.0;
+  if (sigma < 0.0) sim::throw_invalid_input("gaussian_yield: sigma < 0");
+  if (numeric::exact_zero(sigma)) return clock_period >= nominal ? 1.0 : 0.0;
   return normal_cdf((clock_period - nominal) / sigma);
 }
 
 double period_for_yield(std::vector<double> delays, double target_yield) {
   if (delays.empty()) {
-    throw std::invalid_argument("period_for_yield: empty sample");
+    sim::throw_invalid_input("period_for_yield: empty sample");
   }
   if (target_yield <= 0.0 || target_yield > 1.0) {
-    throw std::invalid_argument("period_for_yield: yield in (0,1]");
+    sim::throw_invalid_input("period_for_yield: yield in (0,1]");
   }
   std::sort(delays.begin(), delays.end());
   const double pos =
@@ -83,7 +85,7 @@ double period_for_yield(std::vector<double> delays, double target_yield) {
 double gaussian_period_for_yield(double nominal, double sigma,
                                  double target_yield) {
   if (target_yield <= 0.0 || target_yield >= 1.0) {
-    throw std::invalid_argument("gaussian_period_for_yield: yield in (0,1)");
+    sim::throw_invalid_input("gaussian_period_for_yield: yield in (0,1)");
   }
   return nominal + sigma * inverse_normal_cdf(target_yield);
 }
@@ -93,7 +95,7 @@ double corner_pessimism(double corner_delay, double statistical_quantile,
   const double corner_margin = corner_delay - nominal;
   const double stat_margin = statistical_quantile - nominal;
   if (stat_margin <= 0.0) {
-    throw std::invalid_argument("corner_pessimism: quantile <= nominal");
+    sim::throw_invalid_input("corner_pessimism: quantile <= nominal");
   }
   return corner_margin / stat_margin;
 }

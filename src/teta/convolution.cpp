@@ -3,6 +3,8 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "sim/diagnostics.hpp"
+
 namespace lcsf::teta {
 
 using numeric::Complex;
@@ -13,9 +15,10 @@ using numeric::Vector;
 RecursiveConvolver::RecursiveConvolver(const mor::PoleResidueModel& z,
                                        double dt)
     : np_(z.num_ports()), dt_(dt), d0_(z.direct()) {
-  if (dt <= 0.0) throw std::invalid_argument("RecursiveConvolver: dt <= 0");
+  if (dt <= 0.0) sim::throw_invalid_input("RecursiveConvolver: dt <= 0");
   if (z.count_unstable() > 0) {
-    throw std::invalid_argument(
+    throw sim::SimulationError(
+        sim::FailureKind::kUnstableMacromodel,
         "RecursiveConvolver: model has unstable poles; stabilize() first");
   }
   poles_ = z.poles();
@@ -55,7 +58,7 @@ RecursiveConvolver::RecursiveConvolver(const mor::PoleResidueModel& z,
 
 void RecursiveConvolver::initialize_dc(const Vector& i0) {
   if (i0.size() != np_) {
-    throw std::invalid_argument("initialize_dc: size mismatch");
+    sim::throw_invalid_input("initialize_dc: size mismatch");
   }
   // Steady current since -inf: s_kj = -i_j / p_k, so that
   // v = D0 i + sum Re(Rk s_k) = Z(0) i.
@@ -87,7 +90,7 @@ Vector RecursiveConvolver::history() const {
 
 void RecursiveConvolver::advance(const Vector& i_now) {
   if (i_now.size() != np_) {
-    throw std::invalid_argument("advance: size mismatch");
+    sim::throw_invalid_input("advance: size mismatch");
   }
   for (std::size_t k = 0; k < poles_.size(); ++k) {
     for (std::size_t j = 0; j < np_; ++j) {

@@ -23,7 +23,8 @@ namespace lcsf::teta {
 class RecursiveConvolver {
  public:
   /// The model must be stable (feed it through mor::stabilize first);
-  /// throws std::invalid_argument on right-half-plane poles.
+  /// throws sim::SimulationError (kUnstableMacromodel) on
+  /// right-half-plane poles, kInvalidInput on dt <= 0.
   RecursiveConvolver(const mor::PoleResidueModel& z, double dt);
 
   std::size_t num_ports() const { return np_; }

@@ -5,6 +5,7 @@
 #include <memory>
 #include <stdexcept>
 
+#include "numeric/fp_compare.hpp"
 #include "numeric/lu.hpp"
 #include "teta/convolution.hpp"
 
@@ -57,10 +58,10 @@ void StageCircuit::add_mosfet(Mosfet m) {
 void StageCircuit::add_capacitor(std::size_t a, std::size_t b,
                                  double farads) {
   if (a >= kinds_.size() || b >= kinds_.size() || a == b) {
-    throw std::invalid_argument("StageCircuit: bad capacitor nodes");
+    sim::throw_invalid_input("StageCircuit: bad capacitor nodes");
   }
   if (farads < 0.0) {
-    throw std::invalid_argument("StageCircuit: negative capacitance");
+    sim::throw_invalid_input("StageCircuit: negative capacitance");
   }
   caps_.push_back({static_cast<int>(a), static_cast<int>(b), farads});
 }
@@ -78,7 +79,7 @@ void StageCircuit::freeze_device_capacitances() {
     // (the load model usually carries the port ground capacitance).
     for (std::size_t n = 0; n < kinds_.size(); ++n) {
       if (kinds_[n] == StageNodeKind::kRail &&
-          rails_[kind_index_[n]] == 0.0) {
+          numeric::exact_zero(rails_[kind_index_[n]])) {
         if (d != n) add_capacitor(d, n, m.cdb());
         break;
       }
@@ -88,14 +89,14 @@ void StageCircuit::freeze_device_capacitances() {
 
 double StageCircuit::rail_voltage(std::size_t n) const {
   if (kinds_.at(n) != StageNodeKind::kRail) {
-    throw std::invalid_argument("StageCircuit: not a rail node");
+    sim::throw_invalid_input("StageCircuit: not a rail node");
   }
   return rails_[kind_index_[n]];
 }
 
 const circuit::SourceWaveform& StageCircuit::input_wave(std::size_t n) const {
   if (kinds_.at(n) != StageNodeKind::kInput) {
-    throw std::invalid_argument("StageCircuit: not an input node");
+    sim::throw_invalid_input("StageCircuit: not an input node");
   }
   return inputs_[kind_index_[n]];
 }
@@ -367,7 +368,7 @@ TetaResult simulate_stage_once(const StageCircuit& stage,
             const int col =
                 idx.node_to_unknown[static_cast<std::size_t>(cc.node)];
             const double val = sign * cc.coeff;
-            if (val == 0.0) continue;
+            if (numeric::exact_zero(val)) continue;
             if (col >= 0) {
               a(r, static_cast<std::size_t>(col)) += val;
             } else {
@@ -512,11 +513,11 @@ TetaResult simulate_stage(const StageCircuit& stage,
                           const mor::PoleResidueModel& load,
                           const TetaOptions& opt) {
   if (load.num_ports() != stage.num_ports()) {
-    throw std::invalid_argument("simulate_stage: port count mismatch");
+    sim::throw_invalid_input("simulate_stage: port count mismatch");
   }
   // An unstable pole/residue load can never be convolved (the recursive
   // convolver requires stabilize() first), so classify it up front
-  // instead of leaking the convolver's invalid_argument. The
+  // instead of leaking the convolver's exception. The
   // reject_unstable_load flag only makes the rejection an explicit policy
   // choice in the diagnostics.
   if (load.count_unstable() > 0) {

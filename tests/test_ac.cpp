@@ -9,6 +9,7 @@
 #include "interconnect/coupled_lines.hpp"
 #include "mor/pact.hpp"
 #include "mor/variational.hpp"
+#include "sim/diagnostics.hpp"
 #include "spice/ac.hpp"
 #include "spice/transient.hpp"
 
@@ -26,8 +27,8 @@ TEST(AcAnalysis, LogGrid) {
   EXPECT_NEAR(f[0], 1e6, 1.0);
   EXPECT_NEAR(f[1], 1e7, 1e3);
   EXPECT_NEAR(f[3], 1e9, 1e3);
-  EXPECT_THROW(log_frequencies(0.0, 1e9, 4), std::invalid_argument);
-  EXPECT_THROW(log_frequencies(1e6, 1e5, 4), std::invalid_argument);
+  EXPECT_THROW(log_frequencies(0.0, 1e9, 4), sim::SimulationError);
+  EXPECT_THROW(log_frequencies(1e6, 1e5, 4), sim::SimulationError);
 }
 
 TEST(AcAnalysis, RcLowPassMagnitudeAndPhase) {

@@ -8,6 +8,7 @@
 #include "numeric/complex_matrix.hpp"
 #include "numeric/eigen_real.hpp"
 #include "numeric/eigen_sym.hpp"
+#include "sim/diagnostics.hpp"
 #include "spice/transient.hpp"
 #include "stats/descriptive.hpp"
 #include "timing/sta.hpp"
@@ -107,7 +108,7 @@ TEST(SpiceEdge, MacromodelValidation) {
   bad.ports = {a};
   bad.g = Matrix(2, 3);  // non-square
   bad.c = Matrix(2, 3);
-  EXPECT_THROW(sim.add_macromodel(bad), std::invalid_argument);
+  EXPECT_THROW(sim.add_macromodel(bad), lcsf::sim::SimulationError);
 }
 
 TEST(StaEdge, UnreachableAndMissingEndpoints) {

@@ -9,6 +9,7 @@
 #include "circuit/technology.hpp"
 #include "mor/poleres.hpp"
 #include "numeric/complex_matrix.hpp"
+#include "numeric/fp_compare.hpp"
 #include "sim/diagnostics.hpp"
 #include "spice/transient.hpp"
 #include "stats/analysis.hpp"
@@ -405,7 +406,7 @@ TEST(FailSoft, YieldOfFullyFailedRunIsZeroNotAThrow) {
 TEST(FailSoft, GradientAnalysisSkipsFailedProbes) {
   // f = 2 w0 + 3 w1, but any probe touching w1 dies.
   const stats::PerformanceFn f = [](const Vector& w) -> double {
-    if (w[1] != 0.0) {
+    if (!numeric::exact_zero(w[1])) {
       sim::SimDiagnostics d;
       d.kind = sim::FailureKind::kBlowUp;
       d.detail = "probe died";

@@ -12,6 +12,7 @@
 #include "mor/pact.hpp"
 #include "mor/poleres.hpp"
 #include "mor/variational.hpp"
+#include "sim/diagnostics.hpp"
 #include "spice/transient.hpp"
 #include "stats/random.hpp"
 #include "teta/convolution.hpp"
@@ -237,7 +238,7 @@ TEST(FailureInjection, StagePortMismatchThrows) {
   const auto z = mor::extract_pole_residue(
       mor::pact_reduce(pencil, mor::PactOptions{1}).model);
   teta::TetaOptions opt;
-  EXPECT_THROW(teta::simulate_stage(stage, z, opt), std::invalid_argument);
+  EXPECT_THROW(teta::simulate_stage(stage, z, opt), sim::SimulationError);
 }
 
 TEST(FailureInjection, VariationalRomRejectsInconsistentLibrary) {

@@ -5,6 +5,7 @@
 
 #include "circuit/netlist.hpp"
 #include "circuit/technology.hpp"
+#include "sim/diagnostics.hpp"
 #include "spice/transient.hpp"
 
 namespace lcsf::spice {
@@ -257,7 +258,7 @@ TEST(Transient, RejectsFloatingVoltageSources) {
   NodeId b = nl.add_node();
   nl.add_resistor(b, kGround, 100.0);
   nl.add_vsource(a, b, SourceWaveform::dc(1.0));
-  EXPECT_THROW(TransientSimulator{nl}, std::invalid_argument);
+  EXPECT_THROW(TransientSimulator{nl}, sim::SimulationError);
 }
 
 TEST(Transient, NewtonIterationsAreCounted) {

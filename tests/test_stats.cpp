@@ -7,6 +7,7 @@
 #include <string>
 #include <vector>
 
+#include "sim/diagnostics.hpp"
 #include "stats/analysis.hpp"
 #include "stats/descriptive.hpp"
 #include "stats/pca.hpp"
@@ -40,8 +41,8 @@ TEST(InverseNormalCdf, MatchesKnownQuantiles) {
   EXPECT_NEAR(inverse_normal_cdf(0.8413447460685429), 1.0, 1e-6);
   EXPECT_NEAR(inverse_normal_cdf(0.9772498680518208), 2.0, 1e-6);
   EXPECT_NEAR(inverse_normal_cdf(0.0013498980316301), -3.0, 1e-5);
-  EXPECT_THROW(inverse_normal_cdf(0.0), std::invalid_argument);
-  EXPECT_THROW(inverse_normal_cdf(1.0), std::invalid_argument);
+  EXPECT_THROW(inverse_normal_cdf(0.0), sim::SimulationError);
+  EXPECT_THROW(inverse_normal_cdf(1.0), sim::SimulationError);
 }
 
 TEST(InverseNormalCdf, RoundTripsCdf) {
@@ -302,8 +303,9 @@ TEST(MonteCarlo, ErrorsNameTheOffendingOption) {
   MonteCarloOptions opt;
   try {
     monte_carlo(f, {}, opt);
-    FAIL() << "expected invalid_argument";
-  } catch (const std::invalid_argument& e) {
+    FAIL() << "expected SimulationError(kInvalidInput)";
+  } catch (const sim::SimulationError& e) {
+    EXPECT_EQ(e.kind(), sim::FailureKind::kInvalidInput);
     EXPECT_NE(std::string(e.what()).find("sources"), std::string::npos)
         << e.what();
   }
@@ -311,8 +313,8 @@ TEST(MonteCarlo, ErrorsNameTheOffendingOption) {
   opt.samples = 0;
   try {
     monte_carlo(f, src, opt);
-    FAIL() << "expected invalid_argument";
-  } catch (const std::invalid_argument& e) {
+    FAIL() << "expected SimulationError(kInvalidInput)";
+  } catch (const sim::SimulationError& e) {
     EXPECT_NE(std::string(e.what()).find("samples"), std::string::npos)
         << e.what();
   }

@@ -11,6 +11,7 @@
 #include "mor/pact.hpp"
 #include "mor/poleres.hpp"
 #include "mor/variational.hpp"
+#include "sim/diagnostics.hpp"
 #include "spice/transient.hpp"
 #include "teta/convolution.hpp"
 #include "teta/stage.hpp"
@@ -96,7 +97,7 @@ TEST(Convolver, DcInitializationHoldsSteadyState) {
 
 TEST(Convolver, RejectsUnstableModel) {
   mor::PoleResidueModel z = single_pole(1e12, +1e9);
-  EXPECT_THROW(RecursiveConvolver(z, 1e-12), std::invalid_argument);
+  EXPECT_THROW(RecursiveConvolver(z, 1e-12), sim::SimulationError);
 }
 
 TEST(Convolver, ComplexPairGivesRealRingingResponse) {

@@ -3,6 +3,7 @@
 
 #include <cmath>
 
+#include "sim/diagnostics.hpp"
 #include "stats/random.hpp"
 #include "stats/yield.hpp"
 
@@ -20,7 +21,7 @@ TEST(Yield, EmpiricalYield) {
   EXPECT_DOUBLE_EQ(empirical_yield(delays, 2.5), 0.5);
   EXPECT_DOUBLE_EQ(empirical_yield(delays, 0.5), 0.0);
   EXPECT_DOUBLE_EQ(empirical_yield(delays, 4.0), 1.0);
-  EXPECT_THROW(empirical_yield({}, 1.0), std::invalid_argument);
+  EXPECT_THROW(empirical_yield({}, 1.0), sim::SimulationError);
 }
 
 TEST(Yield, GaussianYieldAndInverse) {
@@ -36,7 +37,7 @@ TEST(Yield, GaussianYieldAndInverse) {
   }
   EXPECT_DOUBLE_EQ(gaussian_yield(nominal, 0.0, nominal + 1e-15), 1.0);
   EXPECT_THROW(gaussian_yield(nominal, -1.0, nominal),
-               std::invalid_argument);
+               sim::SimulationError);
 }
 
 TEST(Yield, PeriodForYieldMatchesGaussianOnLargeSample) {
@@ -48,8 +49,8 @@ TEST(Yield, PeriodForYieldMatchesGaussianOnLargeSample) {
     const double gauss = gaussian_period_for_yield(1.0, 0.1, y);
     EXPECT_NEAR(emp, gauss, 0.01) << y;
   }
-  EXPECT_THROW(period_for_yield({}, 0.5), std::invalid_argument);
-  EXPECT_THROW(period_for_yield({1.0}, 1.5), std::invalid_argument);
+  EXPECT_THROW(period_for_yield({}, 0.5), sim::SimulationError);
+  EXPECT_THROW(period_for_yield({1.0}, 1.5), sim::SimulationError);
 }
 
 TEST(Yield, EmpiricalYieldCurveMatchesPointwise) {
@@ -62,7 +63,7 @@ TEST(Yield, EmpiricalYieldCurveMatchesPointwise) {
       EXPECT_DOUBLE_EQ(curve[k], empirical_yield(delays, periods[k]));
     }
   }
-  EXPECT_THROW(empirical_yield_curve({}, periods), std::invalid_argument);
+  EXPECT_THROW(empirical_yield_curve({}, periods), sim::SimulationError);
 }
 
 TEST(Yield, MonteCarloYieldEstimatorIsThreadCountInvariant) {
@@ -90,7 +91,7 @@ TEST(Yield, CornerPessimism) {
   // Corner margin 30 ps vs statistical margin 10 ps -> 3x pessimistic.
   EXPECT_NEAR(corner_pessimism(330e-12, 310e-12, 300e-12), 3.0, 1e-9);
   EXPECT_THROW(corner_pessimism(330e-12, 290e-12, 300e-12),
-               std::invalid_argument);
+               sim::SimulationError);
 }
 
 }  // namespace

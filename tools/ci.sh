@@ -1,0 +1,78 @@
+#!/usr/bin/env bash
+# Full local CI matrix: everything the tree gates on, in one command.
+#
+#   release   : plain optimized build + full ctest suite
+#   asan-ubsan: LCSF_SANITIZE=address,undefined build + full ctest suite
+#   tsan      : LCSF_SANITIZE=thread build + full ctest suite (includes
+#               the dedicated test_tsan_stress workload)
+#   doc-lint  : documentation link/anchor checker
+#   lcsf-lint : project-invariant static analysis (+ clang-tidy when
+#               installed, via tools/lint.sh)
+#
+# Each stage runs to completion even after earlier failures so one pass
+# reports everything; the summary table at the end and the exit status
+# give the verdict. Build trees: build-ci-<stage>/.
+#
+# Usage: tools/ci.sh [-j N]
+set -u
+cd "$(dirname "$0")/.."
+
+JOBS=$(nproc 2> /dev/null || echo 4)
+while getopts "j:" opt; do
+  case "$opt" in
+    j) JOBS="$OPTARG" ;;
+    *) echo "usage: tools/ci.sh [-j N]" >&2; exit 2 ;;
+  esac
+done
+
+STAGES=()
+RESULTS=()
+
+record() { # name status
+  STAGES+=("$1")
+  RESULTS+=("$2")
+}
+
+# run_build_stage <name> <build-dir> <cmake-extra...>
+run_build_stage() {
+  local name="$1" dir="$2"
+  shift 2
+  echo
+  echo "==== stage: $name ===="
+  if cmake -B "$dir" -S . "$@" \
+      && cmake --build "$dir" -j "$JOBS" \
+      && ctest --test-dir "$dir" -j "$JOBS" --output-on-failure; then
+    record "$name" PASS
+  else
+    record "$name" FAIL
+  fi
+}
+
+run_build_stage release build-ci-release
+run_build_stage asan-ubsan build-ci-asan -DLCSF_SANITIZE=address,undefined
+run_build_stage tsan build-ci-tsan -DLCSF_SANITIZE=thread
+
+echo
+echo "==== stage: doc-lint ===="
+if ctest --test-dir build-ci-release -R '^doc_lint$' --output-on-failure; then
+  record doc-lint PASS
+else
+  record doc-lint FAIL
+fi
+
+echo
+echo "==== stage: lcsf-lint ===="
+if tools/lint.sh build-ci-release; then
+  record lcsf-lint PASS
+else
+  record lcsf-lint FAIL
+fi
+
+echo
+echo "==== summary ===="
+FAILED=0
+for i in "${!STAGES[@]}"; do
+  printf '  %-12s %s\n' "${STAGES[$i]}" "${RESULTS[$i]}"
+  [ "${RESULTS[$i]}" = FAIL ] && FAILED=1
+done
+exit $FAILED

@@ -1,0 +1,102 @@
+// lcsf_lint: project-invariant static analysis driver.
+//
+// Scans src/, tools/, bench/ and tests/ for violations of the
+// invariants the compiler cannot see (deterministic RNG streams,
+// classified failure paths, exact float comparisons, pooled
+// parallelism, header hygiene) and exits non-zero on any finding.
+// Registered as the `lcsf_lint` ctest (label: lint), so the invariants
+// are enforced on every `ctest` run; see docs/static_analysis.md.
+//
+// Usage:
+//   lcsf_lint [--root <repo-root>] [--list-rules] [paths...]
+//
+// `paths` (repo-relative files or directories) restrict the scan; the
+// default is the four standard trees.
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "lint_engine.hpp"
+
+namespace fs = std::filesystem;
+
+namespace {
+
+bool lintable(const fs::path& p) {
+  const std::string ext = p.extension().string();
+  return ext == ".cpp" || ext == ".hpp";
+}
+
+std::string read_file(const fs::path& p) {
+  std::ifstream in(p, std::ios::binary);
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+void collect(const fs::path& root, const fs::path& arg,
+             std::vector<fs::path>& files) {
+  const fs::path full = root / arg;
+  if (fs::is_regular_file(full)) {
+    if (lintable(full)) files.push_back(arg);
+    return;
+  }
+  if (!fs::is_directory(full)) return;
+  for (const auto& entry : fs::recursive_directory_iterator(full)) {
+    if (!entry.is_regular_file() || !lintable(entry.path())) continue;
+    files.push_back(fs::relative(entry.path(), root));
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  fs::path root = ".";
+  std::vector<fs::path> args;
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    if (a == "--root" && i + 1 < argc) {
+      root = argv[++i];
+    } else if (a == "--list-rules") {
+      for (const auto& r : lcsf::lint::rules()) {
+        std::printf("%-24s %s\n", r.id, r.summary);
+      }
+      return 0;
+    } else if (a == "--help" || a == "-h") {
+      std::printf("usage: lcsf_lint [--root <dir>] [--list-rules] "
+                  "[paths...]\n");
+      return 0;
+    } else {
+      args.emplace_back(a);
+    }
+  }
+  if (args.empty()) {
+    args = {"src", "tools", "bench", "tests"};
+  }
+
+  std::vector<fs::path> files;
+  for (const auto& a : args) collect(root, a, files);
+  std::sort(files.begin(), files.end());
+
+  std::size_t total = 0;
+  for (const auto& rel : files) {
+    const std::string path = rel.generic_string();
+    const auto findings = lcsf::lint::lint_source(path, read_file(root / rel));
+    for (const auto& f : findings) {
+      std::printf("%s:%zu: [%s] %s\n", path.c_str(), f.line, f.rule.c_str(),
+                  f.message.c_str());
+    }
+    total += findings.size();
+  }
+  if (total > 0) {
+    std::printf("lcsf_lint: %zu finding(s) in %zu file(s) scanned\n", total,
+                files.size());
+    return 1;
+  }
+  std::printf("lcsf_lint: clean (%zu files scanned)\n", files.size());
+  return 0;
+}

@@ -1,0 +1,378 @@
+#include "lint_engine.hpp"
+
+#include <algorithm>
+#include <map>
+#include <regex>
+
+namespace lcsf::lint {
+
+namespace {
+
+// ---------------------------------------------------------------------
+// Scrubber: blank out comments and literals, collect comment text.
+// ---------------------------------------------------------------------
+
+enum class ScrubState {
+  kCode,
+  kLineComment,
+  kBlockComment,
+  kString,
+  kChar,
+  kRawString,
+};
+
+bool is_ident_char(char c) {
+  return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+         (c >= '0' && c <= '9') || c == '_';
+}
+
+}  // namespace
+
+ScrubbedSource scrub(const std::string& content) {
+  ScrubbedSource out;
+  std::string code;
+  std::string comment;
+  ScrubState state = ScrubState::kCode;
+  std::string raw_delim;  // ")delim" terminator of an active raw string
+  char prev_code = '\0';  // last code char, to tell 'c' from digit sep.
+
+  auto flush_line = [&] {
+    out.code.push_back(code);
+    out.comments.push_back(comment);
+    code.clear();
+    comment.clear();
+  };
+
+  const std::size_t n = content.size();
+  for (std::size_t i = 0; i < n; ++i) {
+    const char c = content[i];
+    const char next = (i + 1 < n) ? content[i + 1] : '\0';
+    if (c == '\n') {
+      // Newline ends line comments; strings/blocks continue (a dangling
+      // unterminated string just scrubs to end of file, fail-safe).
+      if (state == ScrubState::kLineComment) state = ScrubState::kCode;
+      flush_line();
+      continue;
+    }
+    if (c == '\r') continue;
+    switch (state) {
+      case ScrubState::kCode:
+        if (c == '/' && next == '/') {
+          state = ScrubState::kLineComment;
+          ++i;
+        } else if (c == '/' && next == '*') {
+          state = ScrubState::kBlockComment;
+          ++i;
+        } else if (c == '"') {
+          // R"delim( opens a raw string; the R must not be glued to a
+          // preceding identifier (operator""_x, LR"..." are not used).
+          if (prev_code == 'R' &&
+              (code.size() < 2 || !is_ident_char(code[code.size() - 2]))) {
+            std::size_t j = i + 1;
+            while (j < n && content[j] != '(' && content[j] != '\n') ++j;
+            if (j < n && content[j] == '(') {
+              raw_delim = ")" + content.substr(i + 1, j - i - 1) + "\"";
+              state = ScrubState::kRawString;
+              code += ' ';
+              i = j;  // skip past the opening '('
+              break;
+            }
+          }
+          state = ScrubState::kString;
+          code += ' ';
+          prev_code = '\0';
+        } else if (c == '\'' && !is_ident_char(prev_code)) {
+          // A quote after an identifier/digit is a digit separator
+          // (1'000) -- only a bare quote opens a char literal.
+          state = ScrubState::kChar;
+          code += ' ';
+          prev_code = '\0';
+        } else {
+          code += c;
+          prev_code = c;
+        }
+        break;
+      case ScrubState::kLineComment:
+        comment += c;
+        break;
+      case ScrubState::kBlockComment:
+        if (c == '*' && next == '/') {
+          state = ScrubState::kCode;
+          code += ' ';
+          ++i;
+        } else {
+          comment += c;
+        }
+        break;
+      case ScrubState::kString:
+      case ScrubState::kChar:
+        if (c == '\\') {
+          ++i;  // skip the escaped char (never a newline in valid C++)
+        } else if ((state == ScrubState::kString && c == '"') ||
+                   (state == ScrubState::kChar && c == '\'')) {
+          state = ScrubState::kCode;
+        }
+        break;
+      case ScrubState::kRawString:
+        if (c == ')' && content.compare(i, raw_delim.size(), raw_delim) == 0) {
+          i += raw_delim.size() - 1;
+          state = ScrubState::kCode;
+        }
+        break;
+    }
+  }
+  flush_line();
+  return out;
+}
+
+namespace {
+
+// ---------------------------------------------------------------------
+// Rules
+// ---------------------------------------------------------------------
+
+const char* const kRngRule = "nondeterministic-rng";
+const char* const kThrowRule = "raw-engine-throw";
+const char* const kFloatEqRule = "float-equality";
+const char* const kThreadRule = "thread-outside-pool";
+const char* const kGuardRule = "include-guard";
+const char* const kUsingRule = "using-namespace-header";
+
+bool starts_with(const std::string& s, const char* prefix) {
+  return s.rfind(prefix, 0) == 0;
+}
+
+bool ends_with(const std::string& s, const char* suffix) {
+  const std::string suf(suffix);
+  return s.size() >= suf.size() &&
+         s.compare(s.size() - suf.size(), suf.size(), suf) == 0;
+}
+
+bool is_header(const std::string& path) { return ends_with(path, ".hpp"); }
+
+/// Engine directories whose failure paths must speak SimDiagnostics.
+bool in_engine_dir(const std::string& path) {
+  return starts_with(path, "src/spice/") || starts_with(path, "src/teta/") ||
+         starts_with(path, "src/stats/");
+}
+
+/// The one sanctioned home for raw std::thread / std::async.
+bool is_thread_pool_file(const std::string& path) {
+  return path == "src/core/thread_pool.hpp" ||
+         path == "src/core/thread_pool.cpp";
+}
+
+struct Rule {
+  const char* id;
+  std::regex pattern;
+  const char* message;
+  bool (*applies)(const std::string& path);
+};
+
+const std::vector<Rule>& line_rules() {
+  // Patterns run on scrubbed code, so string literals and comments can
+  // never trigger them.
+  static const std::vector<Rule> rules = {
+      {kRngRule,
+       std::regex(R"(\b(s?rand|time|clock)\s*\()"),
+       "non-deterministic source: libc rand()/srand()/time()/clock() break "
+       "the bitwise-reproducibility contract; derive variates from "
+       "stats::sample_stream (counter-based SplitMix64)",
+       [](const std::string&) { return true; }},
+      {kRngRule,
+       std::regex(R"(\brandom_device\b)"),
+       "std::random_device is non-deterministic; seed explicitly and draw "
+       "from stats::sample_stream (counter-based SplitMix64)",
+       [](const std::string&) { return true; }},
+      {kRngRule,
+       std::regex(R"(\bmt19937(_64)?\s+[A-Za-z_]\w*\s*(;|\{\s*\}|\(\s*\)))"),
+       "default-constructed mt19937 uses the fixed default seed and hides "
+       "the seeding decision; construct with an explicit seed, or use "
+       "stats::sample_stream for per-sample determinism",
+       [](const std::string&) { return true; }},
+      {kThrowRule,
+       std::regex(R"(\bthrow\s+std\s*::\s*(runtime_error|invalid_argument)\b)"),
+       "engine code must not throw naked std::runtime_error/"
+       "invalid_argument: route failures through sim::SimulationError "
+       "(sim::throw_invalid_input for precondition checks) so fail-soft "
+       "drivers can classify them (docs/robustness.md)",
+       in_engine_dir},
+      {kFloatEqRule,
+       std::regex(
+           R"(((\d+\.\d*|\.\d+)([eE][-+]?\d+)?|\d+[eE][-+]?\d+)[fFlL]?\s*[=!]=)"
+           R"(|[=!]=\s*[-+]?((\d+\.\d*|\.\d+)([eE][-+]?\d+)?|\d+[eE][-+]?\d+))"),
+       "exact ==/!= against a floating-point literal: use "
+       "numeric::exact_eq/exact_zero when bitwise comparison is intended, "
+       "or an explicit |a-b| <= tol otherwise",
+       [](const std::string&) { return true; }},
+      {kThreadRule,
+       std::regex(R"(\bstd\s*::\s*(thread|jthread|async)\b)"),
+       "raw std::thread/std::async outside core::ThreadPool: all "
+       "parallelism must go through the pool so LCSF_THREADS, nesting "
+       "rules and the determinism contract hold",
+       [](const std::string& p) { return !is_thread_pool_file(p); }},
+      {kUsingRule,
+       std::regex(R"(\busing\s+namespace\b)"),
+       "`using namespace` in a header pollutes every includer",
+       is_header},
+  };
+  return rules;
+}
+
+/// Suppression directive parsed out of the comment stream.
+struct Suppression {
+  std::string rule;
+  std::size_t line = 0;  ///< where the directive lives
+  bool justified = false;
+  bool used = false;
+};
+
+std::vector<Suppression> parse_suppressions(
+    const std::vector<std::string>& comments,
+    std::vector<Finding>& meta_findings) {
+  // File-scope directive: the rule is silenced for the whole file, and
+  // a justification after ` -- ` is mandatory. (The directive string is
+  // assembled here so this file's own comment stream never contains it.)
+  static const std::regex dir(
+      std::string("lcsf-lint\\s*:\\s*") +
+      "allow\\(([A-Za-z0-9_-]+)\\)[ \t]*(?:--)?[ \t]*(.*)");
+  std::vector<Suppression> sup;
+  for (std::size_t i = 0; i < comments.size(); ++i) {
+    std::smatch m;
+    if (!std::regex_search(comments[i], m, dir)) continue;
+    Suppression s;
+    s.rule = m[1];
+    s.line = i + 1;
+    if (!is_rule(s.rule)) {
+      meta_findings.push_back(
+          {"unknown-rule-suppression", s.line,
+           "suppression names unknown rule '" + s.rule + "'"});
+      continue;
+    }
+    // Count multi-line justifications: a directive whose own line has no
+    // text still counts as justified when the next comment line carries
+    // the explanation.
+    std::string just = m[2];
+    if (just.empty() && i + 1 < comments.size()) just = comments[i + 1];
+    s.justified =
+        std::count_if(just.begin(), just.end(),
+                      [](unsigned char c) { return std::isalpha(c); }) >= 3;
+    if (!s.justified) {
+      meta_findings.push_back(
+          {"suppression-missing-justification", s.line,
+           "suppression of '" + s.rule +
+               "' has no justification; write `-- <why this file is "
+               "allowed to break the rule>`"});
+    }
+    sup.push_back(std::move(s));
+  }
+  return sup;
+}
+
+}  // namespace
+
+const std::vector<RuleInfo>& rules() {
+  static const std::vector<RuleInfo> info = {
+      {kRngRule,
+       "no rand()/srand()/time()/clock()/std::random_device/default-seeded "
+       "mt19937; deterministic paths draw from counter-based SplitMix64 "
+       "streams"},
+      {kThrowRule,
+       "src/{spice,teta,stats} must not throw naked std::runtime_error/"
+       "invalid_argument; failures route through sim::SimulationError"},
+      {kFloatEqRule,
+       "no raw ==/!= against floating-point literals; use "
+       "numeric::exact_eq/exact_zero or an explicit tolerance"},
+      {kThreadRule,
+       "no std::thread/std::jthread/std::async outside "
+       "src/core/thread_pool.*"},
+      {kGuardRule,
+       "headers use #pragma once (before any code, no legacy #ifndef "
+       "guards)"},
+      {kUsingRule, "no `using namespace` in headers"},
+  };
+  return info;
+}
+
+bool is_rule(const std::string& id) {
+  const auto& r = rules();
+  return std::any_of(r.begin(), r.end(),
+                     [&](const RuleInfo& i) { return id == i.id; });
+}
+
+std::vector<Finding> lint_source(const std::string& path,
+                                 const std::string& content) {
+  const ScrubbedSource src = scrub(content);
+  std::vector<Finding> meta;
+  std::vector<Suppression> suppressions = parse_suppressions(src.comments, meta);
+
+  auto suppressed = [&](const std::string& rule) -> bool {
+    for (auto& s : suppressions) {
+      if (s.rule == rule) {
+        s.used = true;
+        return true;
+      }
+    }
+    return false;
+  };
+
+  std::vector<Finding> findings;
+  for (std::size_t i = 0; i < src.code.size(); ++i) {
+    const std::string& line = src.code[i];
+    if (line.empty()) continue;
+    for (const Rule& rule : line_rules()) {
+      if (!rule.applies(path)) continue;
+      if (!std::regex_search(line, rule.pattern)) continue;
+      if (suppressed(rule.id)) continue;
+      findings.push_back({rule.id, i + 1, rule.message});
+    }
+  }
+
+  // Header hygiene: #pragma once present, and no legacy #ifndef guard.
+  if (is_header(path)) {
+    static const std::regex pragma_once(R"(^\s*#\s*pragma\s+once\b)");
+    static const std::regex ifndef_guard(R"(^\s*#\s*ifndef\s+\w*_(HPP|H)_?\b)");
+    bool has_pragma = false;
+    for (const auto& line : src.code) {
+      if (std::regex_search(line, pragma_once)) {
+        has_pragma = true;
+        break;
+      }
+    }
+    if (!has_pragma && !suppressed(kGuardRule)) {
+      findings.push_back(
+          {kGuardRule, 1,
+           "header has no #pragma once (the project's one guard style)"});
+    }
+    for (std::size_t i = 0; i < src.code.size(); ++i) {
+      if (std::regex_search(src.code[i], ifndef_guard)) {
+        if (!suppressed(kGuardRule)) {
+          findings.push_back(
+              {kGuardRule, i + 1,
+               "legacy #ifndef include guard; the project convention is "
+               "#pragma once"});
+        }
+        break;
+      }
+    }
+  }
+
+  // A suppression that silenced nothing is itself a finding: stale
+  // directives rot into blanket licenses to reintroduce the bug.
+  for (const auto& s : suppressions) {
+    if (!s.used) {
+      meta.push_back({"unused-suppression", s.line,
+                      "suppression of '" + s.rule +
+                          "' matched no finding; delete the stale directive"});
+    }
+  }
+
+  findings.insert(findings.end(), meta.begin(), meta.end());
+  std::sort(findings.begin(), findings.end(),
+            [](const Finding& a, const Finding& b) {
+              return a.line != b.line ? a.line < b.line : a.rule < b.rule;
+            });
+  return findings;
+}
+
+}  // namespace lcsf::lint

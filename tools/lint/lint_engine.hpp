@@ -1,0 +1,63 @@
+// Project-invariant lint engine behind the lcsf_lint driver.
+//
+// The framework's correctness rests on invariants the C++ toolchain
+// cannot check: deterministic counter-based RNG streams (the
+// thread-count-invariance contract of docs/monte_carlo.md), classified
+// sim::SimDiagnostics failure paths instead of naked throws
+// (docs/robustness.md), no exact floating-point comparison on computed
+// quantities, and all parallelism routed through core::ThreadPool. This
+// engine scans source text for violations of those invariants; the
+// rules are deliberately textual (a scrubber removes comments and
+// string literals first) so the tool builds with zero dependencies and
+// runs in milliseconds as a ctest. docs/static_analysis.md documents
+// every rule, its paper invariant, and the suppression syntax.
+//
+// Split from the driver so tests/test_lint.cpp can feed synthetic
+// sources through lint_source() and assert exact rule ids and lines.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace lcsf::lint {
+
+/// One rule violation (or suppression problem) in one file.
+struct Finding {
+  std::string rule;     ///< stable rule id (see rules())
+  std::size_t line = 0; ///< 1-based line number
+  std::string message;  ///< human-readable explanation
+};
+
+/// Static description of one rule, for --list-rules and the docs.
+struct RuleInfo {
+  const char* id;
+  const char* summary;
+};
+
+/// Every enforced rule, in reporting order. The meta-findings emitted by
+/// the suppression checker (unknown-rule-suppression,
+/// suppression-missing-justification, unused-suppression) are not listed
+/// here and cannot themselves be suppressed.
+const std::vector<RuleInfo>& rules();
+
+/// True when `id` names an entry of rules().
+bool is_rule(const std::string& id);
+
+/// Source text split into parallel per-line views: `code` has comments,
+/// string literals and char literals blanked out (line structure kept),
+/// `comments` has only the comment text. Rules scan `code`; the
+/// suppression parser scans `comments`. Exposed for direct testing.
+struct ScrubbedSource {
+  std::vector<std::string> code;
+  std::vector<std::string> comments;
+};
+ScrubbedSource scrub(const std::string& content);
+
+/// Lint one file. `path` must be the repo-relative path with forward
+/// slashes (e.g. "src/spice/transient.cpp"): several rules scope on it.
+/// Returns all findings, in line order, suppressions already applied.
+std::vector<Finding> lint_source(const std::string& path,
+                                 const std::string& content);
+
+}  // namespace lcsf::lint
