@@ -44,6 +44,23 @@ void BM_DenseLu(benchmark::State& state) {
 }
 BENCHMARK(BM_DenseLu)->Arg(8)->Arg(32)->Arg(128);
 
+void BM_DenseLuRefactor(benchmark::State& state) {
+  // The pooled hot-path variant: same factorization + solve, but storage
+  // and pivoting scratch are reused across iterations (Matrix shapes are
+  // per-sample invariant in the Monte-Carlo loop).
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const Matrix a = random_spd(n, 1);
+  const Vector b(n, 1.0);
+  numeric::LuFactorization lu;
+  Vector x;
+  for (auto _ : state) {
+    lu.refactor(a);
+    lu.solve_into(b, x);
+    benchmark::DoNotOptimize(x.data());
+  }
+}
+BENCHMARK(BM_DenseLuRefactor)->Arg(8)->Arg(32)->Arg(128);
+
 void BM_SparseLuBanded(benchmark::State& state) {
   const auto n = static_cast<std::size_t>(state.range(0));
   numeric::SparseMatrix a(n);
@@ -64,6 +81,33 @@ void BM_SparseLuBanded(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_SparseLuBanded)->Arg(256)->Arg(1024)->Arg(4096);
+
+void BM_SparseLuRefactor(benchmark::State& state) {
+  // Numeric-only refactorization against the frozen fill pattern -- the
+  // per-Newton-iteration cost of the SPICE baseline after PR 4.
+  const auto n = static_cast<std::size_t>(state.range(0));
+  numeric::SparseMatrix a(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    a.add(i, i, 4.0);
+    if (i + 1 < n) {
+      a.add(i, i + 1, -1.0);
+      a.add(i + 1, i, -1.0);
+    }
+    if (i + 4 < n) {
+      a.add(i, i + 4, -0.5);
+      a.add(i + 4, i, -0.5);
+    }
+  }
+  const Vector b(n, 1.0);
+  numeric::SparseLu lu(a);
+  Vector x;
+  for (auto _ : state) {
+    lu.refactor(a);
+    lu.solve_into(b, x);
+    benchmark::DoNotOptimize(x.data());
+  }
+}
+BENCHMARK(BM_SparseLuRefactor)->Arg(256)->Arg(1024)->Arg(4096);
 
 void BM_EigenSymJacobi(benchmark::State& state) {
   const auto n = static_cast<std::size_t>(state.range(0));
@@ -96,6 +140,25 @@ void BM_EigenRealNonsymmetric(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_EigenRealNonsymmetric)->Arg(8)->Arg(16)->Arg(32);
+
+void BM_EigenRealInto(benchmark::State& state) {
+  // Scratch-pooled Hessenberg + hqr2: the per-sample eigen solve of the
+  // pole/residue extraction without its allocations.
+  const auto n = static_cast<std::size_t>(state.range(0));
+  std::mt19937 rng(3);
+  std::uniform_real_distribution<double> u(-1.0, 1.0);
+  Matrix a(n, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) a(i, j) = u(rng);
+  }
+  numeric::RealEigenScratch scratch;
+  numeric::RealEigen eig;
+  for (auto _ : state) {
+    numeric::eigen_real_into(a, scratch, eig);
+    benchmark::DoNotOptimize(eig.values.data());
+  }
+}
+BENCHMARK(BM_EigenRealInto)->Arg(8)->Arg(16)->Arg(32);
 
 interconnect::PortedPencil wire_pencil(std::size_t segments) {
   interconnect::CoupledLineSpec spec;
@@ -138,6 +201,20 @@ void BM_PoleResidueExtraction(benchmark::State& state) {
 }
 BENCHMARK(BM_PoleResidueExtraction)->Arg(4)->Arg(8)->Arg(16);
 
+void BM_PoleResidueExtractionPooled(benchmark::State& state) {
+  // Workspace overload: the big-ticket intermediates (LU, eigen scratch,
+  // complex solves) come from the pooled workspace.
+  const auto pencil = wire_pencil(100);
+  const auto rom = mor::pact_reduce(
+      pencil,
+      mor::PactOptions{static_cast<std::size_t>(state.range(0))}).model;
+  mor::PoleResidueWorkspace ws;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(mor::extract_pole_residue(rom, ws));
+  }
+}
+BENCHMARK(BM_PoleResidueExtractionPooled)->Arg(4)->Arg(8)->Arg(16);
+
 void BM_RecursiveConvolutionStep(benchmark::State& state) {
   const auto pencil = wire_pencil(100);
   const auto z = mor::stabilize(mor::extract_pole_residue(
@@ -150,6 +227,23 @@ void BM_RecursiveConvolutionStep(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_RecursiveConvolutionStep);
+
+void BM_RecursiveConvolutionStepPooled(benchmark::State& state) {
+  // history_into() against a caller-owned buffer: the TETA transient-loop
+  // form (one of the two allocations the legacy step paid per timestep).
+  const auto pencil = wire_pencil(100);
+  const auto z = mor::stabilize(mor::extract_pole_residue(
+      mor::pact_reduce(pencil, mor::PactOptions{8}).model));
+  teta::RecursiveConvolver conv(z, 1e-12);
+  const Vector i(4, 1e-4);
+  Vector hist;
+  for (auto _ : state) {
+    conv.history_into(hist);
+    benchmark::DoNotOptimize(hist.data());
+    conv.advance(i);
+  }
+}
+BENCHMARK(BM_RecursiveConvolutionStepPooled);
 
 }  // namespace
 

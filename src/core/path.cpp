@@ -3,8 +3,10 @@
 #include <algorithm>
 #include <cmath>
 #include <map>
+#include <memory>
 #include <stdexcept>
 
+#include "core/thread_pool.hpp"
 #include "interconnect/coupled_lines.hpp"
 #include "spice/transient.hpp"
 #include "teta/stage.hpp"
@@ -157,7 +159,8 @@ PathAnalyzer::PathAnalyzer(PathSpec spec) : spec_(std::move(spec)) {
 Samples PathAnalyzer::simulate_stage(
     std::size_t k, const SourceWaveform& input,
     const timing::DeviceVariation& dev,
-    const interconnect::WireVariation& wire, double window_scale) const {
+    const interconnect::WireVariation& wire, double window_scale,
+    SampleWorkspace* ws) const {
   const Stage& st = stages_[k];
   // Normalized wire sample for the ROM library.
   const Vector w{
@@ -167,10 +170,18 @@ Samples PathAnalyzer::simulate_stage(
       spec_.tech.wire_tol.ild_thickness > 0.0
           ? wire.ild_thickness / spec_.tech.wire_tol.ild_thickness
           : 0.0};
-  mor::ReducedModel rom = st.load.evaluate(w);
-  mor::PoleResidueModel z =
-      mor::stabilize(mor::extract_pole_residue(rom), nullptr,
-                     mor::StabilizePolicy::kDirectCompensation);
+  mor::PoleResidueModel z;
+  if (ws != nullptr) {
+    // Pooled path: evaluate the variational ROM and extract poles through
+    // the per-lane workspace -- bitwise identical to the plain path.
+    st.load.evaluate_into(w, ws->rom);
+    z = mor::stabilize(mor::extract_pole_residue(ws->rom, ws->poleres),
+                       nullptr, mor::StabilizePolicy::kDirectCompensation);
+  } else {
+    mor::ReducedModel rom = st.load.evaluate(w);
+    z = mor::stabilize(mor::extract_pole_residue(rom), nullptr,
+                       mor::StabilizePolicy::kDirectCompensation);
+  }
 
   teta::StageCircuit stage;
   const std::size_t out = stage.add_port();
@@ -187,6 +198,14 @@ Samples PathAnalyzer::simulate_stage(
   opt.tstop = spec_.stage_window * window_scale;
   opt.vdd = spec_.tech.vdd;
   opt.recovery = spec_.recovery;
+  if (ws != nullptr) {
+    teta::simulate_stage(stage, z, opt, ws->teta, ws->teta_result);
+    const teta::TetaResult& res = ws->teta_result;
+    if (!res.converged) {
+      throw sim::SimulationError(res.diag);
+    }
+    return res.waveform(1);  // far port
+  }
   teta::TetaResult res = teta::simulate_stage(stage, z, opt);
   if (!res.converged) {
     throw sim::SimulationError(res.diag);
@@ -198,13 +217,13 @@ RampParams PathAnalyzer::measure_with_retry(
     std::size_t k, const SourceWaveform& input, double shift,
     const timing::DeviceVariation& dev,
     const interconnect::WireVariation& wire, bool out_rising,
-    Samples* out_samples) const {
+    Samples* out_samples, SampleWorkspace* ws) const {
   // The stage window is a heuristic; if the output transition does not
   // complete inside it, re-simulate with a doubled window (bounded).
   sim::SimDiagnostics last;
   for (double scale : {1.0, 2.0, 4.0}) {
     try {
-      Samples out = simulate_stage(k, input, dev, wire, scale);
+      Samples out = simulate_stage(k, input, dev, wire, scale, ws);
       RampParams p = timing::measure_ramp(out, spec_.tech.vdd, out_rising);
       p.m += shift;
       if (out_samples != nullptr) *out_samples = shifted(out, shift);
@@ -228,9 +247,15 @@ PathDelayResult PathAnalyzer::framework_delay(const PathSample& sample)
   return run_chain(sample, nullptr);
 }
 
+PathDelayResult PathAnalyzer::framework_delay(const PathSample& sample,
+                                              SampleWorkspace& ws) const {
+  return run_chain(sample, nullptr, &ws);
+}
+
 PathDelayResult PathAnalyzer::run_chain(
     const PathSample& sample,
-    std::vector<timing::RampParams>* stage_inputs) const {
+    std::vector<timing::RampParams>* stage_inputs,
+    SampleWorkspace* ws) const {
   if (sample.device.size() != stages_.size()) {
     throw std::invalid_argument("framework_delay: sample size mismatch");
   }
@@ -255,7 +280,7 @@ PathDelayResult PathAnalyzer::run_chain(
     }
     Samples out;
     out_params = measure_with_retry(k, local, shift, sample.device[k],
-                                    sample.wire, out_rising, &out);
+                                    sample.wire, out_rising, &out, ws);
 
     // Propagate the fine-resolution PWL (adaptively compressed).
     wave = SourceWaveform::pwl(teta::compress_pwl(out, 1e-4 * vdd));
@@ -387,11 +412,40 @@ std::vector<stats::VariationSource> PathAnalyzer::sources(
   return src;
 }
 
+namespace {
+
+/// Per-lane workspace pool for the laned statistical drivers: one
+/// SampleWorkspace per thread lane, created on first touch. A lane is
+/// only ever used by one thread at a time (core::ThreadPool contract),
+/// so no locking is needed.
+class LaneWorkspaces {
+ public:
+  explicit LaneWorkspaces(std::size_t threads)
+      : lanes_(std::max<std::size_t>(
+            1, threads == 0 ? core::ThreadPool::default_threads()
+                            : threads)) {}
+
+  PathAnalyzer::SampleWorkspace& lane(std::size_t k) {
+    if (!lanes_[k]) {
+      lanes_[k] = std::make_unique<PathAnalyzer::SampleWorkspace>();
+    }
+    return *lanes_[k];
+  }
+
+ private:
+  std::vector<std::unique_ptr<PathAnalyzer::SampleWorkspace>> lanes_;
+};
+
+}  // namespace
+
 stats::MonteCarloResult PathAnalyzer::monte_carlo(
     const PathVariationModel& model,
     const stats::MonteCarloOptions& opt) const {
-  auto f = [this, &model](const Vector& w) {
-    return framework_delay(sample_from_sources(model, w)).delay;
+  LaneWorkspaces pool(opt.threads);
+  stats::LanedPerformanceFn f = [this, &model, &pool](const Vector& w,
+                                                      std::size_t lane) {
+    return framework_delay(sample_from_sources(model, w), pool.lane(lane))
+        .delay;
   };
   return stats::monte_carlo(f, sources(model), opt);
 }
@@ -430,9 +484,12 @@ PathAnalyzer::CorrelatedMcResult PathAnalyzer::monte_carlo_correlated(
   // Sample the leading independent factors; reverse-transform to the
   // physical sources (Sec. 4.1.1's "by-product reverse transformation").
   std::vector<stats::VariationSource> factor_src(nfactors);
-  auto f = [this, &model, &pca](const Vector& z) {
+  LaneWorkspaces pool(opt.threads);
+  stats::LanedPerformanceFn f = [this, &model, &pca, &pool](
+                                    const Vector& z, std::size_t lane) {
     const Vector w = pca.from_factors(z);
-    return framework_delay(sample_from_sources(model, w)).delay;
+    return framework_delay(sample_from_sources(model, w), pool.lane(lane))
+        .delay;
   };
   CorrelatedMcResult res;
   res.mc = stats::monte_carlo(f, factor_src, opt);

@@ -24,6 +24,7 @@
 #include "stats/analysis.hpp"
 #include "stats/pca.hpp"
 #include "stats/descriptive.hpp"
+#include "teta/stage.hpp"
 #include "timing/cells.hpp"
 #include "timing/sta.hpp"
 #include "timing/waveform.hpp"
@@ -91,10 +92,31 @@ class PathAnalyzer {
   std::size_t num_stages() const { return spec_.cells.size(); }
   const PathSpec& spec() const { return spec_; }
 
+  /// Reusable per-worker scratch covering the whole per-sample pipeline
+  /// (ROM evaluation -> pole/residue extraction -> TETA transient). One
+  /// workspace per Monte-Carlo lane makes repeated framework_delay calls
+  /// allocation-free after the first sample; see docs/performance.md.
+  struct SampleWorkspace {
+    mor::ReducedModel rom;
+    mor::PoleResidueWorkspace poleres;
+    teta::TetaWorkspace teta;
+    /// Reused TETA result: the waveform storage (time axis + per-step port
+    /// vectors) is recycled across samples by the pooled simulate_stage
+    /// overload.
+    teta::TetaResult teta_result;
+  };
+
   /// Stage-by-stage TETA evaluation at one parameter sample. Throws
   /// sim::SimulationError (with classified diagnostics) when a stage does
   /// not converge within spec().recovery's retry budget.
   PathDelayResult framework_delay(const PathSample& sample) const;
+
+  /// Workspace-pooled overload: numerically identical, but draws every
+  /// engine intermediate from `ws`. The caller guarantees `ws` is not used
+  /// concurrently from two threads (the statistical drivers hand each
+  /// thread lane its own workspace).
+  PathDelayResult framework_delay(const PathSample& sample,
+                                  SampleWorkspace& ws) const;
 
   /// Conventional whole-path transient (the SPICE baseline). Throws
   /// sim::SimulationError on divergence -- the paper-predicted outcome for
@@ -164,17 +186,19 @@ class PathAnalyzer {
 
   /// Simulate one stage with TETA: input waveform (local time), device
   /// variation, wire parameters; returns far-port samples (local time).
+  /// `ws` (optional) supplies the pooled engine scratch.
   timing::Samples simulate_stage(std::size_t k,
                                  const circuit::SourceWaveform& input,
                                  const timing::DeviceVariation& dev,
                                  const interconnect::WireVariation& wire,
-                                 double window_scale = 1.0) const;
+                                 double window_scale = 1.0,
+                                 SampleWorkspace* ws = nullptr) const;
 
   /// framework_delay() plus optional capture of each stage's input ramp
   /// parameters (consumed by gradient_analysis).
   PathDelayResult run_chain(const PathSample& sample,
-                            std::vector<timing::RampParams>* stage_inputs)
-      const;
+                            std::vector<timing::RampParams>* stage_inputs,
+                            SampleWorkspace* ws = nullptr) const;
 
   /// Run a stage and extract the output ramp parameters, doubling the
   /// simulation window (up to 4x) if the transition does not complete.
@@ -183,7 +207,7 @@ class PathAnalyzer {
       std::size_t k, const circuit::SourceWaveform& input, double shift,
       const timing::DeviceVariation& dev,
       const interconnect::WireVariation& wire, bool out_rising,
-      timing::Samples* out_samples) const;
+      timing::Samples* out_samples, SampleWorkspace* ws = nullptr) const;
 
   /// Gate capacitance presented by a cell's switching input pin.
   static double input_pin_cap(const timing::CellTemplate& cell,

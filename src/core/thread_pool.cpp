@@ -32,22 +32,29 @@ std::size_t env_threads() {
 
 // One parallel_for invocation: a shared cursor the participants claim
 // grains from, plus completion accounting and first-exception capture.
+// Exactly one of body / lane_body is set.
 struct ThreadPool::Batch {
   std::size_t n = 0;
   std::size_t grain = 1;
   const std::function<void(std::size_t, std::size_t)>* body = nullptr;
+  const std::function<void(std::size_t, std::size_t, std::size_t)>*
+      lane_body = nullptr;
   std::atomic<std::size_t> next{0};
   std::atomic<bool> failed{false};
   std::exception_ptr error;
   std::mutex error_mu;
 
-  void run_chunks() {
+  void run_chunks(std::size_t lane) {
     while (!failed.load(std::memory_order_relaxed)) {
       const std::size_t begin = next.fetch_add(grain);
       if (begin >= n) break;
       const std::size_t end = std::min(n, begin + grain);
       try {
-        (*body)(begin, end);
+        if (lane_body != nullptr) {
+          (*lane_body)(begin, end, lane);
+        } else {
+          (*body)(begin, end);
+        }
       } catch (...) {
         std::lock_guard<std::mutex> lock(error_mu);
         if (!error) error = std::current_exception();
@@ -73,7 +80,8 @@ ThreadPool::ThreadPool(std::size_t num_threads)
   n = std::max<std::size_t>(1, n);
   workers_.reserve(n - 1);
   for (std::size_t k = 0; k + 1 < n; ++k) {
-    workers_.emplace_back([this] { worker_loop(); });
+    // Lane 0 is the calling thread; worker k owns lane k + 1.
+    workers_.emplace_back([this, k] { worker_loop(k + 1); });
   }
 }
 
@@ -86,7 +94,7 @@ ThreadPool::~ThreadPool() {
   for (std::thread& t : workers_) t.join();
 }
 
-void ThreadPool::worker_loop() {
+void ThreadPool::worker_loop(std::size_t lane) {
   std::size_t seen_generation = 0;
   for (;;) {
     Batch* batch = nullptr;
@@ -102,7 +110,7 @@ void ThreadPool::worker_loop() {
       ++state_->active_workers;
     }
     t_in_pool_task = true;
-    batch->run_chunks();
+    batch->run_chunks(lane);
     t_in_pool_task = false;
     {
       std::lock_guard<std::mutex> lock(state_->mu);
@@ -110,6 +118,25 @@ void ThreadPool::worker_loop() {
     }
     state_->done_cv.notify_one();
   }
+}
+
+void ThreadPool::run_batch(Batch& batch) {
+  {
+    std::lock_guard<std::mutex> lock(state_->mu);
+    state_->batch = &batch;
+    ++state_->generation;
+  }
+  state_->work_cv.notify_all();
+
+  // The calling thread claims chunks too, as lane 0.
+  batch.run_chunks(0);
+
+  {
+    std::unique_lock<std::mutex> lock(state_->mu);
+    state_->done_cv.wait(lock, [&] { return state_->active_workers == 0; });
+    state_->batch = nullptr;
+  }
+  if (batch.error) std::rethrow_exception(batch.error);
 }
 
 void ThreadPool::parallel_for(
@@ -127,23 +154,24 @@ void ThreadPool::parallel_for(
   batch.grain = grain != 0 ? grain
                            : std::max<std::size_t>(1, n / (8 * size()));
   batch.body = &body;
+  run_batch(batch);
+}
 
-  {
-    std::lock_guard<std::mutex> lock(state_->mu);
-    state_->batch = &batch;
-    ++state_->generation;
+void ThreadPool::parallel_for_lanes(
+    std::size_t n,
+    const std::function<void(std::size_t, std::size_t, std::size_t)>& body,
+    std::size_t grain) {
+  if (n == 0) return;
+  if (workers_.empty() || n == 1 || t_in_pool_task) {
+    body(0, n, 0);
+    return;
   }
-  state_->work_cv.notify_all();
-
-  // The calling thread claims chunks too.
-  batch.run_chunks();
-
-  {
-    std::unique_lock<std::mutex> lock(state_->mu);
-    state_->done_cv.wait(lock, [&] { return state_->active_workers == 0; });
-    state_->batch = nullptr;
-  }
-  if (batch.error) std::rethrow_exception(batch.error);
+  Batch batch;
+  batch.n = n;
+  batch.grain = grain != 0 ? grain
+                           : std::max<std::size_t>(1, n / (8 * size()));
+  batch.lane_body = &body;
+  run_batch(batch);
 }
 
 std::size_t ThreadPool::default_threads() {
@@ -171,6 +199,21 @@ void parallel_for(std::size_t threads, std::size_t n,
   }
   ThreadPool pool(std::min(resolved, n));
   pool.parallel_for(n, body, grain);
+}
+
+void parallel_for_lanes(
+    std::size_t threads, std::size_t n,
+    const std::function<void(std::size_t, std::size_t, std::size_t)>& body,
+    std::size_t grain) {
+  if (n == 0) return;
+  const std::size_t resolved =
+      threads == 0 ? ThreadPool::default_threads() : threads;
+  if (resolved <= 1 || n == 1) {
+    body(0, n, 0);
+    return;
+  }
+  ThreadPool pool(std::min(resolved, n));
+  pool.parallel_for_lanes(n, body, grain);
 }
 
 }  // namespace lcsf::core

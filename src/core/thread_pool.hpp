@@ -48,6 +48,16 @@ class ThreadPool {
                     const std::function<void(std::size_t, std::size_t)>& body,
                     std::size_t grain = 0);
 
+  /// parallel_for with a lane index: body(begin, end, lane) where `lane`
+  /// identifies the executing thread (caller = 0, worker k = k + 1, so
+  /// lane < size()). Within one call a lane is only ever used by one
+  /// thread, which lets callers keep per-lane mutable workspaces without
+  /// locking. The serial and nested fallback paths run on lane 0.
+  void parallel_for_lanes(
+      std::size_t n,
+      const std::function<void(std::size_t, std::size_t, std::size_t)>& body,
+      std::size_t grain = 0);
+
   /// Thread-count resolution used by every `threads = 0` knob:
   /// set_default_threads() override, else the LCSF_THREADS environment
   /// variable, else std::thread::hardware_concurrency().
@@ -58,7 +68,8 @@ class ThreadPool {
 
  private:
   struct Batch;
-  void worker_loop();
+  void worker_loop(std::size_t lane);
+  void run_batch(Batch& batch);
 
   std::vector<std::thread> workers_;
   // Guarded by mu_ in thread_pool.cpp via an impl block; kept as opaque
@@ -73,5 +84,14 @@ class ThreadPool {
 void parallel_for(std::size_t threads, std::size_t n,
                   const std::function<void(std::size_t, std::size_t)>& body,
                   std::size_t grain = 0);
+
+/// One-shot lane-passing variant: lanes are < max(1, resolved threads),
+/// with the `threads = 0` resolution of parallel_for. Serial runs use
+/// lane 0. Callers sizing per-lane workspaces should use the same
+/// resolution (ThreadPool::default_threads() when threads == 0).
+void parallel_for_lanes(
+    std::size_t threads, std::size_t n,
+    const std::function<void(std::size_t, std::size_t, std::size_t)>& body,
+    std::size_t grain = 0);
 
 }  // namespace lcsf::core

@@ -67,30 +67,47 @@ double PoleResidueModel::max_unstable_real() const {
 
 PoleResidueModel extract_pole_residue(const ReducedModel& rom,
                                       double fast_pole_tol) {
+  PoleResidueWorkspace ws;
+  return extract_pole_residue(rom, ws, fast_pole_tol);
+}
+
+PoleResidueModel extract_pole_residue(const ReducedModel& rom,
+                                      PoleResidueWorkspace& ws,
+                                      double fast_pole_tol) {
   const std::size_t n = rom.order();
   const std::size_t np = rom.num_ports;
   if (n == 0) throw std::invalid_argument("extract_pole_residue: empty model");
 
   // T = -Gr^{-1} Cr (paper Eq. 16); Gr^{-1} Br for the nu factors.
-  numeric::LuFactorization glu(rom.g);
-  Matrix t = glu.solve(rom.c);
+  ws.glu.refactor(rom.g);
+  ws.glu.solve_into(rom.c, ws.t, ws.col_b, ws.col_x);
+  Matrix& t = ws.t;
   t *= -1.0;
-  const Matrix ginv_b = glu.solve(rom.b);
+  ws.glu.solve_into(rom.b, ws.ginv_b, ws.col_b, ws.col_x);
+  const Matrix& ginv_b = ws.ginv_b;
 
-  const numeric::RealEigen eig = numeric::eigen_real(t);
+  numeric::eigen_real_into(t, ws.eig_scratch, ws.eig);
+  const numeric::RealEigen& eig = ws.eig;
 
   // Complex eigenvector matrix S, its inverse applied to Gr^{-1} Br, and
   // the port rows of Br^T S.
-  ComplexMatrix s_mat(n, n);
+  ComplexMatrix& s_mat = ws.s_mat;
+  s_mat.assign(n, n);
   for (std::size_t k = 0; k < n; ++k) {
-    const auto vk = eig.vector(k);
-    for (std::size_t i = 0; i < n; ++i) s_mat(i, k) = vk[i];
+    eig.vector_into(k, ws.vk);
+    for (std::size_t i = 0; i < n; ++i) s_mat(i, k) = ws.vk[i];
   }
-  ComplexLu slu(s_mat);
-  ComplexMatrix nu = slu.solve(ComplexMatrix{ginv_b});  // n x np
+  ws.slu.refactor(s_mat);
+  ws.ginv_b_c.assign(n, np);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < np; ++j) ws.ginv_b_c(i, j) = ginv_b(i, j);
+  }
+  ws.slu.solve_into(ws.ginv_b_c, ws.nu, ws.ccol_b, ws.ccol_x);  // n x np
+  const ComplexMatrix& nu = ws.nu;
 
   // mu = Br^T S (np x n).
-  ComplexMatrix mu(np, n);
+  ComplexMatrix& mu = ws.mu;
+  mu.assign(np, n);
   for (std::size_t i = 0; i < np; ++i) {
     for (std::size_t k = 0; k < n; ++k) {
       Complex sum = 0.0;

@@ -15,6 +15,8 @@
 
 #include "mor/reduced_model.hpp"
 #include "numeric/complex_matrix.hpp"
+#include "numeric/eigen_real.hpp"
+#include "numeric/lu.hpp"
 
 namespace lcsf::mor {
 
@@ -55,10 +57,36 @@ class PoleResidueModel {
   std::vector<numeric::ComplexMatrix> residues_;
 };
 
+/// Reusable scratch for the workspace overload of extract_pole_residue:
+/// every intermediate whose shape depends only on the model order and port
+/// count, so repeated same-shape extractions allocate nothing but the
+/// returned model itself.
+struct PoleResidueWorkspace {
+  numeric::LuFactorization glu;
+  numeric::Matrix t;        // -Gr^{-1} Cr
+  numeric::Matrix ginv_b;   // Gr^{-1} Br
+  numeric::Vector col_b, col_x;
+  numeric::RealEigenScratch eig_scratch;
+  numeric::RealEigen eig;
+  std::vector<numeric::Complex> vk;
+  numeric::ComplexMatrix s_mat;
+  numeric::ComplexLu slu;
+  numeric::ComplexMatrix ginv_b_c;
+  numeric::ComplexMatrix nu;
+  numeric::CVector ccol_b, ccol_x;
+  numeric::ComplexMatrix mu;
+};
+
 /// Diagonalize the reduced model into pole/residue form. Eigenvalues d_k of
 /// T with |d_k| below `fast_pole_tol` * max|d| are folded into the direct
 /// (constant) term -- they represent poles far beyond the band of interest.
 PoleResidueModel extract_pole_residue(const ReducedModel& rom,
+                                      double fast_pole_tol = 1e-12);
+
+/// Same transformation with all intermediates drawn from `ws`. Bitwise
+/// identical to the plain overload; the hot Monte-Carlo path uses this.
+PoleResidueModel extract_pole_residue(const ReducedModel& rom,
+                                      PoleResidueWorkspace& ws,
                                       double fast_pole_tol = 1e-12);
 
 struct StabilizationReport {

@@ -22,10 +22,23 @@ VariationalRom::VariationalRom(ReducedModel nominal,
   }
 }
 
+namespace {
+
+bool all_zero(const Vector& w) {
+  for (double x : w) {
+    if (!numeric::exact_zero(x)) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
 ReducedModel VariationalRom::evaluate(const Vector& w) const {
   if (w.size() != sensitivity_.size()) {
     throw std::invalid_argument("VariationalRom::evaluate: wrong w size");
   }
+  // Nominal-sample fast path: no perturbation terms to accumulate.
+  if (all_zero(w)) return nominal_;
   ReducedModel m = nominal_;
   for (std::size_t i = 0; i < w.size(); ++i) {
     if (numeric::exact_zero(w[i])) continue;
@@ -35,6 +48,25 @@ ReducedModel VariationalRom::evaluate(const Vector& w) const {
     m.b += w[i] * d.b;
   }
   return m;
+}
+
+void VariationalRom::evaluate_into(const Vector& w, ReducedModel& out) const {
+  if (w.size() != sensitivity_.size()) {
+    throw std::invalid_argument("VariationalRom::evaluate: wrong w size");
+  }
+  out.num_ports = nominal_.num_ports;
+  // Copy-assignment reuses out's heap blocks when shapes already match.
+  out.g = nominal_.g;
+  out.c = nominal_.c;
+  out.b = nominal_.b;
+  if (all_zero(w)) return;
+  for (std::size_t i = 0; i < w.size(); ++i) {
+    if (numeric::exact_zero(w[i])) continue;
+    const ReducedModel& d = sensitivity_[i];
+    out.g.axpy(w[i], d.g);
+    out.c.axpy(w[i], d.c);
+    out.b.axpy(w[i], d.b);
+  }
 }
 
 VariationalRom build_variational_rom(const PencilFamily& family,
@@ -128,6 +160,8 @@ PencilFamily linear_matrix_family(const PencilFamily& base,
     if (w.size() != nw) {
       throw std::invalid_argument("linear_matrix_family: wrong w size");
     }
+    // Nominal-sample fast path (pre-characterization evaluates w = 0 often).
+    if (all_zero(w)) return *p0;
     interconnect::PortedPencil out = *p0;
     for (std::size_t i = 0; i < nw; ++i) {
       if (numeric::exact_zero(w[i])) continue;

@@ -77,6 +77,12 @@ class VariationalRom {
   /// extract_pole_residue + stabilize before time-domain use.
   ReducedModel evaluate(const numeric::Vector& w) const;
 
+  /// evaluate() into a caller-owned model, reusing its matrix storage so a
+  /// Monte-Carlo worker evaluates thousands of samples with zero heap
+  /// traffic. Bitwise identical to evaluate(); an all-zero w short-circuits
+  /// to a plain copy of the nominal model.
+  void evaluate_into(const numeric::Vector& w, ReducedModel& out) const;
+
  private:
   ReducedModel nominal_;
   std::vector<ReducedModel> sensitivity_;

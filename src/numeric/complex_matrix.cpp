@@ -15,6 +15,12 @@ ComplexMatrix::ComplexMatrix(const Matrix& m)
   }
 }
 
+void ComplexMatrix::assign(std::size_t rows, std::size_t cols) {
+  rows_ = rows;
+  cols_ = cols;
+  data_.assign(rows * cols, Complex{});
+}
+
 ComplexMatrix& ComplexMatrix::operator+=(const ComplexMatrix& rhs) {
   if (rows_ != rhs.rows_ || cols_ != rhs.cols_) {
     throw std::invalid_argument("ComplexMatrix +=: dimension mismatch");
@@ -70,7 +76,14 @@ ComplexMatrix complex_pencil(const Matrix& g, const Matrix& c, Complex s) {
   return m;
 }
 
-ComplexLu::ComplexLu(ComplexMatrix a) : lu_(std::move(a)) {
+ComplexLu::ComplexLu(ComplexMatrix a) : lu_(std::move(a)) { factorize(); }
+
+void ComplexLu::refactor(const ComplexMatrix& a) {
+  lu_ = a;  // copy-assign reuses lu_'s heap block when shapes match
+  factorize();
+}
+
+void ComplexLu::factorize() {
   if (lu_.rows() != lu_.cols()) {
     throw std::invalid_argument("ComplexLu: matrix must be square");
   }
@@ -104,9 +117,15 @@ ComplexLu::ComplexLu(ComplexMatrix a) : lu_(std::move(a)) {
 }
 
 CVector ComplexLu::solve(const CVector& b) const {
+  CVector x;
+  solve_into(b, x);
+  return x;
+}
+
+void ComplexLu::solve_into(const CVector& b, CVector& x) const {
   const std::size_t n = lu_.rows();
   if (b.size() != n) throw std::invalid_argument("ComplexLu::solve: size");
-  CVector x(n);
+  x.resize(n);
   for (std::size_t i = 0; i < n; ++i) {
     Complex s = b[piv_[i]];
     for (std::size_t j = 0; j < i; ++j) s -= lu_(i, j) * x[j];
@@ -117,21 +136,28 @@ CVector ComplexLu::solve(const CVector& b) const {
     for (std::size_t j = ii + 1; j < n; ++j) s -= lu_(ii, j) * x[j];
     x[ii] = s / lu_(ii, ii);
   }
-  return x;
 }
 
 ComplexMatrix ComplexLu::solve(const ComplexMatrix& b) const {
+  ComplexMatrix x;
+  CVector col_b;
+  CVector col_x;
+  solve_into(b, x, col_b, col_x);
+  return x;
+}
+
+void ComplexLu::solve_into(const ComplexMatrix& b, ComplexMatrix& x,
+                           CVector& col_b, CVector& col_x) const {
   if (b.rows() != lu_.rows()) {
     throw std::invalid_argument("ComplexLu::solve: dimension mismatch");
   }
-  ComplexMatrix x(b.rows(), b.cols());
-  CVector col(b.rows());
+  x.assign(b.rows(), b.cols());
+  col_b.resize(b.rows());
   for (std::size_t j = 0; j < b.cols(); ++j) {
-    for (std::size_t i = 0; i < b.rows(); ++i) col[i] = b(i, j);
-    CVector sol = solve(col);
-    for (std::size_t i = 0; i < b.rows(); ++i) x(i, j) = sol[i];
+    for (std::size_t i = 0; i < b.rows(); ++i) col_b[i] = b(i, j);
+    solve_into(col_b, col_x);
+    for (std::size_t i = 0; i < b.rows(); ++i) x(i, j) = col_x[i];
   }
-  return x;
 }
 
 }  // namespace lcsf::numeric

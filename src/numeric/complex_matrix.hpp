@@ -27,6 +27,10 @@ class ComplexMatrix {
   std::size_t rows() const { return rows_; }
   std::size_t cols() const { return cols_; }
 
+  /// Reshape to rows x cols with all entries zero, reusing the heap block
+  /// when capacity allows (workspace-pooling primitive).
+  void assign(std::size_t rows, std::size_t cols);
+
   Complex& operator()(std::size_t i, std::size_t j) {
     return data_[i * cols_ + j];
   }
@@ -53,11 +57,25 @@ ComplexMatrix complex_pencil(const Matrix& g, const Matrix& c, Complex s);
 /// Dense complex LU with partial pivoting.
 class ComplexLu {
  public:
+  /// Empty factorization; only valid for refactor() followed by solves.
+  ComplexLu() = default;
   explicit ComplexLu(ComplexMatrix a);
+
+  /// Re-factorize a new matrix, reusing pivot/LU storage when the shape
+  /// matches. Bitwise identical to constructing a fresh ComplexLu.
+  void refactor(const ComplexMatrix& a);
+
   CVector solve(const CVector& b) const;
   ComplexMatrix solve(const ComplexMatrix& b) const;
+  /// solve() into caller-owned x (must not alias b); bitwise identical.
+  void solve_into(const CVector& b, CVector& x) const;
+  /// Matrix solve into caller-owned x with caller column scratch.
+  void solve_into(const ComplexMatrix& b, ComplexMatrix& x, CVector& col_b,
+                  CVector& col_x) const;
 
  private:
+  void factorize();
+
   ComplexMatrix lu_;
   std::vector<std::size_t> piv_;
 };

@@ -25,21 +25,25 @@ void cdiv(double ar, double ai, double br, double bi, double& cr, double& ci) {
 }
 
 // State for the EISPACK orthes/hqr2 pipeline operating on n x n storage.
+// All buffers live in a caller-owned RealEigenScratch so repeated
+// same-size decompositions reuse one set of heap blocks.
 struct Hqr2Workspace {
   std::size_t n;
-  Matrix h;    // Hessenberg form, later quasi-triangular
-  Matrix v;    // accumulated transformations -> eigenvectors
-  Vector d;    // real parts of eigenvalues
-  Vector e;    // imaginary parts of eigenvalues
-  Vector ort;  // Householder scratch
+  Matrix& h;    // Hessenberg form, later quasi-triangular
+  Matrix& v;    // accumulated transformations -> eigenvectors
+  Vector& d;    // real parts of eigenvalues
+  Vector& e;    // imaginary parts of eigenvalues
+  Vector& ort;  // Householder scratch
 
-  explicit Hqr2Workspace(Matrix a)
-      : n(a.rows()),
-        h(std::move(a)),
-        v(Matrix::identity(n)),
-        d(n, 0.0),
-        e(n, 0.0),
-        ort(n, 0.0) {}
+  Hqr2Workspace(const Matrix& a, RealEigenScratch& s)
+      : n(a.rows()), h(s.h), v(s.v), d(s.d), e(s.e), ort(s.ort) {
+    h = a;
+    v.assign(n, n);
+    for (std::size_t i = 0; i < n; ++i) v(i, i) = 1.0;
+    d.assign(n, 0.0);
+    e.assign(n, 0.0);
+    ort.assign(n, 0.0);
+  }
 
   // Householder reduction of h to upper Hessenberg with accumulation in v.
   void orthes() {
@@ -435,8 +439,15 @@ struct Hqr2Workspace {
 }  // namespace
 
 std::vector<std::complex<double>> RealEigen::vector(std::size_t k) const {
+  std::vector<std::complex<double>> v;
+  vector_into(k, v);
+  return v;
+}
+
+void RealEigen::vector_into(std::size_t k,
+                            std::vector<std::complex<double>>& v) const {
   const std::size_t n = packed_vectors.rows();
-  std::vector<std::complex<double>> v(n);
+  v.resize(n);
   if (exact_zero(values[k].imag())) {
     for (std::size_t i = 0; i < n; ++i) v[i] = packed_vectors(i, k);
   } else if (values[k].imag() > 0.0) {
@@ -450,21 +461,24 @@ std::vector<std::complex<double>> RealEigen::vector(std::size_t k) const {
       v[i] = {packed_vectors(i, k - 1), -packed_vectors(i, k)};
     }
   }
-  return v;
 }
 
-RealEigen eigen_real(Matrix a) {
+void eigen_real_into(const Matrix& a, RealEigenScratch& scratch,
+                     RealEigen& out) {
   if (!a.square()) throw std::invalid_argument("eigen_real: non-square");
   const std::size_t n = a.rows();
-  RealEigen out;
-  if (n == 0) return out;
+  if (n == 0) {
+    out.values.clear();
+    out.packed_vectors.assign(0, 0);
+    return;
+  }
   if (n == 1) {
-    out.values = {a(0, 0)};
-    out.packed_vectors = Matrix{{1.0}};
-    return out;
+    out.values.assign(1, std::complex<double>(a(0, 0)));
+    out.packed_vectors.assign(1, 1, 1.0);
+    return;
   }
 
-  Hqr2Workspace ws(std::move(a));
+  Hqr2Workspace ws(a, scratch);
   ws.orthes();
   // Zero out the sub-Hessenberg entries so hqr2 sees an exact Hessenberg
   // matrix (orthes leaves Householder vectors there).
@@ -475,7 +489,13 @@ RealEigen eigen_real(Matrix a) {
 
   out.values.resize(n);
   for (std::size_t i = 0; i < n; ++i) out.values[i] = {ws.d[i], ws.e[i]};
-  out.packed_vectors = std::move(ws.v);
+  out.packed_vectors = ws.v;
+}
+
+RealEigen eigen_real(Matrix a) {
+  RealEigenScratch scratch;
+  RealEigen out;
+  eigen_real_into(a, scratch, out);
   return out;
 }
 

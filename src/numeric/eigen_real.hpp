@@ -26,11 +26,30 @@ struct RealEigen {
 
   /// Unpack eigenvector k as a complex vector.
   std::vector<std::complex<double>> vector(std::size_t k) const;
+  /// vector() into a caller-owned buffer (no allocation once warm).
+  void vector_into(std::size_t k, std::vector<std::complex<double>>& v) const;
+};
+
+/// Reusable buffers for eigen_real_into: Hessenberg/transform matrices plus
+/// eigenvalue and Householder scratch vectors. A default-constructed
+/// instance warms up on first use and allocates nothing afterwards for
+/// same-size problems.
+struct RealEigenScratch {
+  Matrix h;    // Hessenberg form, later quasi-triangular
+  Matrix v;    // accumulated transformations -> eigenvectors
+  Vector d;    // real parts of eigenvalues
+  Vector e;    // imaginary parts of eigenvalues
+  Vector ort;  // Householder scratch
 };
 
 /// Full eigendecomposition of a general real square matrix.
 /// Throws std::runtime_error if the QR iteration fails to converge.
 RealEigen eigen_real(Matrix a);
+
+/// eigen_real writing into a caller-owned result, with all intermediate
+/// storage drawn from `scratch`. Bitwise identical to eigen_real().
+void eigen_real_into(const Matrix& a, RealEigenScratch& scratch,
+                     RealEigen& out);
 
 /// Eigenvalues only (same algorithm, vectors skipped by the caller).
 std::vector<std::complex<double>> eigenvalues_real(const Matrix& a);

@@ -9,6 +9,16 @@
 namespace lcsf::numeric {
 
 LuFactorization::LuFactorization(Matrix a) : lu_(std::move(a)) {
+  factorize();
+}
+
+void LuFactorization::refactor(const Matrix& a) {
+  lu_ = a;  // copy-assign reuses lu_'s heap block when shapes match
+  pivot_sign_ = 1;
+  factorize();
+}
+
+void LuFactorization::factorize() {
   if (!lu_.square()) {
     throw std::invalid_argument("LuFactorization: matrix must be square");
   }
@@ -48,10 +58,17 @@ LuFactorization::LuFactorization(Matrix a) : lu_(std::move(a)) {
 }
 
 Vector LuFactorization::solve(const Vector& b) const {
+  Vector x;
+  solve_into(b, x);
+  return x;
+}
+
+void LuFactorization::solve_into(const Vector& b, Vector& x) const {
   const std::size_t n = size();
   if (b.size() != n) throw std::invalid_argument("LU solve: size mismatch");
-  Vector x(n);
-  // Apply permutation and forward-substitute L y = P b.
+  x.resize(n);
+  // Apply permutation and forward-substitute L y = P b. Every element of x
+  // is written before it is read, so stale workspace contents are harmless.
   for (std::size_t i = 0; i < n; ++i) {
     double s = b[piv_[i]];
     for (std::size_t j = 0; j < i; ++j) s -= lu_(i, j) * x[j];
@@ -63,7 +80,6 @@ Vector LuFactorization::solve(const Vector& b) const {
     for (std::size_t j = ii + 1; j < n; ++j) s -= lu_(ii, j) * x[j];
     x[ii] = s / lu_(ii, ii);
   }
-  return x;
 }
 
 Matrix LuFactorization::solve(const Matrix& b) const {
@@ -73,6 +89,18 @@ Matrix LuFactorization::solve(const Matrix& b) const {
     x.set_col(j, solve(b.col(j)));
   }
   return x;
+}
+
+void LuFactorization::solve_into(const Matrix& b, Matrix& x, Vector& col_b,
+                                 Vector& col_x) const {
+  if (b.rows() != size()) throw std::invalid_argument("LU solve: size");
+  x.assign(b.rows(), b.cols());
+  col_b.resize(b.rows());
+  for (std::size_t j = 0; j < b.cols(); ++j) {
+    for (std::size_t i = 0; i < b.rows(); ++i) col_b[i] = b(i, j);
+    solve_into(col_b, col_x);
+    for (std::size_t i = 0; i < b.rows(); ++i) x(i, j) = col_x[i];
+  }
 }
 
 Vector LuFactorization::solve_transposed(const Vector& b) const {

@@ -15,16 +15,32 @@ namespace lcsf::numeric {
 /// PA = LU factorization with partial (row) pivoting.
 class LuFactorization {
  public:
+  /// Empty factorization; only valid for refactor() followed by solves.
+  /// Exists so workspaces can own a reusable slot before the first sample.
+  LuFactorization() = default;
+
   /// Factorizes a (must be square). Throws std::runtime_error on exact
   /// singularity; near-singularity is reported via condition_estimate().
   explicit LuFactorization(Matrix a);
+
+  /// Re-run the factorization on a new matrix, reusing the pivot vector and
+  /// the LU storage when the shape matches (no allocation after warm-up).
+  /// Identical elimination to the constructor, so results are bitwise equal.
+  void refactor(const Matrix& a);
 
   std::size_t size() const { return lu_.rows(); }
 
   /// Solve A x = b.
   Vector solve(const Vector& b) const;
+  /// Solve A x = b into caller-owned x (must not alias b). Bitwise identical
+  /// to solve(); x is resized but never reallocated once warm.
+  void solve_into(const Vector& b, Vector& x) const;
   /// Solve A X = B column-by-column.
   Matrix solve(const Matrix& b) const;
+  /// Matrix solve into caller-owned x with caller column scratch; bitwise
+  /// identical to solve(Matrix), allocation-free once warm.
+  void solve_into(const Matrix& b, Matrix& x, Vector& col_b,
+                  Vector& col_x) const;
   /// Solve A^T x = b (needed for adjoint sensitivity computations).
   Vector solve_transposed(const Vector& b) const;
 
@@ -36,6 +52,8 @@ class LuFactorization {
   double rcond_estimate() const;
 
  private:
+  void factorize();
+
   Matrix lu_;                     // combined L (unit lower) and U
   std::vector<std::size_t> piv_;  // row permutation
   int pivot_sign_ = 1;

@@ -64,6 +64,20 @@ Matrix& Matrix::operator*=(double s) {
   return *this;
 }
 
+Matrix& Matrix::axpy(double a, const Matrix& x) {
+  if (rows_ != x.rows_ || cols_ != x.cols_) {
+    throw std::invalid_argument("Matrix::axpy: dimension mismatch");
+  }
+  for (std::size_t k = 0; k < data_.size(); ++k) data_[k] += a * x.data_[k];
+  return *this;
+}
+
+void Matrix::assign(std::size_t rows, std::size_t cols, double fill) {
+  rows_ = rows;
+  cols_ = cols;
+  data_.assign(rows * cols, fill);
+}
+
 Matrix operator*(const Matrix& a, const Matrix& b) {
   if (a.cols() != b.rows()) {
     throw std::invalid_argument("Matrix *: dimension mismatch");
@@ -213,6 +227,34 @@ Vector transposed_times(const Matrix& a, const Vector& x) {
     for (std::size_t j = 0; j < a.cols(); ++j) y[j] += a(i, j) * xi;
   }
   return y;
+}
+
+void gemm_into(const Matrix& a, const Matrix& b, Matrix& c) {
+  if (a.cols() != b.rows()) {
+    throw std::invalid_argument("gemm_into: dimension mismatch");
+  }
+  c.assign(a.rows(), b.cols());
+  for (std::size_t i = 0; i < a.rows(); ++i) {
+    for (std::size_t k = 0; k < a.cols(); ++k) {
+      const double aik = a(i, k);
+      if (exact_zero(aik)) continue;
+      for (std::size_t j = 0; j < b.cols(); ++j) {
+        c(i, j) += aik * b(k, j);
+      }
+    }
+  }
+}
+
+void mul_into(const Matrix& a, const Vector& x, Vector& y) {
+  if (a.cols() != x.size()) {
+    throw std::invalid_argument("mul_into: dimension mismatch");
+  }
+  y.resize(a.rows());
+  for (std::size_t i = 0; i < a.rows(); ++i) {
+    double s = 0.0;
+    for (std::size_t j = 0; j < a.cols(); ++j) s += a(i, j) * x[j];
+    y[i] = s;
+  }
 }
 
 Matrix congruence(const Matrix& x, const Matrix& a) {

@@ -55,6 +55,16 @@ class Matrix {
   Matrix& operator-=(const Matrix& rhs);
   Matrix& operator*=(double s);
 
+  /// this += a * x without materializing the scaled temporary. Produces
+  /// bitwise-identical results to `*this += a * x` (same multiply/add per
+  /// element, and the build does not enable FMA contraction).
+  Matrix& axpy(double a, const Matrix& x);
+
+  /// Reshape to rows x cols and set every entry to fill, reusing the
+  /// existing heap block whenever capacity allows. The workspace-pooling
+  /// primitive: hot loops call assign() instead of constructing a Matrix.
+  void assign(std::size_t rows, std::size_t cols, double fill = 0.0);
+
   friend Matrix operator+(Matrix lhs, const Matrix& rhs) { return lhs += rhs; }
   friend Matrix operator-(Matrix lhs, const Matrix& rhs) { return lhs -= rhs; }
   friend Matrix operator*(Matrix lhs, double s) { return lhs *= s; }
@@ -106,6 +116,14 @@ double max_abs(const Vector& x);
 void axpy(double a, const Vector& x, Vector& y);
 /// A^T * x
 Vector transposed_times(const Matrix& a, const Vector& x);
+
+/// c <- a * b, reusing c's storage (c must not alias a or b). Loop order and
+/// zero-skip match operator*(Matrix, Matrix) exactly, so results are bitwise
+/// identical to the allocating path.
+void gemm_into(const Matrix& a, const Matrix& b, Matrix& c);
+/// y <- a * x, reusing y's storage (y must not alias x). Bitwise identical
+/// to operator*(Matrix, Vector).
+void mul_into(const Matrix& a, const Vector& x, Vector& y);
 
 /// Congruence product X^T A X — the kernel of projection-based MOR.
 Matrix congruence(const Matrix& x, const Matrix& a);

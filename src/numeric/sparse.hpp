@@ -26,6 +26,10 @@ class SparseMatrix {
   /// Accumulate a value at (i, j).
   void add(std::size_t i, std::size_t j, double v);
 
+  /// Drop all entries but keep every row's heap block, so re-stamping a
+  /// matrix of the same sparsity costs no allocation after the first pass.
+  void clear();
+
   const std::vector<std::pair<std::size_t, double>>& row(std::size_t i) const {
     return rows_[i];
   }
@@ -48,19 +52,40 @@ class SparseMatrix {
 /// (near-)zero pivot.
 class SparseLu {
  public:
+  /// Empty factorization; only valid for refactor() followed by solves.
+  SparseLu() = default;
+
   explicit SparseLu(const SparseMatrix& a, double pivot_floor = 1e-300);
+
+  /// Factorize a new matrix, reusing the stored fill pattern when every
+  /// structural entry of `a` lies inside it (the common case for Newton
+  /// iterations and homotopy retries, where only values change). The fast
+  /// path skips the symbolic analysis and allocates nothing; a pattern or
+  /// size mismatch silently falls back to a full factorization. Entries the
+  /// stored pattern has but `a` lacks participate as explicit zeros, which
+  /// leaves every nonzero result bit-identical (only signs of zeros can
+  /// differ from a from-scratch factorization).
+  void refactor(const SparseMatrix& a, double pivot_floor = 1e-300);
 
   std::size_t size() const { return lrows_.size(); }
   Vector solve(const Vector& b) const;
+  /// solve() into caller-owned x (may alias b; the loops are in-place).
+  void solve_into(const Vector& b, Vector& x) const;
 
   /// Fill-in statistics (for tests and the micro benches).
   std::size_t factor_nonzeros() const;
 
  private:
+  void factorize(const SparseMatrix& a, double pivot_floor);
+  bool refactor_numeric(const SparseMatrix& a, double pivot_floor);
+
   // lrows_[i]: (col < i, l value); urows_[i]: (col >= i, u value) with the
   // diagonal first.
   std::vector<std::vector<std::pair<std::size_t, double>>> lrows_;
   std::vector<std::vector<std::pair<std::size_t, double>>> urows_;
+  // Dense scatter workspace; invariant: all-zero between factorizations
+  // (restored even when a pivot failure throws).
+  Vector work_;
 };
 
 }  // namespace lcsf::numeric

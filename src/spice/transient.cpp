@@ -176,19 +176,40 @@ Vector TransientSimulator::assemble_node_voltages(const Vector& x,
   return v;
 }
 
+const Vector& TransientSimulator::scratch_node_voltages(const Vector& x,
+                                                        const Vector& vk) {
+  Vector& v = vnode_scratch_;
+  v.assign(nl_.node_count(), 0.0);
+  for (std::size_t n = 0; n < nl_.node_count(); ++n) {
+    const int code = node_to_unknown_[n];
+    if (code >= 0) {
+      v[n] = x[static_cast<std::size_t>(code)];
+    } else if (code <= -2) {
+      v[n] = vk[static_cast<std::size_t>(-2 - code)];
+    }
+  }
+  return v;
+}
+
 double TransientSimulator::newton_iteration(double ceff, const Vector& vk,
                                             const Vector& rhs_const,
                                             double src_scale,
                                             const TransientOptions& opt,
                                             Vector& x) {
-  SparseMatrix a(num_unknowns_);
+  SparseMatrix& a = a_scratch_;
+  if (a.size() != num_unknowns_) {
+    a = SparseMatrix(num_unknowns_);
+  } else {
+    a.clear();
+  }
   for (const auto& e : g_uu_) a.add(e.row, e.col, e.val);
   if (!numeric::exact_zero(ceff)) {
     for (const auto& e : c_uu_) a.add(e.row, e.col, ceff * e.val);
   }
   for (std::size_t i = 0; i < num_unknowns_; ++i) a.add(i, i, opt.gmin);
 
-  Vector b = rhs_const;
+  Vector& b = b_scratch_;
+  b = rhs_const;
 
   // Inductor companions: geq = dt/2L for trapezoidal steps; a strong short
   // at DC (conventional-simulator initial condition).
@@ -220,7 +241,7 @@ double TransientSimulator::newton_iteration(double ceff, const Vector& vk,
 
   // Nonlinear device stamps, re-linearized at the current iterate -- the
   // conventional Newton approach the paper contrasts with chord models.
-  const Vector vnode = assemble_node_voltages(x, vk);
+  const Vector& vnode = scratch_node_voltages(x, vk);
   for (const auto& m : nl_.mosfets()) {
     const double vg = vnode[static_cast<std::size_t>(m.gate)];
     const double vd = vnode[static_cast<std::size_t>(m.drain)];
@@ -258,8 +279,9 @@ double TransientSimulator::newton_iteration(double ceff, const Vector& vk,
   // inside a timestep but the stamps above also write into b).
   (void)src_scale;
 
-  SparseLu lu(a);
-  Vector xn = lu.solve(b);
+  lu_scratch_.refactor(a);
+  Vector& xn = xn_scratch_;
+  lu_scratch_.solve_into(b, xn);
 
   double dmax = 0.0;
   for (std::size_t i = 0; i < num_unknowns_; ++i) {

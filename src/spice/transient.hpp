@@ -112,6 +112,9 @@ class TransientSimulator {
   /// Full node-space voltage vector from unknowns + knowns at time t.
   numeric::Vector assemble_node_voltages(const numeric::Vector& x,
                                          const numeric::Vector& vk) const;
+  /// assemble_node_voltages into the reusable vnode_scratch_ buffer.
+  const numeric::Vector& scratch_node_voltages(const numeric::Vector& x,
+                                               const numeric::Vector& vk);
 
   const circuit::Netlist& nl_;
   std::vector<MacromodelStamp> macromodels_;
@@ -142,6 +145,14 @@ class TransientSimulator {
   };
   std::vector<InductorInfo> inductors_;
   bool structure_built_ = false;
+
+  // Reusable Newton scratch. The MNA sparsity pattern is fixed once the
+  // structure is built, so the sparse LU refactors numerically in place
+  // across Newton iterations, timesteps, and the DC homotopy retries
+  // instead of redoing the symbolic analysis each pass.
+  numeric::SparseMatrix a_scratch_;
+  numeric::SparseLu lu_scratch_;
+  numeric::Vector b_scratch_, xn_scratch_, vnode_scratch_;
 };
 
 }  // namespace lcsf::spice

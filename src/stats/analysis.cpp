@@ -17,11 +17,11 @@ constexpr std::uint64_t kLhsPermTag = 0x1a71;
 /// Evaluate one sample under the kSkip policy: returns true and fills
 /// `value` on success, false and fills `failure` on a classified failure.
 /// std::logic_error (misuse) propagates.
-bool eval_fail_soft(const PerformanceFn& f, const Vector& w,
-                    std::size_t index, double& value,
+bool eval_fail_soft(const LanedPerformanceFn& f, const Vector& w,
+                    std::size_t lane, std::size_t index, double& value,
                     SampleFailure& failure) {
   try {
-    value = f(w);
+    value = f(w, lane);
     return true;
   } catch (const sim::SimulationError& e) {
     failure = {index, e.kind(), e.diagnostics().message()};
@@ -31,6 +31,11 @@ bool eval_fail_soft(const PerformanceFn& f, const Vector& w,
     failure = {index, sim::FailureKind::kOther, e.what()};
   }
   return false;
+}
+
+/// Adapt a lane-blind f to the laned core the drivers run on.
+LanedPerformanceFn ignore_lane(const PerformanceFn& f) {
+  return [&f](const Vector& w, std::size_t) { return f(w); };
 }
 
 }  // namespace
@@ -56,6 +61,12 @@ std::string FailureSummary::table() const {
 }
 
 MonteCarloResult monte_carlo(const PerformanceFn& f,
+                             const std::vector<VariationSource>& sources,
+                             const MonteCarloOptions& opt) {
+  return monte_carlo(ignore_lane(f), sources, opt);
+}
+
+MonteCarloResult monte_carlo(const LanedPerformanceFn& f,
                              const std::vector<VariationSource>& sources,
                              const MonteCarloOptions& opt) {
   if (sources.empty()) {
@@ -92,7 +103,9 @@ MonteCarloResult monte_carlo(const PerformanceFn& f,
   // Each sample draws every variate from its own counter-based stream, so
   // the partition of [0, n) across threads cannot change any value; and
   // under kSkip, neither can the set of failed indices.
-  core::parallel_for(opt.threads, n, [&](std::size_t begin, std::size_t end) {
+  core::parallel_for_lanes(
+      opt.threads, n,
+      [&](std::size_t begin, std::size_t end, std::size_t lane) {
     for (std::size_t s = begin; s < end; ++s) {
       SplitMix64 stream = sample_stream(opt.seed, s);
       Vector w(nw);
@@ -110,9 +123,10 @@ MonteCarloResult monte_carlo(const PerformanceFn& f,
                    : to_normal(uu, src.mean, src.sigma);
       }
       if (fail_soft) {
-        died[s] = eval_fail_soft(f, w, s, values[s], deaths[s]) ? 0 : 1;
+        died[s] =
+            eval_fail_soft(f, w, lane, s, values[s], deaths[s]) ? 0 : 1;
       } else {
-        values[s] = f(w);
+        values[s] = f(w, lane);
       }
       samples[s] = std::move(w);
     }
@@ -141,6 +155,12 @@ MonteCarloResult monte_carlo(const PerformanceFn& f,
 GradientAnalysisResult gradient_analysis(
     const PerformanceFn& f, const std::vector<VariationSource>& sources,
     const GradientAnalysisOptions& opt) {
+  return gradient_analysis(ignore_lane(f), sources, opt);
+}
+
+GradientAnalysisResult gradient_analysis(
+    const LanedPerformanceFn& f, const std::vector<VariationSource>& sources,
+    const GradientAnalysisOptions& opt) {
   if (sources.empty()) {
     sim::throw_invalid_input("gradient_analysis: no sources");
   }
@@ -154,8 +174,8 @@ GradientAnalysisResult gradient_analysis(
   Vector w0(nw);
   for (std::size_t d = 0; d < nw; ++d) w0[d] = sources[d].mean;
   // A failed nominal always rethrows: there is no gradient about a point
-  // that does not evaluate.
-  res.nominal = f(w0);
+  // that does not evaluate. The nominal runs on the calling thread's lane.
+  res.nominal = f(w0, 0);
   res.evaluations = 1;
 
   const bool fail_soft = opt.on_failure == FailurePolicy::kSkip;
@@ -164,8 +184,9 @@ GradientAnalysisResult gradient_analysis(
 
   // The 2 * nw central-difference probes are independent; run them on the
   // pool and fold the Eq. 24 sum serially in source order afterwards.
-  core::parallel_for(opt.threads, nw,
-                     [&](std::size_t begin, std::size_t end) {
+  core::parallel_for_lanes(
+      opt.threads, nw,
+      [&](std::size_t begin, std::size_t end, std::size_t lane) {
     for (std::size_t d = begin; d < end; ++d) {
       const double h = opt.step_fraction * sources[d].sigma;
       if (h <= 0.0) continue;
@@ -174,14 +195,14 @@ GradientAnalysisResult gradient_analysis(
       wm[d] -= h;
       if (fail_soft) {
         double fp = 0.0, fm = 0.0;
-        if (eval_fail_soft(f, wp, d, fp, deaths[d]) &&
-            eval_fail_soft(f, wm, d, fm, deaths[d])) {
+        if (eval_fail_soft(f, wp, lane, d, fp, deaths[d]) &&
+            eval_fail_soft(f, wm, lane, d, fm, deaths[d])) {
           res.gradient[d] = (fp - fm) / (2.0 * h);
         } else {
           died[d] = 1;  // gradient entry stays 0 and leaves the RSS sum
         }
       } else {
-        res.gradient[d] = (f(wp) - f(wm)) / (2.0 * h);
+        res.gradient[d] = (f(wp, lane) - f(wm, lane)) / (2.0 * h);
       }
     }
   });

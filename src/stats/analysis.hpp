@@ -25,6 +25,16 @@ namespace lcsf::stats {
 /// Must be safe to call concurrently from multiple threads.
 using PerformanceFn = std::function<double(const numeric::Vector&)>;
 
+/// Lane-aware performance function: the driver passes the executing
+/// thread's lane index (core::ThreadPool lane semantics: caller = 0,
+/// worker k = k + 1, lane < max(1, resolved thread count)). Within one
+/// driver call a lane is used by at most one thread at a time, so f may
+/// keep mutable per-lane workspaces -- the allocation-free Monte-Carlo
+/// hot path -- without locking. The value returned must not depend on the
+/// lane, or the thread-count determinism contract is forfeit.
+using LanedPerformanceFn =
+    std::function<double(const numeric::Vector&, std::size_t)>;
+
 /// Description of one independent variation source.
 struct VariationSource {
   enum class Kind { kNormal, kUniform } kind = Kind::kNormal;
@@ -116,6 +126,12 @@ MonteCarloResult monte_carlo(const PerformanceFn& f,
                              const std::vector<VariationSource>& sources,
                              const MonteCarloOptions& opt);
 
+/// Lane-aware overload: identical contract, but f also receives the lane
+/// index so it can reuse a per-lane sample workspace across evaluations.
+MonteCarloResult monte_carlo(const LanedPerformanceFn& f,
+                             const std::vector<VariationSource>& sources,
+                             const MonteCarloOptions& opt);
+
 struct GradientAnalysisOptions {
   /// Relative finite-difference step, as a fraction of each source's
   /// sigma. The paper evaluates "five simulations per variation source";
@@ -146,6 +162,11 @@ struct GradientAnalysisResult {
 ///   sigma_D = sqrt( sum_l sigma_l^2 (dD/dw_l)^2 ).
 GradientAnalysisResult gradient_analysis(
     const PerformanceFn& f, const std::vector<VariationSource>& sources,
+    const GradientAnalysisOptions& opt = {});
+
+/// Lane-aware overload (LanedPerformanceFn semantics as in monte_carlo).
+GradientAnalysisResult gradient_analysis(
+    const LanedPerformanceFn& f, const std::vector<VariationSource>& sources,
     const GradientAnalysisOptions& opt = {});
 
 }  // namespace lcsf::stats

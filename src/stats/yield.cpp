@@ -39,12 +39,11 @@ std::vector<double> empirical_yield_curve(const std::vector<double>& delays,
   return out;
 }
 
-McYieldEstimate monte_carlo_yield(const PerformanceFn& f,
-                                  const std::vector<VariationSource>& sources,
-                                  double clock_period,
-                                  const MonteCarloOptions& opt) {
+namespace {
+
+McYieldEstimate yield_from_mc(MonteCarloResult mc, double clock_period) {
   McYieldEstimate est;
-  est.mc = monte_carlo(f, sources, opt);
+  est.mc = std::move(mc);
   if (est.mc.values.empty()) {
     // Every sample failed under FailurePolicy::kSkip: by the ISLE-style
     // convention a sample that diverges cannot meet timing, so the yield
@@ -57,6 +56,22 @@ McYieldEstimate monte_carlo_yield(const PerformanceFn& f,
   est.std_error = std::sqrt(est.yield * (1.0 - est.yield) /
                             static_cast<double>(est.mc.values.size()));
   return est;
+}
+
+}  // namespace
+
+McYieldEstimate monte_carlo_yield(const PerformanceFn& f,
+                                  const std::vector<VariationSource>& sources,
+                                  double clock_period,
+                                  const MonteCarloOptions& opt) {
+  return yield_from_mc(monte_carlo(f, sources, opt), clock_period);
+}
+
+McYieldEstimate monte_carlo_yield(const LanedPerformanceFn& f,
+                                  const std::vector<VariationSource>& sources,
+                                  double clock_period,
+                                  const MonteCarloOptions& opt) {
+  return yield_from_mc(monte_carlo(f, sources, opt), clock_period);
 }
 
 double gaussian_yield(double nominal, double sigma, double clock_period) {

@@ -47,6 +47,13 @@ McYieldEstimate monte_carlo_yield(const PerformanceFn& f,
                                   double clock_period,
                                   const MonteCarloOptions& opt);
 
+/// Lane-aware overload (LanedPerformanceFn semantics as in monte_carlo):
+/// lets the evaluator reuse per-lane workspaces across the yield samples.
+McYieldEstimate monte_carlo_yield(const LanedPerformanceFn& f,
+                                  const std::vector<VariationSource>& sources,
+                                  double clock_period,
+                                  const MonteCarloOptions& opt);
+
 /// P(delay <= clock_period) under the Gaussian model implied by Gradient
 /// Analysis (Eq. 24): N(nominal, sigma).
 double gaussian_yield(double nominal, double sigma, double clock_period);

@@ -13,18 +13,24 @@ using numeric::Matrix;
 using numeric::Vector;
 
 RecursiveConvolver::RecursiveConvolver(const mor::PoleResidueModel& z,
-                                       double dt)
-    : np_(z.num_ports()), dt_(dt), d0_(z.direct()) {
+                                       double dt) {
+  reset(z, dt);
+}
+
+void RecursiveConvolver::reset(const mor::PoleResidueModel& z, double dt) {
   if (dt <= 0.0) sim::throw_invalid_input("RecursiveConvolver: dt <= 0");
   if (z.count_unstable() > 0) {
     throw sim::SimulationError(
         sim::FailureKind::kUnstableMacromodel,
         "RecursiveConvolver: model has unstable poles; stabilize() first");
   }
+  np_ = z.num_ports();
+  dt_ = dt;
+  d0_ = z.direct();
   poles_ = z.poles();
-  residues_.reserve(z.num_poles());
+  residues_.resize(z.num_poles());
   for (std::size_t k = 0; k < z.num_poles(); ++k) {
-    residues_.push_back(z.residue(k));
+    residues_[k] = z.residue(k);
   }
 
   decay_.resize(poles_.size());
@@ -52,7 +58,10 @@ RecursiveConvolver::RecursiveConvolver(const mor::PoleResidueModel& z,
     }
   }
 
-  state_.assign(poles_.size(), CVector(np_, Complex{0.0, 0.0}));
+  // Reuse the per-pole state rows that already exist (pole counts vary a
+  // little across samples; matching rows keep their heap blocks).
+  state_.resize(poles_.size());
+  for (CVector& row : state_) row.assign(np_, Complex{0.0, 0.0});
   i_prev_.assign(np_, 0.0);
 }
 
@@ -71,9 +80,15 @@ void RecursiveConvolver::initialize_dc(const Vector& i0) {
 }
 
 Vector RecursiveConvolver::history() const {
+  Vector hist;
+  history_into(hist);
+  return hist;
+}
+
+void RecursiveConvolver::history_into(Vector& hist) const {
   // v(t+h) = H i(t+h) + hist with
   //   hist_i = sum_k Re[ Rk ( e^{ph} s_k + (ca - cb/h) i_prev ) ]_i.
-  Vector hist(np_, 0.0);
+  hist.assign(np_, 0.0);
   for (std::size_t k = 0; k < poles_.size(); ++k) {
     const Complex w = ca_[k] - cb_[k] / dt_;
     for (std::size_t i = 0; i < np_; ++i) {
@@ -85,7 +100,6 @@ Vector RecursiveConvolver::history() const {
       hist[i] += acc.real();
     }
   }
-  return hist;
 }
 
 void RecursiveConvolver::advance(const Vector& i_now) {

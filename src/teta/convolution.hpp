@@ -22,10 +22,19 @@ namespace lcsf::teta {
 
 class RecursiveConvolver {
  public:
+  /// Empty convolver; call reset() before use. Exists so a per-worker
+  /// workspace can own the convolver state across samples.
+  RecursiveConvolver() = default;
+
   /// The model must be stable (feed it through mor::stabilize first);
   /// throws sim::SimulationError (kUnstableMacromodel) on
   /// right-half-plane poles, kInvalidInput on dt <= 0.
   RecursiveConvolver(const mor::PoleResidueModel& z, double dt);
+
+  /// Rebuild for a new model/step, reusing all buffers whose shape matches
+  /// (pole count may differ per sample; matching entries are reused).
+  /// Equivalent to constructing a fresh convolver.
+  void reset(const mor::PoleResidueModel& z, double dt);
 
   std::size_t num_ports() const { return np_; }
   double dt() const { return dt_; }
@@ -43,6 +52,8 @@ class RecursiveConvolver {
   /// History vector for the *next* step, given the committed state and the
   /// current at the start of the step.
   numeric::Vector history() const;
+  /// history() into a caller-owned buffer (no allocation once warm).
+  void history_into(numeric::Vector& hist) const;
 
   /// Commit a step: the current moved linearly from its previous committed
   /// value to i_now over dt.

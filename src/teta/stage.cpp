@@ -2,7 +2,6 @@
 
 #include <algorithm>
 #include <cmath>
-#include <memory>
 #include <stdexcept>
 
 #include "numeric/fp_compare.hpp"
@@ -129,31 +128,26 @@ Vector StageCircuit::port_chord_conductances(double vdd) const {
 namespace {
 
 /// Unknown indexing for the SC linear system: ports first (load-port
-/// order), then internal nodes.
-struct Indexer {
-  std::vector<int> node_to_unknown;  // -1 when known (input/rail)
-  std::size_t num_unknowns = 0;
-  std::size_t num_ports = 0;
-
-  explicit Indexer(const StageCircuit& s) {
-    node_to_unknown.assign(s.num_nodes(), -1);
-    num_ports = s.num_ports();
-    std::size_t next_internal = num_ports;
-    for (std::size_t n = 0; n < s.num_nodes(); ++n) {
-      switch (s.kind(n)) {
-        case StageNodeKind::kPort:
-          node_to_unknown[n] = static_cast<int>(s.kind_index(n));
-          break;
-        case StageNodeKind::kInternal:
-          node_to_unknown[n] = static_cast<int>(next_internal++);
-          break;
-        default:
-          break;
-      }
+/// order), then internal nodes. Writes into a reusable map so the hot path
+/// allocates nothing; returns the number of unknowns.
+std::size_t build_unknown_map(const StageCircuit& s,
+                              std::vector<int>& node_to_unknown) {
+  node_to_unknown.assign(s.num_nodes(), -1);
+  std::size_t next_internal = s.num_ports();
+  for (std::size_t n = 0; n < s.num_nodes(); ++n) {
+    switch (s.kind(n)) {
+      case StageNodeKind::kPort:
+        node_to_unknown[n] = static_cast<int>(s.kind_index(n));
+        break;
+      case StageNodeKind::kInternal:
+        node_to_unknown[n] = static_cast<int>(next_internal++);
+        break;
+      default:
+        break;
     }
-    num_unknowns = next_internal;
   }
-};
+  return next_internal;
+}
 
 }  // namespace
 
@@ -170,16 +164,24 @@ std::vector<std::pair<double, double>> TetaResult::waveform(
 namespace {
 
 /// One full transient attempt at a fixed dt/damping; simulate_stage() owns
-/// the retry policy around it.
-TetaResult simulate_stage_once(const StageCircuit& stage,
-                               const mor::PoleResidueModel& load,
-                               const TetaOptions& opt) {
-  TetaResult res;
-  const Indexer idx(stage);
-  const std::size_t n = idx.num_unknowns;
-  const std::size_t np = idx.num_ports;
+/// the retry policy around it. All shape-invariant state lives in `ws`, and
+/// `res` keeps its waveform storage between calls, so back-to-back runs are
+/// fully allocation-free. `res.port_voltages` may exceed `res.time` on
+/// return (pooled capacity); the public wrapper truncates it.
+void simulate_stage_once(const StageCircuit& stage,
+                         const mor::PoleResidueModel& load,
+                         const TetaOptions& opt, TetaWorkspace& ws,
+                         TetaResult& res) {
+  res.converged = false;
+  res.total_sc_iterations = 0;
+  res.diag = sim::SimDiagnostics{};
+  res.time.clear();
+  const std::size_t n = build_unknown_map(stage, ws.node_to_unknown);
+  const std::vector<int>& node_to_unknown = ws.node_to_unknown;
+  const std::size_t np = stage.num_ports();
 
-  RecursiveConvolver conv(load, opt.dt);
+  RecursiveConvolver& conv = ws.conv;
+  conv.reset(load, opt.dt);
   const double clamp = opt.damping_frac * opt.vdd;
 
   // Known node voltages at time t.
@@ -200,23 +202,22 @@ TetaResult simulate_stage_once(const StageCircuit& stage,
   // reduced load (it was folded in before reduction, Table 1 step 2).
   const Vector gsc = stage.port_chord_conductances(opt.vdd);
 
-  Matrix a_dc(n, n);
-  Matrix a_tr(n, n);
+  Matrix& a_dc = ws.a_dc;
+  Matrix& a_tr = ws.a_tr;
+  a_dc.assign(n, n);
+  a_tr.assign(n, n);
   // Contributions of known-node chord couplings: list of (row, node, g).
-  struct KnownCoupling {
-    std::size_t row;
-    std::size_t node;
-    double g;
-  };
-  std::vector<KnownCoupling> chord_known;
+  std::vector<TetaWorkspace::KnownCoupling>& chord_known = ws.chord_known;
+  chord_known.clear();
 
-  std::vector<double> chords(stage.mosfets().size());
+  std::vector<double>& chords = ws.chords;
+  chords.assign(stage.mosfets().size(), 0.0);
   for (std::size_t d = 0; d < stage.mosfets().size(); ++d) {
     const Mosfet& m = stage.mosfets()[d];
     const double g = StageCircuit::chord_conductance(m, opt.vdd);
     chords[d] = g;
-    const int ud = idx.node_to_unknown[static_cast<std::size_t>(m.drain)];
-    const int us = idx.node_to_unknown[static_cast<std::size_t>(m.source)];
+    const int ud = node_to_unknown[static_cast<std::size_t>(m.drain)];
+    const int us = node_to_unknown[static_cast<std::size_t>(m.source)];
     auto stamp = [&](Matrix& a) {
       if (ud >= 0) a(ud, ud) += g;
       if (us >= 0) a(us, us) += g;
@@ -237,16 +238,20 @@ TetaResult simulate_stage_once(const StageCircuit& stage,
     }
   }
 
-  // Load admittance blocks.
-  Matrix y_h;
-  Matrix y_dc;
+  // Load admittance blocks (in-place equivalent of numeric::inverse).
+  Matrix& y_h = ws.y_h;
+  Matrix& y_dc = ws.y_dc;
   try {
-    y_h = numeric::inverse(conv.step_impedance());
-    y_dc = numeric::inverse(conv.dc_impedance());
+    ws.ident.assign(np, np);
+    for (std::size_t i = 0; i < np; ++i) ws.ident(i, i) = 1.0;
+    ws.lu_imp.refactor(conv.step_impedance());
+    ws.lu_imp.solve_into(ws.ident, y_h, ws.col_b, ws.col_x);
+    ws.lu_imp.refactor(conv.dc_impedance());
+    ws.lu_imp.solve_into(ws.ident, y_dc, ws.col_b, ws.col_x);
   } catch (const std::runtime_error&) {
     res.diag.kind = sim::FailureKind::kSingularSystem;
     res.diag.detail = "singular load impedance";
-    return res;
+    return;
   }
   for (std::size_t i = 0; i < np; ++i) {
     for (std::size_t j = 0; j < np; ++j) {
@@ -260,20 +265,14 @@ TetaResult simulate_stage_once(const StageCircuit& stage,
 
   // Cap companions in the transient matrix.
   const double ceff = 2.0 / opt.dt;
-  struct CapState {
-    int ua, ub;          // unknown indices or -1
-    std::size_t na, nb;  // node ids
-    double geq;
-    double u_prev = 0.0;  // va - vb at committed time
-    double i_prev = 0.0;  // companion current at committed time
-  };
-  std::vector<CapState> caps;
+  std::vector<TetaWorkspace::CapState>& caps = ws.caps;
+  caps.clear();
   for (const auto& c : stage.capacitors()) {
-    CapState cs;
+    TetaWorkspace::CapState cs;
     cs.na = static_cast<std::size_t>(c.a);
     cs.nb = static_cast<std::size_t>(c.b);
-    cs.ua = idx.node_to_unknown[cs.na];
-    cs.ub = idx.node_to_unknown[cs.nb];
+    cs.ua = node_to_unknown[cs.na];
+    cs.ub = node_to_unknown[cs.nb];
     cs.geq = ceff * c.farads;
     if (cs.ua >= 0) a_tr(cs.ua, cs.ua) += cs.geq;
     if (cs.ub >= 0) a_tr(cs.ub, cs.ub) += cs.geq;
@@ -285,23 +284,26 @@ TetaResult simulate_stage_once(const StageCircuit& stage,
   }
 
   // One factorization for the whole transient -- the linear-centric core.
-  std::unique_ptr<LuFactorization> lu_dc;
-  std::unique_ptr<LuFactorization> lu_tr;
+  // refactor() reuses the pivot/storage from the previous sample instead of
+  // reconstructing the factorization objects.
   try {
-    lu_dc = std::make_unique<LuFactorization>(a_dc);
-    lu_tr = std::make_unique<LuFactorization>(a_tr);
+    ws.lu_dc.refactor(a_dc);
+    ws.lu_tr.refactor(a_tr);
   } catch (const std::runtime_error& e) {
     res.diag.kind = sim::FailureKind::kSingularSystem;
     res.diag.detail = std::string("singular SC system: ") + e.what();
-    return res;
+    return;
   }
+  const LuFactorization& lu_tr = ws.lu_tr;
 
-  // Full node voltages from the unknown vector at time t.
-  auto node_voltages = [&](const Vector& x, double t) {
-    Vector v(stage.num_nodes(), 0.0);
+  // Full node voltages from the unknown vector at time t, written into the
+  // reusable ws.vnode buffer.
+  auto node_voltages = [&](const Vector& xv, double t) -> const Vector& {
+    Vector& v = ws.vnode;
+    v.resize(stage.num_nodes());
     for (std::size_t nn = 0; nn < stage.num_nodes(); ++nn) {
-      const int u = idx.node_to_unknown[nn];
-      v[nn] = (u >= 0) ? x[static_cast<std::size_t>(u)]
+      const int u = node_to_unknown[nn];
+      v[nn] = (u >= 0) ? xv[static_cast<std::size_t>(u)]
                        : known_voltage(nn, t);
     }
     return v;
@@ -317,8 +319,8 @@ TetaResult simulate_stage_once(const StageCircuit& stage,
       const double vs = vnode[static_cast<std::size_t>(m.source)];
       const double ids = circuit::mosfet_eval(m, vg, vd, vs).ids;
       const double j = ids - chords[d] * (vd - vs);
-      const int ud = idx.node_to_unknown[static_cast<std::size_t>(m.drain)];
-      const int us = idx.node_to_unknown[static_cast<std::size_t>(m.source)];
+      const int ud = node_to_unknown[static_cast<std::size_t>(m.drain)];
+      const int us = node_to_unknown[static_cast<std::size_t>(m.source)];
       if (ud >= 0) rhs[static_cast<std::size_t>(ud)] -= j;
       if (us >= 0) rhs[static_cast<std::size_t>(us)] += j;
     }
@@ -330,9 +332,11 @@ TetaResult simulate_stage_once(const StageCircuit& stage,
   // factor -> 1), while Newton converges quadratically. The linear-centric
   // fixed-chord property only matters for the transient loop, where the
   // capacitor companions keep the SC iteration strongly contractive.
-  Vector x(n, 0.0);
+  Vector& x = ws.x;
+  x.assign(n, 0.0);
   {
-    Matrix base(n, n);
+    Matrix& base = ws.dc_base;
+    base.assign(n, n);
     for (std::size_t i = 0; i < np; ++i) {
       for (std::size_t j = 0; j < np; ++j) base(i, j) = y_dc(i, j);
       base(i, i) -= gsc[i];
@@ -342,18 +346,20 @@ TetaResult simulate_stage_once(const StageCircuit& stage,
 
     bool ok = false;
     for (int it = 0; it < opt.max_sc_iters; ++it) {
-      Matrix a = base;
-      Vector rhs(n, 0.0);
-      const Vector vnode = node_voltages(x, 0.0);
+      Matrix& a = ws.dc_a;
+      a = base;
+      Vector& rhs = ws.rhs;
+      rhs.assign(n, 0.0);
+      const Vector& vnode = node_voltages(x, 0.0);
       for (const Mosfet& m : stage.mosfets()) {
         const double vg = vnode[static_cast<std::size_t>(m.gate)];
         const double vd = vnode[static_cast<std::size_t>(m.drain)];
         const double vs = vnode[static_cast<std::size_t>(m.source)];
         const auto op = circuit::mosfet_eval(m, vg, vd, vs);
         const double ieq = op.ids - op.gm * (vg - vs) - op.gds * (vd - vs);
-        const int rd = idx.node_to_unknown[static_cast<std::size_t>(m.drain)];
+        const int rd = node_to_unknown[static_cast<std::size_t>(m.drain)];
         const int rs =
-            idx.node_to_unknown[static_cast<std::size_t>(m.source)];
+            node_to_unknown[static_cast<std::size_t>(m.source)];
         const struct {
           int node;
           double coeff;
@@ -366,7 +372,7 @@ TetaResult simulate_stage_once(const StageCircuit& stage,
           const auto r = static_cast<std::size_t>(row);
           for (const auto& cc : cols) {
             const int col =
-                idx.node_to_unknown[static_cast<std::size_t>(cc.node)];
+                node_to_unknown[static_cast<std::size_t>(cc.node)];
             const double val = sign * cc.coeff;
             if (numeric::exact_zero(val)) continue;
             if (col >= 0) {
@@ -379,7 +385,11 @@ TetaResult simulate_stage_once(const StageCircuit& stage,
           rhs[r] -= sign * ieq;
         }
       }
-      Vector xn = LuFactorization(std::move(a)).solve(rhs);
+      // The chord iteration at paper speed: refactor the fixed-shape Newton
+      // matrix in place instead of constructing a factorization per pass.
+      ws.lu_newton.refactor(a);
+      Vector& xn = ws.xn;
+      ws.lu_newton.solve_into(rhs, xn);
       double dmax = 0.0;
       for (std::size_t i = 0; i < n; ++i) {
         double d = xn[i] - x[i];
@@ -396,40 +406,47 @@ TetaResult simulate_stage_once(const StageCircuit& stage,
       res.diag.kind = sim::FailureKind::kDcFailure;
       res.diag.detail = "Newton failed at DC";
       res.diag.iterations = res.total_sc_iterations;
-      return res;
+      return;
     }
   }
 
   // Initialize convolver history with the DC load current.
   {
-    Vector vp(np);
+    Vector& vp = ws.vp;
+    vp.resize(np);
     for (std::size_t p = 0; p < np; ++p) vp[p] = x[p];
-    conv.initialize_dc(y_dc * vp);
+    numeric::mul_into(y_dc, vp, ws.i_load);
+    conv.initialize_dc(ws.i_load);
   }
   // Initialize cap states.
   {
-    const Vector vn = node_voltages(x, 0.0);
+    const Vector& vn = node_voltages(x, 0.0);
     for (auto& cs : caps) {
       cs.u_prev = vn[cs.na] - vn[cs.nb];
       cs.i_prev = 0.0;
     }
   }
 
+  const auto nsteps =
+      static_cast<std::size_t>(std::ceil(opt.tstop / opt.dt - 1e-9));
+  res.time.reserve(nsteps + 1);
+  res.port_voltages.reserve(nsteps + 1);
   auto store = [&](double t) {
+    const std::size_t k = res.time.size();
     res.time.push_back(t);
-    Vector vp(np);
+    if (k == res.port_voltages.size()) res.port_voltages.emplace_back(np);
+    Vector& vp = res.port_voltages[k];
+    vp.resize(np);
     for (std::size_t p = 0; p < np; ++p) vp[p] = x[p];
-    res.port_voltages.push_back(std::move(vp));
   };
   store(0.0);
 
   // ---- Transient loop -------------------------------------------------
-  const auto nsteps =
-      static_cast<std::size_t>(std::ceil(opt.tstop / opt.dt - 1e-9));
   for (std::size_t step = 1; step <= nsteps; ++step) {
     const double t = static_cast<double>(step) * opt.dt;
 
-    Vector rhs_const(n, 0.0);
+    Vector& rhs_const = ws.rhs_const;
+    rhs_const.assign(n, 0.0);
     for (const auto& kc : chord_known) {
       rhs_const[kc.row] += kc.g * known_voltage(kc.node, t);
     }
@@ -445,15 +462,18 @@ TetaResult simulate_stage_once(const StageCircuit& stage,
       if (cs.ua >= 0) rhs_const[cs.ua] += h + kb;
       if (cs.ub >= 0) rhs_const[cs.ub] += -h + ka;
     }
-    const Vector hist = conv.history();
-    const Vector yhist = y_h * hist;
+    conv.history_into(ws.hist);
+    numeric::mul_into(y_h, ws.hist, ws.yhist);
+    const Vector& yhist = ws.yhist;
     for (std::size_t p = 0; p < np; ++p) rhs_const[p] += yhist[p];
 
     bool ok = false;
     for (int it = 0; it < opt.max_sc_iters; ++it) {
-      Vector rhs = rhs_const;
+      Vector& rhs = ws.rhs;
+      rhs = rhs_const;
       add_device_norton(node_voltages(x, t), rhs);
-      Vector xn = lu_tr->solve(rhs);
+      Vector& xn = ws.xn;
+      lu_tr.solve_into(rhs, xn);
       double dmax = 0.0;
       for (std::size_t i = 0; i < n; ++i) {
         double d = xn[i] - x[i];
@@ -473,7 +493,7 @@ TetaResult simulate_stage_once(const StageCircuit& stage,
           "SC iteration limit " + std::to_string(opt.max_sc_iters) + " hit";
       res.diag.iterations = res.total_sc_iterations;
       res.diag.max_abs_v = numeric::max_abs(x);
-      return res;
+      return;
     }
     if (const double mv = numeric::max_abs(x); mv > opt.vblowup) {
       res.diag.kind = sim::FailureKind::kBlowUp;
@@ -481,18 +501,19 @@ TetaResult simulate_stage_once(const StageCircuit& stage,
       res.diag.detail = "port/internal voltage blew up (unstable load?)";
       res.diag.iterations = res.total_sc_iterations;
       res.diag.max_abs_v = mv;
-      return res;
+      return;
     }
 
     // Commit: load current and cap states.
     {
-      Vector vp(np);
+      Vector& vp = ws.vp;
+      vp.resize(np);
       for (std::size_t p = 0; p < np; ++p) vp[p] = x[p];
-      Vector i_load = y_h * vp;
-      for (std::size_t p = 0; p < np; ++p) i_load[p] -= yhist[p];
-      conv.advance(i_load);
+      numeric::mul_into(y_h, vp, ws.i_load);
+      for (std::size_t p = 0; p < np; ++p) ws.i_load[p] -= yhist[p];
+      conv.advance(ws.i_load);
     }
-    const Vector vn = node_voltages(x, t);
+    const Vector& vn = node_voltages(x, t);
     for (auto& cs : caps) {
       const double u_new = vn[cs.na] - vn[cs.nb];
       const double i_new = cs.geq * (u_new - cs.u_prev) - cs.i_prev;
@@ -504,7 +525,6 @@ TetaResult simulate_stage_once(const StageCircuit& stage,
 
   res.converged = true;
   res.diag.iterations = res.total_sc_iterations;
-  return res;
 }
 
 }  // namespace
@@ -512,6 +532,21 @@ TetaResult simulate_stage_once(const StageCircuit& stage,
 TetaResult simulate_stage(const StageCircuit& stage,
                           const mor::PoleResidueModel& load,
                           const TetaOptions& opt) {
+  TetaWorkspace ws;
+  return simulate_stage(stage, load, opt, ws);
+}
+
+TetaResult simulate_stage(const StageCircuit& stage,
+                          const mor::PoleResidueModel& load,
+                          const TetaOptions& opt, TetaWorkspace& ws) {
+  TetaResult res;
+  simulate_stage(stage, load, opt, ws, res);
+  return res;
+}
+
+void simulate_stage(const StageCircuit& stage,
+                    const mor::PoleResidueModel& load, const TetaOptions& opt,
+                    TetaWorkspace& ws, TetaResult& out) {
   if (load.num_ports() != stage.num_ports()) {
     sim::throw_invalid_input("simulate_stage: port count mismatch");
   }
@@ -521,14 +556,18 @@ TetaResult simulate_stage(const StageCircuit& stage,
   // reject_unstable_load flag only makes the rejection an explicit policy
   // choice in the diagnostics.
   if (load.count_unstable() > 0) {
-    TetaResult res;
-    res.diag.kind = sim::FailureKind::kUnstableMacromodel;
-    res.diag.detail = std::to_string(load.count_unstable()) +
+    out.converged = false;
+    out.total_sc_iterations = 0;
+    out.time.clear();
+    out.port_voltages.clear();
+    out.diag = sim::SimDiagnostics{};
+    out.diag.kind = sim::FailureKind::kUnstableMacromodel;
+    out.diag.detail = std::to_string(load.count_unstable()) +
                       " right-half-plane pole(s), max Re = " +
                       std::to_string(load.max_unstable_real()) +
                       (opt.reject_unstable_load ? " (rejected by policy)"
                                                 : "; stabilize() the load");
-    return res;
+    return;
   }
 
   // The SC system matrix is constant across the whole transient (one LU
@@ -537,14 +576,17 @@ TetaResult simulate_stage(const StageCircuit& stage,
   TetaOptions attempt = opt;
   long iterations = 0;
   for (int retry = 0;; ++retry) {
-    TetaResult res = simulate_stage_once(stage, load, attempt);
-    iterations += res.total_sc_iterations;
-    res.total_sc_iterations = iterations;
-    res.diag.iterations = iterations;
-    res.diag.retries_used = retry;
-    if (res.converged || retry >= opt.recovery.max_dt_retries ||
-        res.diag.kind == sim::FailureKind::kSingularSystem) {
-      return res;
+    simulate_stage_once(stage, load, attempt, ws, out);
+    iterations += out.total_sc_iterations;
+    out.total_sc_iterations = iterations;
+    out.diag.iterations = iterations;
+    out.diag.retries_used = retry;
+    if (out.converged || retry >= opt.recovery.max_dt_retries ||
+        out.diag.kind == sim::FailureKind::kSingularSystem) {
+      // Drop pooled per-step vectors beyond this run's step count so the
+      // public time/port_voltages invariant holds.
+      out.port_voltages.resize(out.time.size());
+      return;
     }
     attempt.dt *= 0.5;
     attempt.damping_frac *= opt.recovery.damping_factor;

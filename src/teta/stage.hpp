@@ -21,8 +21,10 @@
 #include "circuit/netlist.hpp"
 #include "circuit/source_waveform.hpp"
 #include "mor/poleres.hpp"
+#include "numeric/lu.hpp"
 #include "numeric/matrix.hpp"
 #include "sim/diagnostics.hpp"
+#include "teta/convolution.hpp"
 
 namespace lcsf::teta {
 
@@ -129,6 +131,42 @@ struct TetaResult {
   std::vector<std::pair<double, double>> waveform(std::size_t port) const;
 };
 
+/// Reusable per-worker scratch for simulate_stage: every factorization,
+/// matrix, vector, and the convolver state whose shape depends only on the
+/// stage/load structure. One workspace per Monte-Carlo worker makes the
+/// chord/transient loops allocation-free after the first sample. The
+/// members are engine internals; treat the struct as opaque storage.
+struct TetaWorkspace {
+  struct KnownCoupling {
+    std::size_t row;
+    std::size_t node;
+    double g;
+  };
+  struct CapState {
+    int ua, ub;          // unknown indices or -1
+    std::size_t na, nb;  // node ids
+    double geq;
+    double u_prev = 0.0;  // va - vb at committed time
+    double i_prev = 0.0;  // companion current at committed time
+  };
+
+  RecursiveConvolver conv;
+  std::vector<int> node_to_unknown;
+  std::vector<double> chords;
+  std::vector<KnownCoupling> chord_known;
+  std::vector<CapState> caps;
+  numeric::Matrix a_dc, a_tr;      // constant SC system matrices
+  numeric::Matrix y_h, y_dc;       // load admittance blocks
+  numeric::Matrix ident;           // identity scratch for the inversions
+  numeric::Matrix dc_base, dc_a;   // DC Newton matrices
+  numeric::LuFactorization lu_imp; // impedance inversion scratch
+  numeric::LuFactorization lu_dc;  // DC singularity probe
+  numeric::LuFactorization lu_tr;  // the one transient factorization
+  numeric::LuFactorization lu_newton;  // per-iteration DC Newton factor
+  numeric::Vector x, xn, rhs, rhs_const, vnode, hist, yhist, vp, i_load;
+  numeric::Vector col_b, col_x;    // column scratch for matrix solves
+};
+
 /// Simulate a stage against a stable pole/residue load. The load's chord
 /// conductances must already be folded in (construct the effective load
 /// with mor::with_port_conductance(pencil, stage.port_chord_conductances())
@@ -136,6 +174,22 @@ struct TetaResult {
 TetaResult simulate_stage(const StageCircuit& stage,
                           const mor::PoleResidueModel& load,
                           const TetaOptions& opt);
+
+/// Workspace-pooled overload: numerically identical to the plain form but
+/// draws all internal state from `ws`, so repeated calls allocate only the
+/// result waveforms.
+TetaResult simulate_stage(const StageCircuit& stage,
+                          const mor::PoleResidueModel& load,
+                          const TetaOptions& opt, TetaWorkspace& ws);
+
+/// Fully pooled form: writes into a caller-owned result whose waveform
+/// storage (time axis and per-step port vectors) is reused across calls --
+/// the last allocation in the Monte-Carlo inner loop. `out` is reset first;
+/// on return out.port_voltages.size() == out.time.size(). Bitwise identical
+/// to the other overloads.
+void simulate_stage(const StageCircuit& stage,
+                    const mor::PoleResidueModel& load, const TetaOptions& opt,
+                    TetaWorkspace& ws, TetaResult& out);
 
 /// Adaptive piecewise-linear compression of a sampled waveform: keeps the
 /// fewest breakpoints such that linear interpolation stays within vtol of

@@ -1,0 +1,149 @@
+#!/usr/bin/env python3
+"""Compare two BENCH_*.json result files and flag perf regressions.
+
+Every bench that emits machine-readable results writes a flat JSON object
+with a "metrics" section (see docs/performance.md). This tool diffs the
+metrics of a candidate run against a baseline run and fails when a
+throughput-style metric drops -- or a cost-style metric rises -- by more
+than the allowed fraction.
+
+Metric direction is inferred from the name: anything matching
+*_per_sec / speedup / throughput is higher-is-better; anything matching
+*_ms_* / *_us_* / *_seconds / _time is lower-is-better. Unknown metrics
+are reported but never gate.
+
+Usage:
+  tools/bench_compare.py BASELINE.json CANDIDATE.json [--threshold 0.10]
+  tools/bench_compare.py --check CANDIDATE.json --min speedup=1.5
+
+Exit status: 0 = no regression, 1 = regression (or floor violated),
+2 = usage / malformed input.
+"""
+
+import argparse
+import json
+import sys
+
+HIGHER_IS_BETTER = ("per_sec", "speedup", "throughput", "samples_per")
+LOWER_IS_BETTER = ("_ms", "_us", "_ns", "seconds", "_time")
+
+
+def metric_direction(name):
+    """+1 higher-is-better, -1 lower-is-better, 0 unknown (never gates)."""
+    low = name.lower()
+    if any(tag in low for tag in HIGHER_IS_BETTER):
+        return 1
+    if any(tag in low for tag in LOWER_IS_BETTER):
+        return -1
+    return 0
+
+
+def load_metrics(path):
+    try:
+        with open(path, "r", encoding="utf-8") as fh:
+            doc = json.load(fh)
+    except (OSError, json.JSONDecodeError) as err:
+        sys.exit(f"bench_compare: cannot read {path}: {err}")
+    metrics = doc.get("metrics")
+    if not isinstance(metrics, dict):
+        sys.exit(f"bench_compare: {path} has no 'metrics' object")
+    return doc, {
+        k: float(v) for k, v in metrics.items() if isinstance(v, (int, float))
+    }
+
+
+def compare(base_path, cand_path, threshold):
+    """Diff candidate vs baseline; return the number of regressions."""
+    base_doc, base = load_metrics(base_path)
+    cand_doc, cand = load_metrics(cand_path)
+    if base_doc.get("bench") != cand_doc.get("bench"):
+        print(
+            f"bench_compare: warning: comparing different benches "
+            f"({base_doc.get('bench')!r} vs {cand_doc.get('bench')!r})",
+            file=sys.stderr,
+        )
+
+    regressions = 0
+    width = max((len(k) for k in sorted(set(base) | set(cand))), default=0)
+    for name in sorted(set(base) | set(cand)):
+        if name not in base or name not in cand:
+            print(f"  {name:<{width}}  (only in one file, skipped)")
+            continue
+        b, c = base[name], cand[name]
+        direction = metric_direction(name)
+        if b == 0.0 or direction == 0:
+            verdict = "info"
+        else:
+            # Positive delta = candidate better, in the metric's own sense.
+            delta = (c - b) / b * direction
+            if delta < -threshold:
+                verdict = "REGRESSION"
+                regressions += 1
+            else:
+                verdict = "ok"
+        rel = (c - b) / b * 100.0 if b else float("nan")
+        print(f"  {name:<{width}}  {b:>12.6g} -> {c:>12.6g}  "
+              f"({rel:+7.2f}%)  {verdict}")
+    return regressions
+
+
+def check_floors(cand_path, floors):
+    """Assert absolute metric floors (metric=value) on a single file."""
+    _, cand = load_metrics(cand_path)
+    violations = 0
+    for spec in floors:
+        name, _, value = spec.partition("=")
+        if not value:
+            sys.exit(f"bench_compare: bad --min spec {spec!r} "
+                     "(expected metric=value)")
+        floor = float(value)
+        got = cand.get(name)
+        if got is None:
+            print(f"  {name}: MISSING (floor {floor:g})")
+            violations += 1
+        elif got < floor:
+            print(f"  {name}: {got:g} < floor {floor:g}  VIOLATION")
+            violations += 1
+        else:
+            print(f"  {name}: {got:g} >= floor {floor:g}  ok")
+    return violations
+
+
+def main(argv):
+    parser = argparse.ArgumentParser(
+        description="Diff two BENCH_*.json files for perf regressions.")
+    parser.add_argument("baseline", nargs="?",
+                        help="baseline BENCH_*.json")
+    parser.add_argument("candidate", nargs="?",
+                        help="candidate BENCH_*.json")
+    parser.add_argument("--threshold", type=float, default=0.10,
+                        help="allowed fractional regression per metric "
+                             "(default 0.10 = 10%%)")
+    parser.add_argument("--check", metavar="CANDIDATE.json",
+                        help="single-file mode: check absolute floors only")
+    parser.add_argument("--min", action="append", default=[],
+                        metavar="METRIC=VALUE",
+                        help="absolute floor for a metric (repeatable; "
+                             "used with --check)")
+    args = parser.parse_args(argv)
+
+    if args.check:
+        if not args.min:
+            parser.error("--check requires at least one --min metric=value")
+        bad = check_floors(args.check, args.min)
+        return 1 if bad else 0
+
+    if not args.baseline or not args.candidate:
+        parser.error("need BASELINE.json and CANDIDATE.json "
+                     "(or --check mode)")
+    bad = compare(args.baseline, args.candidate, args.threshold)
+    if bad:
+        print(f"bench_compare: {bad} metric(s) regressed beyond "
+              f"{args.threshold:.0%}")
+        return 1
+    print("bench_compare: no regressions")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

@@ -53,6 +53,21 @@ run_build_stage asan-ubsan build-ci-asan -DLCSF_SANITIZE=address,undefined
 run_build_stage tsan build-ci-tsan -DLCSF_SANITIZE=thread
 
 echo
+echo "==== stage: bench-quick ===="
+# Hot-path perf gate: run the pooled-vs-baseline Monte-Carlo bench in
+# quick mode (few samples, noisy) and require the pooled engine to stay
+# comfortably ahead. The full-mode acceptance floor is 1.5x; quick mode
+# uses 1.2x to absorb short-run jitter. See docs/performance.md.
+BENCH_JSON=build-ci-release/BENCH_hotpath.json
+if cmake --build build-ci-release -j "$JOBS" --target bench_hotpath \
+    && LCSF_BENCH_QUICK=1 build-ci-release/bench/bench_hotpath "$BENCH_JSON" \
+    && python3 tools/bench_compare.py --check "$BENCH_JSON" --min speedup=1.2; then
+  record bench-quick PASS
+else
+  record bench-quick FAIL
+fi
+
+echo
 echo "==== stage: doc-lint ===="
 if ctest --test-dir build-ci-release -R '^doc_lint$' --output-on-failure; then
   record doc-lint PASS
