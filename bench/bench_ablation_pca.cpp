@@ -29,7 +29,7 @@ int main() {
   model.std_dl = 0.33;
   model.std_vt = 0.33;
 
-  stats::MonteCarloOptions opt;
+  stats::RunOptions opt;
   opt.samples = quick ? 20 : 100;
   opt.seed = 41;
 

@@ -15,8 +15,8 @@
 #include "bench_common.hpp"
 #include "core/thread_pool.hpp"
 #include "example2_stage.hpp"
-#include "stats/analysis.hpp"
 #include "stats/descriptive.hpp"
+#include "stats/runner.hpp"
 
 using namespace lcsf;
 using numeric::Vector;
@@ -45,7 +45,7 @@ int main() {
     s.kind = stats::VariationSource::Kind::kUniform;
     s.sigma = 1.0;  // half-width: the +-1 tolerance box
   }
-  stats::MonteCarloOptions mco;
+  stats::RunOptions mco;
   mco.samples = samples;
   mco.seed = 1402;
   mco.latin_hypercube = true;
@@ -54,19 +54,19 @@ int main() {
   auto sp_fn = [&](const Vector& w) { return stage.spice_delay(w); };
 
   bench::Stopwatch fw_sw;
-  mco.threads = 0;  // auto
-  const auto fw_mc = stats::monte_carlo(fw_fn, sources, mco);
+  mco.exec.threads = 0;  // auto
+  const auto fw_mc = stats::Runner(mco).run_monte_carlo(fw_fn, sources);
   const double fw_time = fw_sw.seconds();
 
   bench::Stopwatch fw1_sw;
-  mco.threads = 1;  // serial reference
-  const auto fw_serial = stats::monte_carlo(fw_fn, sources, mco);
+  mco.exec.threads = 1;  // serial reference
+  const auto fw_serial = stats::Runner(mco).run_monte_carlo(fw_fn, sources);
   const double fw1_time = fw1_sw.seconds();
   const bool identical = fw_mc.values == fw_serial.values;
 
   bench::Stopwatch sp_sw;
-  mco.threads = 0;
-  const auto sp_mc = stats::monte_carlo(sp_fn, sources, mco);
+  mco.exec.threads = 0;
+  const auto sp_mc = stats::Runner(mco).run_monte_carlo(sp_fn, sources);
   const double sp_time = sp_sw.seconds();
 
   const auto& fw_stats = fw_mc.stats;

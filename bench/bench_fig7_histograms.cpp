@@ -32,10 +32,10 @@ int main() {
     model.std_dl = 0.33;
     model.std_vt = 0.33;
 
-    stats::MonteCarloOptions mco;
+    stats::RunOptions mco;
     mco.samples = mc_samples;
     mco.seed = 7000 + bspec.seed;
-    mco.threads = 0;  // auto: parallel across samples, deterministic
+    mco.exec.threads = 0;  // auto: parallel across samples, deterministic
     const auto mc = analyzer.monte_carlo(model, mco);
     const auto ga = analyzer.gradient_analysis(model);
 

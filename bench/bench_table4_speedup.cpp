@@ -71,13 +71,13 @@ int main() {
     // all threads for the wall-clock MT ratio.
     core::PathVariationModel probe_model;
     probe_model.std_vt = 0.01;
-    stats::MonteCarloOptions probe_mco;
+    stats::RunOptions probe_mco;
     probe_mco.samples = quick ? 3 : 10;
     probe_mco.seed = 4;
-    probe_mco.threads = 1;
+    probe_mco.exec.threads = 1;
     // Fail-soft: a divergent sample is recorded and excluded instead of
     // aborting the whole timing row.
-    probe_mco.on_failure = stats::FailurePolicy::kSkip;
+    probe_mco.exec.on_failure = stats::FailurePolicy::kSkip;
     bench::Stopwatch fw_sw;
     const auto probe_mc = analyzer.monte_carlo(probe_model, probe_mco);
     const double fw_serial = fw_sw.seconds();
@@ -87,7 +87,7 @@ int main() {
                   probe_mc.failures.attempted,
                   probe_mc.failures.table().c_str());
     }
-    probe_mco.threads = threads;
+    probe_mco.exec.threads = threads;
     bench::Stopwatch fw_mt_sw;
     (void)analyzer.monte_carlo(probe_model, probe_mco);
     const double fw_mt = fw_mt_sw.seconds();

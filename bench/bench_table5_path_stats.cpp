@@ -43,7 +43,7 @@ int main() {
                   ga.nominal_delay * 1e12, ga.stddev * 1e12,
                   ga.simulations);
 
-      stats::MonteCarloOptions mco;
+      stats::RunOptions mco;
       mco.samples = mc_samples;
       mco.seed = 1000 + bspec.seed;
       const auto mc = analyzer.monte_carlo(model, mco);

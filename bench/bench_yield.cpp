@@ -34,20 +34,20 @@ int main() {
   model.std_dl = 0.33;
   model.std_vt = 0.33;
 
-  stats::MonteCarloOptions mco;
-  mco.samples = quick ? 30 : 200;
-  mco.seed = 88;
+  stats::RunOptions opt;
+  opt.samples = quick ? 30 : 200;
+  opt.seed = 88;
 
   // Parallel MC run plus a serial rerun: the engine's determinism
   // contract says they agree bitwise; the timing ratio is this host's
   // threading speed-up for the yield sweep.
-  mco.threads = threads;
+  opt.exec.threads = threads;
   bench::Stopwatch mt_sw;
-  const auto mc = analyzer.monte_carlo(model, mco);
+  const auto mc = analyzer.monte_carlo(model, opt);
   const double mt_time = mt_sw.seconds();
-  mco.threads = 1;
+  opt.exec.threads = 1;
   bench::Stopwatch serial_sw;
-  const auto mc_serial = analyzer.monte_carlo(model, mco);
+  const auto mc_serial = analyzer.monte_carlo(model, opt);
   const double serial_time = serial_sw.seconds();
   const bool identical = mc.values == mc_serial.values;
   const auto ga = analyzer.gradient_analysis(model);

@@ -20,9 +20,8 @@
 #include "interconnect/coupled_lines.hpp"
 #include "mor/poleres.hpp"
 #include "mor/variational.hpp"
-#include "stats/analysis.hpp"
 #include "stats/descriptive.hpp"
-#include "stats/yield.hpp"
+#include "stats/runner.hpp"
 #include "teta/stage.hpp"
 #include "timing/waveform.hpp"
 
@@ -126,17 +125,17 @@ int main() {
     return t_long - t_short;
   };
 
-  stats::MonteCarloOptions mco;
-  mco.samples = 100;
-  mco.seed = 2;
-  mco.threads = 0;  // auto-detect; results do not depend on this
+  stats::RunOptions opt;
+  opt.samples = 100;
+  opt.seed = 2;
+  opt.exec.threads = 0;  // auto-detect; results do not depend on this
 
   // Yield framing: fraction of dies whose skew stays under a 40 ps
   // budget, straight from the parallel estimator.
   const double skew_budget = 40e-12;
   const auto est =
-      stats::monte_carlo_yield(skew_fn, sources, skew_budget, mco);
-  const auto& mc = est.mc;
+      stats::Runner(opt).run_yield(skew_fn, sources, skew_budget);
+  const auto& mc = est.samples();
   std::printf("clock skew over %zu samples (%zu threads):\n",
               mc.values.size(), core::ThreadPool::default_threads());
   std::printf("  mean  = %.2f ps\n", mc.stats.mean() * 1e12);

@@ -34,10 +34,10 @@ int main() {
   model.std_vt = 0.33;
 
   // Monte-Carlo (Sec. 4.3.1): full stage-by-stage simulation per sample.
-  stats::MonteCarloOptions mco;
-  mco.samples = 100;
-  mco.seed = 208;
-  const auto mc = analyzer.monte_carlo(model, mco);
+  stats::RunOptions opt;
+  opt.samples = 100;
+  opt.seed = 208;
+  const auto mc = analyzer.monte_carlo(model, opt);
   std::printf("Monte-Carlo (%zu samples): mean = %.2f ps, std = %.2f ps\n",
               mc.values.size(), mc.stats.mean() * 1e12,
               mc.stats.stddev() * 1e12);

@@ -1,5 +1,7 @@
 #include "circuit/parser.hpp"
 #include "numeric/fp_compare.hpp"
+#include "obs/registry.hpp"
+#include "obs/span.hpp"
 
 #include <algorithm>
 #include <cctype>
@@ -140,6 +142,7 @@ SourceWaveform parse_source(const std::vector<std::string>& tok,
 }  // namespace
 
 Netlist parse_netlist(std::istream& in, const Technology& tech) {
+  obs::ScopedSpan span("parse");
   Netlist nl;
   std::string raw;
   std::vector<std::pair<std::size_t, std::string>> cards;
@@ -252,6 +255,12 @@ Netlist parse_netlist(std::istream& in, const Technology& tech) {
         throw ParseError(ln, "unknown card '" + card + "'");
     }
   }
+  obs::add_counter("parser.cards", static_cast<std::uint64_t>(cards.size()));
+  obs::add_counter("parser.devices",
+                   static_cast<std::uint64_t>(nl.linear_element_count() +
+                                              nl.mosfets().size() +
+                                              nl.vsources().size() +
+                                              nl.isources().size()));
   return nl;
 }
 

@@ -8,6 +8,7 @@
 
 #include "core/thread_pool.hpp"
 #include "interconnect/coupled_lines.hpp"
+#include "obs/span.hpp"
 #include "spice/transient.hpp"
 #include "teta/stage.hpp"
 
@@ -92,6 +93,7 @@ Samples shifted(const Samples& w, double dt0) {
 }  // namespace
 
 PathAnalyzer::PathAnalyzer(PathSpec spec) : spec_(std::move(spec)) {
+  obs::ScopedSpan span("characterize");
   if (spec_.cells.empty()) {
     throw std::invalid_argument("PathAnalyzer: empty path");
   }
@@ -441,18 +443,29 @@ class LaneWorkspaces {
 stats::MonteCarloResult PathAnalyzer::monte_carlo(
     const PathVariationModel& model,
     const stats::MonteCarloOptions& opt) const {
-  LaneWorkspaces pool(opt.threads);
+  return monte_carlo(model, stats::RunOptions::from(opt));
+}
+
+stats::MonteCarloResult PathAnalyzer::monte_carlo(
+    const PathVariationModel& model, const stats::RunOptions& opt) const {
+  LaneWorkspaces pool(opt.exec.threads);
   stats::LanedPerformanceFn f = [this, &model, &pool](const Vector& w,
                                                       std::size_t lane) {
     return framework_delay(sample_from_sources(model, w), pool.lane(lane))
         .delay;
   };
-  return stats::monte_carlo(f, sources(model), opt);
+  return stats::Runner(opt).run_monte_carlo(f, sources(model));
 }
 
 PathAnalyzer::CorrelatedMcResult PathAnalyzer::monte_carlo_correlated(
     const PathVariationModel& model, double rho,
     const stats::MonteCarloOptions& opt) const {
+  return monte_carlo_correlated(model, rho, stats::RunOptions::from(opt));
+}
+
+PathAnalyzer::CorrelatedMcResult PathAnalyzer::monte_carlo_correlated(
+    const PathVariationModel& model, double rho,
+    const stats::RunOptions& opt) const {
   const auto src = sources(model);
   const std::size_t nsrc = src.size();
   if (nsrc == 0) {
@@ -484,7 +497,7 @@ PathAnalyzer::CorrelatedMcResult PathAnalyzer::monte_carlo_correlated(
   // Sample the leading independent factors; reverse-transform to the
   // physical sources (Sec. 4.1.1's "by-product reverse transformation").
   std::vector<stats::VariationSource> factor_src(nfactors);
-  LaneWorkspaces pool(opt.threads);
+  LaneWorkspaces pool(opt.exec.threads);
   stats::LanedPerformanceFn f = [this, &model, &pca, &pool](
                                     const Vector& z, std::size_t lane) {
     const Vector w = pca.from_factors(z);
@@ -492,7 +505,7 @@ PathAnalyzer::CorrelatedMcResult PathAnalyzer::monte_carlo_correlated(
         .delay;
   };
   CorrelatedMcResult res;
-  res.mc = stats::monte_carlo(f, factor_src, opt);
+  res.mc = stats::Runner(opt).run_monte_carlo(f, factor_src);
   res.total_sources = nsrc;
   res.factors_used = nfactors;
   return res;

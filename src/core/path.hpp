@@ -23,6 +23,7 @@
 #include "mor/variational.hpp"
 #include "stats/analysis.hpp"
 #include "stats/pca.hpp"
+#include "stats/runner.hpp"
 #include "stats/descriptive.hpp"
 #include "teta/stage.hpp"
 #include "timing/cells.hpp"
@@ -132,6 +133,10 @@ class PathAnalyzer {
       const PathVariationModel& model) const;
 
   /// Monte-Carlo path statistics (Sec. 4.3.1) using the framework engine.
+  /// The RunOptions overload is the primary one (it also carries the
+  /// observability registry); the MonteCarloOptions overload delegates.
+  stats::MonteCarloResult monte_carlo(const PathVariationModel& model,
+                                      const stats::RunOptions& opt) const;
   stats::MonteCarloResult monte_carlo(const PathVariationModel& model,
                                       const stats::MonteCarloOptions& opt)
       const;
@@ -145,6 +150,9 @@ class PathAnalyzer {
   /// (correlation `rho` between any two stages, the common-factor model of
   /// Sec. 4.1.1). PCA turns the correlated sources into a smaller set of
   /// independent factors which are then sampled.
+  CorrelatedMcResult monte_carlo_correlated(
+      const PathVariationModel& model, double rho,
+      const stats::RunOptions& opt) const;
   CorrelatedMcResult monte_carlo_correlated(
       const PathVariationModel& model, double rho,
       const stats::MonteCarloOptions& opt) const;

@@ -7,6 +7,7 @@
 #include "numeric/cholesky.hpp"
 #include "numeric/eigen_sym.hpp"
 #include "numeric/lu.hpp"
+#include "obs/span.hpp"
 
 namespace lcsf::mor {
 
@@ -102,6 +103,7 @@ ReducedModel assemble(const Matrix& a, const Matrix& cpp_t, const Matrix& r,
 
 PactResult pact_reduce(const interconnect::PortedPencil& pencil,
                        const PactOptions& opt) {
+  obs::ScopedSpan span("mor.pact");
   const Partition p = partition(pencil);
   const FirstCongruence f = first_congruence(p);
   const std::size_t q = std::min(opt.internal_modes, p.ni);

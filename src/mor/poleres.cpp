@@ -6,6 +6,8 @@
 
 #include "numeric/eigen_real.hpp"
 #include "numeric/lu.hpp"
+#include "obs/registry.hpp"
+#include "obs/span.hpp"
 
 namespace lcsf::mor {
 
@@ -74,6 +76,7 @@ PoleResidueModel extract_pole_residue(const ReducedModel& rom,
 PoleResidueModel extract_pole_residue(const ReducedModel& rom,
                                       PoleResidueWorkspace& ws,
                                       double fast_pole_tol) {
+  obs::ScopedSpan span("mor.poleres");
   const std::size_t n = rom.order();
   const std::size_t np = rom.num_ports;
   if (n == 0) throw std::invalid_argument("extract_pole_residue: empty model");
@@ -151,6 +154,7 @@ PoleResidueModel extract_pole_residue(const ReducedModel& rom,
 PoleResidueModel stabilize(const PoleResidueModel& model,
                            StabilizationReport* report,
                            StabilizePolicy policy) {
+  obs::ScopedSpan span("mor.stabilize");
   const std::size_t np = model.num_ports();
 
   // DC sums over all vs. stable poles, per port pair (Eq. 23 computes
@@ -180,15 +184,17 @@ PoleResidueModel stabilize(const PoleResidueModel& model,
 
   Matrix beta(np, np);
   Matrix direct = model.direct();
+  std::uint64_t rescaled_entries = 0;
   if (policy == StabilizePolicy::kBetaScaling) {
     // Per-entry beta (Eq. 23); guard degenerate denominators.
     for (std::size_t i = 0; i < np; ++i) {
       for (std::size_t j = 0; j < np; ++j) {
         const double num = sum_all(i, j).real();
         const double den = sum_stable(i, j).real();
-        beta(i, j) =
-            (std::abs(den) > 1e-300 && std::abs(num / den) < 1e6) ? num / den
-                                                                  : 1.0;
+        const bool rescale =
+            std::abs(den) > 1e-300 && std::abs(num / den) < 1e6;
+        beta(i, j) = rescale ? num / den : 1.0;
+        if (rescale) ++rescaled_entries;
       }
     }
   } else {
@@ -214,6 +220,13 @@ PoleResidueModel stabilize(const PoleResidueModel& model,
     residues.push_back(std::move(r));
   }
 
+  obs::add_counter("mor.dropped_poles", static_cast<std::uint64_t>(dropped));
+  if (dropped > 0) {
+    // Only a lossy stabilization is worth reporting: with no unstable
+    // poles beta is exactly 1 everywhere and nothing was dropped.
+    obs::record_value("mor.max_unstable_real", max_unstable);
+    obs::add_counter("mor.beta_rescales", rescaled_entries);
+  }
   if (report != nullptr) {
     report->dropped_poles = dropped;
     report->max_unstable_real = max_unstable;

@@ -5,6 +5,7 @@
 #include "numeric/fp_compare.hpp"
 #include "numeric/lu.hpp"
 #include "numeric/orthonormal.hpp"
+#include "obs/span.hpp"
 
 namespace lcsf::mor {
 
@@ -22,6 +23,7 @@ Matrix port_injection(std::size_t n, std::size_t np) {
 
 PrimaResult prima_reduce(const interconnect::PortedPencil& pencil,
                          const PrimaOptions& opt) {
+  obs::ScopedSpan span("mor.prima");
   const std::size_t n = pencil.g.rows();
   const std::size_t np = pencil.num_ports;
   if (np == 0 || np > n) throw std::invalid_argument("prima: bad ports");

@@ -5,6 +5,8 @@
 #include <utility>
 
 #include "numeric/fp_compare.hpp"
+#include "obs/registry.hpp"
+#include "obs/span.hpp"
 
 namespace lcsf::mor {
 
@@ -37,6 +39,7 @@ ReducedModel VariationalRom::evaluate(const Vector& w) const {
   if (w.size() != sensitivity_.size()) {
     throw std::invalid_argument("VariationalRom::evaluate: wrong w size");
   }
+  obs::add_counter("mor.rom_evaluations");
   // Nominal-sample fast path: no perturbation terms to accumulate.
   if (all_zero(w)) return nominal_;
   ReducedModel m = nominal_;
@@ -54,6 +57,7 @@ void VariationalRom::evaluate_into(const Vector& w, ReducedModel& out) const {
   if (w.size() != sensitivity_.size()) {
     throw std::invalid_argument("VariationalRom::evaluate: wrong w size");
   }
+  obs::add_counter("mor.rom_evaluations");
   out.num_ports = nominal_.num_ports;
   // Copy-assignment reuses out's heap blocks when shapes already match.
   out.g = nominal_.g;
@@ -72,6 +76,7 @@ void VariationalRom::evaluate_into(const Vector& w, ReducedModel& out) const {
 VariationalRom build_variational_rom(const PencilFamily& family,
                                      std::size_t num_params,
                                      const VariationalOptions& opt) {
+  obs::ScopedSpan span("mor.characterize");
   if (opt.fd_step <= 0.0) {
     throw std::invalid_argument("build_variational_rom: fd_step must be > 0");
   }

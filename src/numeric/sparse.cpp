@@ -55,10 +55,10 @@ SparseLu::SparseLu(const SparseMatrix& a, double pivot_floor) {
   factorize(a, pivot_floor);
 }
 
-void SparseLu::refactor(const SparseMatrix& a, double pivot_floor) {
-  if (a.size() != size() || !refactor_numeric(a, pivot_floor)) {
-    factorize(a, pivot_floor);
-  }
+bool SparseLu::refactor(const SparseMatrix& a, double pivot_floor) {
+  if (a.size() == size() && refactor_numeric(a, pivot_floor)) return true;
+  factorize(a, pivot_floor);
+  return false;
 }
 
 void SparseLu::factorize(const SparseMatrix& a, double pivot_floor) {

@@ -64,8 +64,12 @@ class SparseLu {
   /// size mismatch silently falls back to a full factorization. Entries the
   /// stored pattern has but `a` lacks participate as explicit zeros, which
   /// leaves every nonzero result bit-identical (only signs of zeros can
-  /// differ from a from-scratch factorization).
-  void refactor(const SparseMatrix& a, double pivot_floor = 1e-300);
+  /// differ from a from-scratch factorization). Returns true when the fast
+  /// value-only path was taken, false when it fell back to a full
+  /// symbolic+numeric factorization (callers use this to count
+  /// refactorizations vs. full factorizations; the result is identical
+  /// either way).
+  bool refactor(const SparseMatrix& a, double pivot_floor = 1e-300);
 
   std::size_t size() const { return lrows_.size(); }
   Vector solve(const Vector& b) const;

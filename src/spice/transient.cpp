@@ -6,6 +6,8 @@
 
 #include "circuit/mosfet.hpp"
 #include "numeric/fp_compare.hpp"
+#include "obs/registry.hpp"
+#include "obs/span.hpp"
 
 namespace lcsf::spice {
 
@@ -279,7 +281,12 @@ double TransientSimulator::newton_iteration(double ceff, const Vector& vk,
   // inside a timestep but the stamps above also write into b).
   (void)src_scale;
 
-  lu_scratch_.refactor(a);
+  obs::add_counter("spice.newton_iterations");
+  if (lu_scratch_.refactor(a)) {
+    obs::add_counter("spice.lu_refactors");
+  } else {
+    obs::add_counter("spice.lu_full_factors");
+  }
   Vector& xn = xn_scratch_;
   lu_scratch_.solve_into(b, xn);
 
@@ -309,6 +316,8 @@ bool TransientSimulator::newton_loop(double ceff, const Vector& vk,
 }
 
 Vector TransientSimulator::dc_operating_point(const TransientOptions& opt) {
+  obs::ScopedSpan span("spice.dc");
+  obs::add_counter("spice.dc_solves");
   build_structure();
   Vector x(num_unknowns_, 0.0);
 
@@ -354,6 +363,7 @@ Vector TransientSimulator::dc_operating_point(const TransientOptions& opt) {
 }
 
 TransientResult TransientSimulator::run(const TransientOptions& opt) {
+  obs::ScopedSpan span("spice.transient");
   build_structure();
   TransientResult res;
 
@@ -514,6 +524,7 @@ TransientResult TransientSimulator::run(const TransientOptions& opt) {
       res.diag = d;
       res.diag.retries_used = retries;
       res.diag.iterations = res.total_newton_iterations;
+      obs::add_counter("spice.steps", static_cast<std::uint64_t>(step - 1));
       return res;
     }
     store(t);
@@ -521,6 +532,7 @@ TransientResult TransientSimulator::run(const TransientOptions& opt) {
 
   res.converged = true;
   res.diag.iterations = res.total_newton_iterations;
+  obs::add_counter("spice.steps", static_cast<std::uint64_t>(nsteps));
   return res;
 }
 

@@ -1,44 +1,11 @@
+// Thin delegating wrappers over the stats::Runner facade (the engine
+// bodies live in runner.cpp). Kept so existing call sites compile
+// unchanged; deprecation-ready, see docs/monte_carlo.md.
 #include "stats/analysis.hpp"
 
-#include <cmath>
-#include <stdexcept>
-
-#include "core/thread_pool.hpp"
+#include "stats/runner.hpp"
 
 namespace lcsf::stats {
-
-using numeric::Vector;
-
-namespace {
-
-// Stream tags separating the independent uses of one (seed, counter) pair.
-constexpr std::uint64_t kLhsPermTag = 0x1a71;
-
-/// Evaluate one sample under the kSkip policy: returns true and fills
-/// `value` on success, false and fills `failure` on a classified failure.
-/// std::logic_error (misuse) propagates.
-bool eval_fail_soft(const LanedPerformanceFn& f, const Vector& w,
-                    std::size_t lane, std::size_t index, double& value,
-                    SampleFailure& failure) {
-  try {
-    value = f(w, lane);
-    return true;
-  } catch (const sim::SimulationError& e) {
-    failure = {index, e.kind(), e.diagnostics().message()};
-  } catch (const std::runtime_error& e) {
-    // A foreign engine that does not speak SimulationError: still a
-    // simulation outcome, classified as kOther.
-    failure = {index, sim::FailureKind::kOther, e.what()};
-  }
-  return false;
-}
-
-/// Adapt a lane-blind f to the laned core the drivers run on.
-LanedPerformanceFn ignore_lane(const PerformanceFn& f) {
-  return [&f](const Vector& w, std::size_t) { return f(w); };
-}
-
-}  // namespace
 
 std::string FailureSummary::table() const {
   if (!any()) return {};
@@ -63,171 +30,25 @@ std::string FailureSummary::table() const {
 MonteCarloResult monte_carlo(const PerformanceFn& f,
                              const std::vector<VariationSource>& sources,
                              const MonteCarloOptions& opt) {
-  return monte_carlo(ignore_lane(f), sources, opt);
+  return Runner(RunOptions::from(opt)).run_monte_carlo(f, sources);
 }
 
 MonteCarloResult monte_carlo(const LanedPerformanceFn& f,
                              const std::vector<VariationSource>& sources,
                              const MonteCarloOptions& opt) {
-  if (sources.empty()) {
-    sim::throw_invalid_input(
-        "monte_carlo: `sources` must contain at least one VariationSource");
-  }
-  if (opt.samples == 0) {
-    sim::throw_invalid_input(
-        "monte_carlo: MonteCarloOptions::samples must be >= 1");
-  }
-  const std::size_t nw = sources.size();
-  const std::size_t n = opt.samples;
-
-  // Latin-Hypercube stratum assignment: one deterministic permutation per
-  // dimension, derived from (seed, dimension) -- generation is O(n * nw)
-  // and serial, negligible next to the f(w) evaluations. With n == 1 every
-  // permutation is the identity and the single stratum spans (0, 1).
-  std::vector<std::vector<std::size_t>> strata;
-  if (opt.latin_hypercube) {
-    strata.reserve(nw);
-    for (std::size_t d = 0; d < nw; ++d) {
-      SplitMix64 perm_stream = sample_stream(opt.seed, d, kLhsPermTag);
-      strata.push_back(stream_permutation(n, perm_stream));
-    }
-  }
-
-  // Per-sample slots; compacted to survivors after the parallel loop.
-  std::vector<double> values(n);
-  std::vector<Vector> samples(n);
-  std::vector<char> died(n, 0);
-  std::vector<SampleFailure> deaths(n);
-  const bool fail_soft = opt.on_failure == FailurePolicy::kSkip;
-
-  // Each sample draws every variate from its own counter-based stream, so
-  // the partition of [0, n) across threads cannot change any value; and
-  // under kSkip, neither can the set of failed indices.
-  core::parallel_for_lanes(
-      opt.threads, n,
-      [&](std::size_t begin, std::size_t end, std::size_t lane) {
-    for (std::size_t s = begin; s < end; ++s) {
-      SplitMix64 stream = sample_stream(opt.seed, s);
-      Vector w(nw);
-      for (std::size_t d = 0; d < nw; ++d) {
-        const double jitter = stream.uniform_open();
-        const double uu =
-            opt.latin_hypercube
-                ? (static_cast<double>(strata[d][s]) + jitter) /
-                      static_cast<double>(n)
-                : jitter;
-        const VariationSource& src = sources[d];
-        w[d] = (src.kind == VariationSource::Kind::kUniform)
-                   ? to_uniform(uu, src.mean - src.sigma,
-                                src.mean + src.sigma)
-                   : to_normal(uu, src.mean, src.sigma);
-      }
-      if (fail_soft) {
-        died[s] =
-            eval_fail_soft(f, w, lane, s, values[s], deaths[s]) ? 0 : 1;
-      } else {
-        values[s] = f(w, lane);
-      }
-      samples[s] = std::move(w);
-    }
-  });
-
-  // Compact + accumulate serially in sample order: identical to a serial
-  // run (and to any other thread count) by construction.
-  MonteCarloResult res;
-  res.failures.attempted = n;
-  res.values.reserve(n);
-  res.samples.reserve(n);
-  for (std::size_t s = 0; s < n; ++s) {
-    if (died[s]) {
-      ++res.failures.counts[static_cast<std::size_t>(deaths[s].kind)];
-      res.failures.failures.push_back(std::move(deaths[s]));
-      continue;
-    }
-    res.stats.add(values[s]);
-    res.values.push_back(values[s]);
-    res.samples.push_back(std::move(samples[s]));
-  }
-  res.failures.survived = res.values.size();
-  return res;
+  return Runner(RunOptions::from(opt)).run_monte_carlo(f, sources);
 }
 
 GradientAnalysisResult gradient_analysis(
     const PerformanceFn& f, const std::vector<VariationSource>& sources,
     const GradientAnalysisOptions& opt) {
-  return gradient_analysis(ignore_lane(f), sources, opt);
+  return Runner(RunOptions::from(opt)).run_gradients(f, sources);
 }
 
 GradientAnalysisResult gradient_analysis(
     const LanedPerformanceFn& f, const std::vector<VariationSource>& sources,
     const GradientAnalysisOptions& opt) {
-  if (sources.empty()) {
-    sim::throw_invalid_input("gradient_analysis: no sources");
-  }
-  if (opt.step_fraction <= 0.0) {
-    sim::throw_invalid_input("gradient_analysis: bad step");
-  }
-  const std::size_t nw = sources.size();
-  GradientAnalysisResult res;
-  res.gradient.assign(nw, 0.0);
-
-  Vector w0(nw);
-  for (std::size_t d = 0; d < nw; ++d) w0[d] = sources[d].mean;
-  // A failed nominal always rethrows: there is no gradient about a point
-  // that does not evaluate. The nominal runs on the calling thread's lane.
-  res.nominal = f(w0, 0);
-  res.evaluations = 1;
-
-  const bool fail_soft = opt.on_failure == FailurePolicy::kSkip;
-  std::vector<char> died(nw, 0);
-  std::vector<SampleFailure> deaths(nw);
-
-  // The 2 * nw central-difference probes are independent; run them on the
-  // pool and fold the Eq. 24 sum serially in source order afterwards.
-  core::parallel_for_lanes(
-      opt.threads, nw,
-      [&](std::size_t begin, std::size_t end, std::size_t lane) {
-    for (std::size_t d = begin; d < end; ++d) {
-      const double h = opt.step_fraction * sources[d].sigma;
-      if (h <= 0.0) continue;
-      Vector wp = w0, wm = w0;
-      wp[d] += h;
-      wm[d] -= h;
-      if (fail_soft) {
-        double fp = 0.0, fm = 0.0;
-        if (eval_fail_soft(f, wp, lane, d, fp, deaths[d]) &&
-            eval_fail_soft(f, wm, lane, d, fm, deaths[d])) {
-          res.gradient[d] = (fp - fm) / (2.0 * h);
-        } else {
-          died[d] = 1;  // gradient entry stays 0 and leaves the RSS sum
-        }
-      } else {
-        res.gradient[d] = (f(wp, lane) - f(wm, lane)) / (2.0 * h);
-      }
-    }
-  });
-
-  double var = 0.0;
-  res.failures.attempted = nw;
-  for (std::size_t d = 0; d < nw; ++d) {
-    if (opt.step_fraction * sources[d].sigma <= 0.0) continue;
-    if (died[d]) {
-      ++res.failures.counts[static_cast<std::size_t>(deaths[d].kind)];
-      res.failures.failures.push_back(std::move(deaths[d]));
-      continue;
-    }
-    res.evaluations += 2;
-    const double g = res.gradient[d];
-    // Uniform(+-sigma) has variance sigma^2/3; normal has sigma^2.
-    const double s2 =
-        sources[d].kind == VariationSource::Kind::kUniform
-            ? sources[d].sigma * sources[d].sigma / 3.0
-            : sources[d].sigma * sources[d].sigma;
-    var += s2 * g * g;
-  }
-  res.failures.survived = nw - res.failures.failures.size();
-  res.stddev = std::sqrt(var);
-  return res;
+  return Runner(RunOptions::from(opt)).run_gradients(f, sources);
 }
 
 }  // namespace lcsf::stats

@@ -80,23 +80,31 @@ struct FailureSummary {
   std::string table() const;
 };
 
-struct MonteCarloOptions {
+/// Execution knobs shared by every statistical driver (Monte-Carlo,
+/// Gradient Analysis, yield). Both analysis option structs inherit from
+/// this, so `opt.threads`/`opt.on_failure` read the same everywhere and
+/// the semantics are documented exactly once.
+struct ExecutionOptions {
+  /// Worker threads for the parallel evaluations. 0 = auto-detect via
+  /// core::ThreadPool::default_threads() (LCSF_THREADS env, then hardware
+  /// concurrency); 1 = serial.
+  std::size_t threads = 0;
+  /// Fail-soft switch. With kSkip, an evaluation that throws
+  /// sim::SimulationError (or std::runtime_error, classified kOther) is
+  /// skipped, counted and classified in the result's FailureSummary;
+  /// statistics cover the survivors. std::logic_error still propagates --
+  /// misuse is not a simulation outcome. See each driver for what "one
+  /// evaluation" means (a sample, resp. a probe pair).
+  FailurePolicy on_failure = FailurePolicy::kAbort;
+};
+
+struct MonteCarloOptions : ExecutionOptions {
   std::size_t samples = 100;  ///< sample count; must be >= 1
   /// Base seed. Sample s draws from stream (seed, s) regardless of how
   /// samples are partitioned across threads, so two runs with equal
   /// (samples, seed, latin_hypercube) agree bitwise whatever `threads` is.
   std::uint64_t seed = 1;
   bool latin_hypercube = true;  ///< stratified (paper Example 2) vs plain
-  /// Worker threads for the f(w) evaluations. 0 = auto-detect via
-  /// core::ThreadPool::default_threads() (LCSF_THREADS env, then hardware
-  /// concurrency); 1 = serial.
-  std::size_t threads = 0;
-  /// Fail-soft switch. With kSkip, a sample whose f(w) throws
-  /// sim::SimulationError (or std::runtime_error, classified kOther) is
-  /// skipped, counted and classified in the result's FailureSummary;
-  /// statistics cover the survivors. std::logic_error still propagates --
-  /// misuse is not a simulation outcome.
-  FailurePolicy on_failure = FailurePolicy::kAbort;
 };
 
 struct MonteCarloResult {
@@ -109,6 +117,11 @@ struct MonteCarloResult {
 };
 
 /// Exhaustive sampling of f over the variation sources.
+///
+/// Thin wrapper over stats::Runner::run_monte_carlo (stats/runner.hpp) --
+/// the Runner facade is the preferred entry point and this free function
+/// is deprecation-ready (it will gain [[deprecated]] once downstream
+/// callers migrate; see docs/monte_carlo.md).
 ///
 /// Determinism contract: values[s] and samples[s] depend only on
 /// (opt.seed, s, opt.samples if Latin-Hypercube, sources) -- never on
@@ -132,22 +145,19 @@ MonteCarloResult monte_carlo(const LanedPerformanceFn& f,
                              const std::vector<VariationSource>& sources,
                              const MonteCarloOptions& opt);
 
-struct GradientAnalysisOptions {
+/// Options for gradient_analysis. Execution knobs come from
+/// ExecutionOptions; here `threads` spreads the 2 x #sources probe
+/// evaluations (the result stays thread-count invariant: probes are
+/// independent and the Eq. 24 sum is accumulated in source order), and
+/// under kSkip a failed probe zeroes that source's gradient entry, drops
+/// it from the Eq. 24 sum and records it (SampleFailure::index = source
+/// index). A failed *nominal* evaluation always rethrows -- there is no
+/// gradient about a point that does not evaluate.
+struct GradientAnalysisOptions : ExecutionOptions {
   /// Relative finite-difference step, as a fraction of each source's
   /// sigma. The paper evaluates "five simulations per variation source";
   /// central differences use two plus the shared nominal run.
   double step_fraction = 0.1;
-  /// Worker threads for the 2 x #sources probe evaluations (same semantics
-  /// as MonteCarloOptions::threads). The result is thread-count invariant:
-  /// each source's probes are independent and the Eq. 24 sum is
-  /// accumulated in source order.
-  std::size_t threads = 0;
-  /// Fail-soft switch for the probe evaluations: with kSkip a failed
-  /// probe zeroes that source's gradient entry, drops it from the Eq. 24
-  /// sum and records it (SampleFailure::index = source index). A failed
-  /// *nominal* evaluation always rethrows -- there is no gradient about a
-  /// point that does not evaluate.
-  FailurePolicy on_failure = FailurePolicy::kAbort;
 };
 
 struct GradientAnalysisResult {
@@ -160,6 +170,7 @@ struct GradientAnalysisResult {
 
 /// First-order (RSS) estimate of the performance spread, paper Eq. 24:
 ///   sigma_D = sqrt( sum_l sigma_l^2 (dD/dw_l)^2 ).
+/// Thin deprecation-ready wrapper over stats::Runner::run_gradients.
 GradientAnalysisResult gradient_analysis(
     const PerformanceFn& f, const std::vector<VariationSource>& sources,
     const GradientAnalysisOptions& opt = {});

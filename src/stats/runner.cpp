@@ -1,0 +1,319 @@
+// The statistical engines behind stats::Runner (and, through their thin
+// delegating wrappers, the legacy free functions in analysis.cpp /
+// yield.cpp). The bodies moved here unchanged from analysis.cpp when the
+// Runner facade was introduced; the observability hooks are additive and
+// never touch the numerics, so every determinism contract is preserved.
+#include "stats/runner.hpp"
+
+#include <cmath>
+#include <optional>
+#include <stdexcept>
+
+#include "core/thread_pool.hpp"
+#include "obs/span.hpp"
+
+namespace lcsf::stats {
+
+using numeric::Vector;
+
+namespace {
+
+// Stream tags separating the independent uses of one (seed, counter) pair.
+constexpr std::uint64_t kLhsPermTag = 0x1a71;
+
+/// Evaluate one sample under the kSkip policy: returns true and fills
+/// `value` on success, false and fills `failure` on a classified failure.
+/// std::logic_error (misuse) propagates.
+bool eval_fail_soft(const LanedPerformanceFn& f, const Vector& w,
+                    std::size_t lane, std::size_t index, double& value,
+                    SampleFailure& failure) {
+  try {
+    value = f(w, lane);
+    return true;
+  } catch (const sim::SimulationError& e) {
+    failure = {index, e.kind(), e.diagnostics().message()};
+  } catch (const std::runtime_error& e) {
+    // A foreign engine that does not speak SimulationError: still a
+    // simulation outcome, classified as kOther.
+    failure = {index, sim::FailureKind::kOther, e.what()};
+  }
+  return false;
+}
+
+/// Adapt a lane-blind f to the laned core the drivers run on.
+LanedPerformanceFn ignore_lane(const PerformanceFn& f) {
+  return [&f](const Vector& w, std::size_t) { return f(w); };
+}
+
+/// Installs (registry, lane 0) on the driver thread -- unless that exact
+/// registry is already ambient, in which case the existing context (and
+/// its span path, e.g. an enclosing run_yield span) is left in place.
+class DriverContext {
+ public:
+  explicit DriverContext(obs::Registry* reg) {
+    if (reg != obs::ambient_registry()) ctx_.emplace(reg, 0);
+  }
+
+ private:
+  std::optional<obs::ScopedContext> ctx_;
+};
+
+}  // namespace
+
+RunOptions RunOptions::from(const MonteCarloOptions& opt) {
+  RunOptions r;
+  r.samples = opt.samples;
+  r.seed = opt.seed;
+  r.latin_hypercube = opt.latin_hypercube;
+  r.exec = static_cast<const ExecutionOptions&>(opt);
+  return r;
+}
+
+RunOptions RunOptions::from(const GradientAnalysisOptions& opt) {
+  RunOptions r;
+  r.step_fraction = opt.step_fraction;
+  r.exec = static_cast<const ExecutionOptions&>(opt);
+  return r;
+}
+
+MonteCarloOptions RunOptions::monte_carlo_options() const {
+  MonteCarloOptions o;
+  static_cast<ExecutionOptions&>(o) = exec;
+  o.samples = samples;
+  o.seed = seed;
+  o.latin_hypercube = latin_hypercube;
+  return o;
+}
+
+GradientAnalysisOptions RunOptions::gradient_options() const {
+  GradientAnalysisOptions o;
+  static_cast<ExecutionOptions&>(o) = exec;
+  o.step_fraction = step_fraction;
+  return o;
+}
+
+MonteCarloResult Runner::run_monte_carlo(
+    const PerformanceFn& f, const std::vector<VariationSource>& sources)
+    const {
+  return run_monte_carlo(ignore_lane(f), sources);
+}
+
+MonteCarloResult Runner::run_monte_carlo(
+    const LanedPerformanceFn& f, const std::vector<VariationSource>& sources)
+    const {
+  obs::Registry* reg =
+      opt_.registry != nullptr ? opt_.registry : obs::ambient_registry();
+  DriverContext obs_ctx(reg);
+  obs::ScopedSpan span("stats.monte_carlo");
+  if (sources.empty()) {
+    sim::throw_invalid_input(
+        "monte_carlo: `sources` must contain at least one VariationSource");
+  }
+  if (opt_.samples == 0) {
+    sim::throw_invalid_input(
+        "monte_carlo: MonteCarloOptions::samples must be >= 1");
+  }
+  const std::size_t nw = sources.size();
+  const std::size_t n = opt_.samples;
+
+  // Latin-Hypercube stratum assignment: one deterministic permutation per
+  // dimension, derived from (seed, dimension) -- generation is O(n * nw)
+  // and serial, negligible next to the f(w) evaluations. With n == 1 every
+  // permutation is the identity and the single stratum spans (0, 1).
+  std::vector<std::vector<std::size_t>> strata;
+  if (opt_.latin_hypercube) {
+    strata.reserve(nw);
+    for (std::size_t d = 0; d < nw; ++d) {
+      SplitMix64 perm_stream = sample_stream(opt_.seed, d, kLhsPermTag);
+      strata.push_back(stream_permutation(n, perm_stream));
+    }
+  }
+
+  // Per-sample slots; compacted to survivors after the parallel loop.
+  std::vector<double> values(n);
+  std::vector<Vector> samples(n);
+  std::vector<char> died(n, 0);
+  std::vector<SampleFailure> deaths(n);
+  const bool fail_soft = opt_.exec.on_failure == FailurePolicy::kSkip;
+
+  // Each sample draws every variate from its own counter-based stream, so
+  // the partition of [0, n) across threads cannot change any value; and
+  // under kSkip, neither can the set of failed indices.
+  core::parallel_for_lanes(
+      opt_.exec.threads, n,
+      [&](std::size_t begin, std::size_t end, std::size_t lane) {
+    // Route engine metrics recorded inside f to this chunk's lane sink.
+    obs::ScopedContext chunk_ctx(reg, lane);
+    const bool timed = obs::enabled();
+    for (std::size_t s = begin; s < end; ++s) {
+      SplitMix64 stream = sample_stream(opt_.seed, s);
+      Vector w(nw);
+      for (std::size_t d = 0; d < nw; ++d) {
+        const double jitter = stream.uniform_open();
+        const double uu =
+            opt_.latin_hypercube
+                ? (static_cast<double>(strata[d][s]) + jitter) /
+                      static_cast<double>(n)
+                : jitter;
+        const VariationSource& src = sources[d];
+        w[d] = (src.kind == VariationSource::Kind::kUniform)
+                   ? to_uniform(uu, src.mean - src.sigma,
+                                src.mean + src.sigma)
+                   : to_normal(uu, src.mean, src.sigma);
+      }
+      const std::uint64_t t0 = timed ? obs::now_ns() : 0;
+      if (fail_soft) {
+        died[s] =
+            eval_fail_soft(f, w, lane, s, values[s], deaths[s]) ? 0 : 1;
+      } else {
+        values[s] = f(w, lane);
+      }
+      if (timed) {
+        obs::record_value(
+            "stats.mc.sample_seconds",
+            static_cast<double>(obs::now_ns() - t0) / 1e9);
+      }
+      samples[s] = std::move(w);
+    }
+  });
+
+  // Compact + accumulate serially in sample order: identical to a serial
+  // run (and to any other thread count) by construction.
+  MonteCarloResult res;
+  res.failures.attempted = n;
+  res.values.reserve(n);
+  res.samples.reserve(n);
+  for (std::size_t s = 0; s < n; ++s) {
+    if (died[s]) {
+      ++res.failures.counts[static_cast<std::size_t>(deaths[s].kind)];
+      res.failures.failures.push_back(std::move(deaths[s]));
+      continue;
+    }
+    res.stats.add(values[s]);
+    res.values.push_back(values[s]);
+    res.samples.push_back(std::move(samples[s]));
+  }
+  res.failures.survived = res.values.size();
+  obs::add_counter("stats.mc.samples", static_cast<std::uint64_t>(n));
+  obs::add_counter("stats.mc.skipped",
+                   static_cast<std::uint64_t>(res.failures.failed()));
+  return res;
+}
+
+GradientAnalysisResult Runner::run_gradients(
+    const PerformanceFn& f, const std::vector<VariationSource>& sources)
+    const {
+  return run_gradients(ignore_lane(f), sources);
+}
+
+GradientAnalysisResult Runner::run_gradients(
+    const LanedPerformanceFn& f, const std::vector<VariationSource>& sources)
+    const {
+  obs::Registry* reg =
+      opt_.registry != nullptr ? opt_.registry : obs::ambient_registry();
+  DriverContext obs_ctx(reg);
+  obs::ScopedSpan span("stats.gradient_analysis");
+  if (sources.empty()) {
+    sim::throw_invalid_input("gradient_analysis: no sources");
+  }
+  if (opt_.step_fraction <= 0.0) {
+    sim::throw_invalid_input("gradient_analysis: bad step");
+  }
+  const std::size_t nw = sources.size();
+  GradientAnalysisResult res;
+  res.gradient.assign(nw, 0.0);
+
+  Vector w0(nw);
+  for (std::size_t d = 0; d < nw; ++d) w0[d] = sources[d].mean;
+  // A failed nominal always rethrows: there is no gradient about a point
+  // that does not evaluate. The nominal runs on the calling thread's lane.
+  res.nominal = f(w0, 0);
+  res.evaluations = 1;
+
+  const bool fail_soft = opt_.exec.on_failure == FailurePolicy::kSkip;
+  std::vector<char> died(nw, 0);
+  std::vector<SampleFailure> deaths(nw);
+
+  // The 2 * nw central-difference probes are independent; run them on the
+  // pool and fold the Eq. 24 sum serially in source order afterwards.
+  core::parallel_for_lanes(
+      opt_.exec.threads, nw,
+      [&](std::size_t begin, std::size_t end, std::size_t lane) {
+    obs::ScopedContext chunk_ctx(reg, lane);
+    const bool timed = obs::enabled();
+    for (std::size_t d = begin; d < end; ++d) {
+      const double h = opt_.step_fraction * sources[d].sigma;
+      if (h <= 0.0) continue;
+      Vector wp = w0, wm = w0;
+      wp[d] += h;
+      wm[d] -= h;
+      const std::uint64_t t0 = timed ? obs::now_ns() : 0;
+      if (fail_soft) {
+        double fp = 0.0, fm = 0.0;
+        if (eval_fail_soft(f, wp, lane, d, fp, deaths[d]) &&
+            eval_fail_soft(f, wm, lane, d, fm, deaths[d])) {
+          res.gradient[d] = (fp - fm) / (2.0 * h);
+        } else {
+          died[d] = 1;  // gradient entry stays 0 and leaves the RSS sum
+        }
+      } else {
+        res.gradient[d] = (f(wp, lane) - f(wm, lane)) / (2.0 * h);
+      }
+      if (timed) {
+        obs::record_value(
+            "stats.ga.probe_seconds",
+            static_cast<double>(obs::now_ns() - t0) / 1e9);
+      }
+    }
+  });
+
+  double var = 0.0;
+  res.failures.attempted = nw;
+  for (std::size_t d = 0; d < nw; ++d) {
+    if (opt_.step_fraction * sources[d].sigma <= 0.0) continue;
+    if (died[d]) {
+      ++res.failures.counts[static_cast<std::size_t>(deaths[d].kind)];
+      res.failures.failures.push_back(std::move(deaths[d]));
+      continue;
+    }
+    res.evaluations += 2;
+    const double g = res.gradient[d];
+    // Uniform(+-sigma) has variance sigma^2/3; normal has sigma^2.
+    const double s2 =
+        sources[d].kind == VariationSource::Kind::kUniform
+            ? sources[d].sigma * sources[d].sigma / 3.0
+            : sources[d].sigma * sources[d].sigma;
+    var += s2 * g * g;
+  }
+  res.failures.survived = nw - res.failures.failures.size();
+  res.stddev = std::sqrt(var);
+  obs::add_counter("stats.ga.probes",
+                   static_cast<std::uint64_t>(res.evaluations));
+  obs::add_counter("stats.ga.skipped",
+                   static_cast<std::uint64_t>(res.failures.failed()));
+  return res;
+}
+
+McYieldEstimate Runner::run_yield(const PerformanceFn& f,
+                                  const std::vector<VariationSource>& sources,
+                                  double clock_period) const {
+  return run_yield(ignore_lane(f), sources, clock_period);
+}
+
+McYieldEstimate Runner::run_yield(const LanedPerformanceFn& f,
+                                  const std::vector<VariationSource>& sources,
+                                  double clock_period) const {
+  obs::Registry* reg =
+      opt_.registry != nullptr ? opt_.registry : obs::ambient_registry();
+  DriverContext obs_ctx(reg);
+  obs::ScopedSpan span("stats.yield");
+  McYieldEstimate est(run_monte_carlo(f, sources), clock_period);
+  std::uint64_t pass = 0;
+  for (const double v : est.samples().values) {
+    if (v <= clock_period) ++pass;
+  }
+  obs::add_counter("stats.yield.pass", pass);
+  return est;
+}
+
+}  // namespace lcsf::stats

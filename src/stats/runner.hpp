@@ -1,0 +1,90 @@
+// Unified entry point for the statistical analyses (paper Sec. 4).
+//
+// stats::Runner replaces the grown-by-accretion free-function overload
+// pairs (monte_carlo / gradient_analysis / monte_carlo_yield) with one
+// facade sharing a single option struct, RunOptions: configure sampling,
+// seeding, execution and observability once, then run any of the three
+// analyses against it. The free functions remain as thin delegating
+// wrappers (deprecation-ready; see docs/monte_carlo.md) so existing call
+// sites keep compiling with identical results.
+//
+// Observability: every run_* method records phase spans, engine counters
+// and a per-sample latency distribution into RunOptions::registry -- or,
+// when that is null, into the registry ambient on the calling thread
+// (obs::ScopedContext), so tools can install one registry around a whole
+// analysis pipeline. With neither, recording is a no-op.
+#pragma once
+
+#include "obs/registry.hpp"
+#include "stats/analysis.hpp"
+#include "stats/yield.hpp"
+
+namespace lcsf::stats {
+
+/// Shared configuration for all Runner analyses. The sampling fields
+/// mirror MonteCarloOptions, `step_fraction` mirrors
+/// GradientAnalysisOptions, and the execution knobs live in `exec`
+/// (one ExecutionOptions for all three analyses).
+struct RunOptions {
+  std::size_t samples = 100;    ///< MC/yield sample count; must be >= 1
+  std::uint64_t seed = 1;       ///< base seed (counter-based streams)
+  bool latin_hypercube = true;  ///< stratified vs plain sampling
+  double step_fraction = 0.1;   ///< gradient finite-difference step
+  ExecutionOptions exec;        ///< threads + failure policy
+
+  /// Metrics/trace destination. Null = inherit the calling thread's
+  /// ambient registry (if any); recording is disabled when both are null.
+  obs::Registry* registry = nullptr;
+
+  /// Lossless lifts of the legacy per-analysis option structs (the
+  /// delegating free functions use these).
+  static RunOptions from(const MonteCarloOptions& opt);
+  static RunOptions from(const GradientAnalysisOptions& opt);
+
+  /// Projections back onto the legacy structs.
+  MonteCarloOptions monte_carlo_options() const;
+  GradientAnalysisOptions gradient_options() const;
+};
+
+/// Facade running the three statistical analyses under one RunOptions.
+/// Stateless apart from the options (safe to reuse and copy); all
+/// determinism contracts of the underlying engines hold unchanged --
+/// results are bitwise identical for every exec.threads value, with or
+/// without a registry installed.
+class Runner {
+ public:
+  Runner() = default;
+  explicit Runner(RunOptions opt) : opt_(std::move(opt)) {}
+
+  const RunOptions& options() const { return opt_; }
+  RunOptions& options() { return opt_; }
+
+  /// Exhaustive sampling of f (contract of stats::monte_carlo).
+  MonteCarloResult run_monte_carlo(
+      const PerformanceFn& f,
+      const std::vector<VariationSource>& sources) const;
+  MonteCarloResult run_monte_carlo(
+      const LanedPerformanceFn& f,
+      const std::vector<VariationSource>& sources) const;
+
+  /// Eq. 24 RSS spread estimate (contract of stats::gradient_analysis).
+  GradientAnalysisResult run_gradients(
+      const PerformanceFn& f,
+      const std::vector<VariationSource>& sources) const;
+  GradientAnalysisResult run_gradients(
+      const LanedPerformanceFn& f,
+      const std::vector<VariationSource>& sources) const;
+
+  /// Monte-Carlo timing yield (contract of stats::monte_carlo_yield).
+  McYieldEstimate run_yield(const PerformanceFn& f,
+                            const std::vector<VariationSource>& sources,
+                            double clock_period) const;
+  McYieldEstimate run_yield(const LanedPerformanceFn& f,
+                            const std::vector<VariationSource>& sources,
+                            double clock_period) const;
+
+ private:
+  RunOptions opt_;
+};
+
+}  // namespace lcsf::stats

@@ -8,6 +8,7 @@
 #include "numeric/fp_compare.hpp"
 #include "sim/diagnostics.hpp"
 #include "stats/random.hpp"
+#include "stats/runner.hpp"
 
 namespace lcsf::stats {
 
@@ -39,39 +40,32 @@ std::vector<double> empirical_yield_curve(const std::vector<double>& delays,
   return out;
 }
 
-namespace {
-
-McYieldEstimate yield_from_mc(MonteCarloResult mc, double clock_period) {
-  McYieldEstimate est;
-  est.mc = std::move(mc);
-  if (est.mc.values.empty()) {
+McYieldEstimate::McYieldEstimate(MonteCarloResult sample_set,
+                                 double clock_period)
+    : samples_(std::move(sample_set)) {
+  if (samples_.values.empty()) {
     // Every sample failed under FailurePolicy::kSkip: by the ISLE-style
     // convention a sample that diverges cannot meet timing, so the yield
-    // estimate is 0 (the summary in est.mc.failures tells the story).
-    est.yield = 0.0;
-    est.std_error = 0.0;
-    return est;
+    // estimate is 0 (the summary in samples().failures tells the story).
+    return;
   }
-  est.yield = empirical_yield(est.mc.values, clock_period);
-  est.std_error = std::sqrt(est.yield * (1.0 - est.yield) /
-                            static_cast<double>(est.mc.values.size()));
-  return est;
+  yield = empirical_yield(samples_.values, clock_period);
+  std_error = std::sqrt(yield * (1.0 - yield) /
+                        static_cast<double>(samples_.values.size()));
 }
-
-}  // namespace
 
 McYieldEstimate monte_carlo_yield(const PerformanceFn& f,
                                   const std::vector<VariationSource>& sources,
                                   double clock_period,
                                   const MonteCarloOptions& opt) {
-  return yield_from_mc(monte_carlo(f, sources, opt), clock_period);
+  return Runner(RunOptions::from(opt)).run_yield(f, sources, clock_period);
 }
 
 McYieldEstimate monte_carlo_yield(const LanedPerformanceFn& f,
                                   const std::vector<VariationSource>& sources,
                                   double clock_period,
                                   const MonteCarloOptions& opt) {
-  return yield_from_mc(monte_carlo(f, sources, opt), clock_period);
+  return Runner(RunOptions::from(opt)).run_yield(f, sources, clock_period);
 }
 
 double gaussian_yield(double nominal, double sigma, double clock_period) {

@@ -27,10 +27,27 @@ std::vector<double> empirical_yield_curve(const std::vector<double>& delays,
                                           const std::vector<double>& periods,
                                           std::size_t threads = 0);
 
-struct McYieldEstimate {
-  MonteCarloResult mc;       ///< the underlying sample (reusable)
+/// A Monte-Carlo yield estimate plus the sample it was computed from.
+/// (The sample member was renamed from the cryptic `mc` to the accessor
+/// `samples()` -- see docs/monte_carlo.md for the migration note.)
+class McYieldEstimate {
+ public:
+  McYieldEstimate() = default;
+  /// Compute yield/std_error for `clock_period` over `samples`' survivor
+  /// values. A run where *every* sample failed (kSkip) reports yield 0:
+  /// by the ISLE-style convention a sample that diverges cannot meet
+  /// timing (the summary in samples().failures tells the story).
+  McYieldEstimate(MonteCarloResult samples, double clock_period);
+
+  /// The underlying Monte-Carlo sample (reusable for yield curves etc.).
+  const MonteCarloResult& samples() const { return samples_; }
+  MonteCarloResult& samples() { return samples_; }
+
   double yield = 0.0;        ///< fraction of samples meeting the period
   double std_error = 0.0;    ///< binomial std error sqrt(y(1-y)/n)
+
+ private:
+  MonteCarloResult samples_;
 };
 
 /// End-to-end Monte-Carlo yield estimator: samples f over the variation
@@ -38,10 +55,10 @@ struct McYieldEstimate {
 /// meeting `clock_period`. Inherits monte_carlo()'s determinism contract:
 /// the estimate is bitwise identical for every opt.threads value. With
 /// opt.on_failure == FailurePolicy::kSkip, failed samples are excluded
-/// from the survivor fraction and classified in mc.failures (a run where
-/// *every* sample fails reports yield 0); importance-sampling-style tail
-/// estimation needs exactly this, since the tail samples are the ones
-/// that misbehave.
+/// from the survivor fraction and classified in samples().failures;
+/// importance-sampling-style tail estimation needs exactly this, since
+/// the tail samples are the ones that misbehave.
+/// Thin deprecation-ready wrapper over stats::Runner::run_yield.
 McYieldEstimate monte_carlo_yield(const PerformanceFn& f,
                                   const std::vector<VariationSource>& sources,
                                   double clock_period,

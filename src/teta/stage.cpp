@@ -6,6 +6,8 @@
 
 #include "numeric/fp_compare.hpp"
 #include "numeric/lu.hpp"
+#include "obs/registry.hpp"
+#include "obs/span.hpp"
 #include "teta/convolution.hpp"
 
 namespace lcsf::teta {
@@ -547,6 +549,8 @@ TetaResult simulate_stage(const StageCircuit& stage,
 void simulate_stage(const StageCircuit& stage,
                     const mor::PoleResidueModel& load, const TetaOptions& opt,
                     TetaWorkspace& ws, TetaResult& out) {
+  obs::ScopedSpan span("teta.stage");
+  obs::add_counter("teta.transients");
   if (load.num_ports() != stage.num_ports()) {
     sim::throw_invalid_input("simulate_stage: port count mismatch");
   }
@@ -567,6 +571,7 @@ void simulate_stage(const StageCircuit& stage,
                       std::to_string(load.max_unstable_real()) +
                       (opt.reject_unstable_load ? " (rejected by policy)"
                                                 : "; stabilize() the load");
+    obs::add_counter("teta.failed_transients");
     return;
   }
 
@@ -583,6 +588,14 @@ void simulate_stage(const StageCircuit& stage,
     out.diag.retries_used = retry;
     if (out.converged || retry >= opt.recovery.max_dt_retries ||
         out.diag.kind == sim::FailureKind::kSingularSystem) {
+      obs::add_counter("teta.chord_iterations",
+                       static_cast<std::uint64_t>(iterations));
+      obs::add_counter("teta.dt_halvings", static_cast<std::uint64_t>(retry));
+      if (out.converged) {
+        if (retry > 0) obs::add_counter("teta.recovered_transients");
+      } else {
+        obs::add_counter("teta.failed_transients");
+      }
       // Drop pooled per-step vectors beyond this run's step count so the
       // public time/port_voltages invariant holds.
       out.port_voltages.resize(out.time.size());

@@ -397,7 +397,7 @@ TEST(FailSoft, YieldOfFullyFailedRunIsZeroNotAThrow) {
   const auto est = stats::monte_carlo_yield(dead, {{}}, 1e-9, opt);
   EXPECT_EQ(est.yield, 0.0);
   EXPECT_EQ(est.std_error, 0.0);
-  EXPECT_EQ(est.mc.failures.failed(), 16u);
+  EXPECT_EQ(est.samples().failures.failed(), 16u);
 }
 
 // ---------------------------------------------------------------------

@@ -170,6 +170,43 @@ TEST(LintHeader, UsingNamespaceOnlyInHeaders) {
   EXPECT_EQ(ids(run("src/mor/x.cpp", "using namespace lcsf;\n")), "");
 }
 
+TEST(LintSpan, FlagsTemporaryScopedSpans) {
+  const auto f = run("src/mor/x.cpp",
+                     "void f() {\n"
+                     "  obs::ScopedSpan{\"phase\"};\n"
+                     "  obs::ScopedSpan(\"phase\");\n"
+                     "  ScopedSpan {\"unqualified\"};\n"
+                     "}\n");
+  EXPECT_EQ(ids(f),
+            "obs-span-balance@2 obs-span-balance@3 obs-span-balance@4");
+}
+
+TEST(LintSpan, NamedSpansAndLookalikesAreFine) {
+  const auto f = run("src/mor/x.cpp",
+                     "void f() {\n"
+                     "  obs::ScopedSpan span(\"phase\");\n"
+                     "  obs::ScopedSpan braced{\"phase\"};\n"
+                     "  MyScopedSpan(\"not the obs type\");\n"
+                     "}\n");
+  EXPECT_EQ(ids(f), "");
+}
+
+TEST(LintSpan, ObsSubsystemItselfIsExempt) {
+  // The declaring header's own ctor/dtor signatures must not self-flag.
+  const std::string src =
+      "#pragma once\n"
+      "class ScopedSpan {\n"
+      "  explicit ScopedSpan(const char* name);\n"
+      "  ~ScopedSpan();\n"
+      "};\n";
+  EXPECT_EQ(ids(run("src/obs/span.hpp", src)), "");
+  // Elsewhere the class-shaped and ctor-shaped lines still fire (the
+  // rule is conservative outside the one sanctioned directory); the
+  // destructor declaration never does.
+  EXPECT_EQ(ids(run("src/mor/x.hpp", src)),
+            "obs-span-balance@2 obs-span-balance@3");
+}
+
 TEST(LintScrub, ViolationsInCommentsAndStringsDoNotFire) {
   const auto f = run("src/stats/x.cpp",
                      "// call rand() then throw std::runtime_error\n"

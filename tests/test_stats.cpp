@@ -12,6 +12,7 @@
 #include "stats/descriptive.hpp"
 #include "stats/pca.hpp"
 #include "stats/random.hpp"
+#include "stats/runner.hpp"
 
 namespace lcsf::stats {
 namespace {
@@ -385,6 +386,76 @@ TEST(GradientAnalysis, AgreesWithMonteCarloOnMildNonlinearity) {
   opt.samples = 4000;
   auto mc = monte_carlo(f, src, opt);
   EXPECT_NEAR(ga.stddev, mc.stats.stddev(), 0.01);
+}
+
+TEST(Runner, MonteCarloMatchesFreeFunctionBitwise) {
+  // The free functions are thin wrappers over Runner; both paths must
+  // produce bitwise-identical results for the same options.
+  std::vector<VariationSource> src(3);
+  src[2].kind = VariationSource::Kind::kUniform;
+  src[2].sigma = 0.4;
+  auto f = [](const Vector& w) { return w[0] * w[1] + 0.5 * w[2]; };
+  for (bool lhs : {false, true}) {
+    MonteCarloOptions opt;
+    opt.samples = 97;
+    opt.seed = 23;
+    opt.latin_hypercube = lhs;
+    opt.threads = 4;
+    const auto legacy = monte_carlo(f, src, opt);
+    const auto modern = Runner(RunOptions::from(opt)).run_monte_carlo(f, src);
+    EXPECT_EQ(legacy.values, modern.values) << "lhs=" << lhs;
+    ASSERT_EQ(legacy.samples.size(), modern.samples.size());
+    for (std::size_t s = 0; s < legacy.samples.size(); ++s) {
+      EXPECT_EQ(legacy.samples[s], modern.samples[s]) << "lhs=" << lhs;
+    }
+    EXPECT_EQ(legacy.stats.mean(), modern.stats.mean());
+    EXPECT_EQ(legacy.stats.stddev(), modern.stats.stddev());
+  }
+}
+
+TEST(Runner, GradientsMatchFreeFunctionBitwise) {
+  std::vector<VariationSource> src(4);
+  for (std::size_t d = 0; d < src.size(); ++d) {
+    src[d].sigma = 0.2 + 0.1 * static_cast<double>(d);
+  }
+  auto f = [](const Vector& w) {
+    return std::cos(w[0]) + w[1] * w[2] - 0.3 * w[3];
+  };
+  GradientAnalysisOptions opt;
+  opt.step_fraction = 0.05;
+  opt.threads = 4;
+  const auto legacy = gradient_analysis(f, src, opt);
+  const auto modern = Runner(RunOptions::from(opt)).run_gradients(f, src);
+  EXPECT_EQ(legacy.nominal, modern.nominal);
+  EXPECT_EQ(legacy.stddev, modern.stddev);
+  EXPECT_EQ(legacy.evaluations, modern.evaluations);
+  EXPECT_EQ(legacy.gradient, modern.gradient);
+}
+
+TEST(Runner, OptionLiftsRoundTrip) {
+  MonteCarloOptions mc;
+  mc.samples = 7;
+  mc.seed = 99;
+  mc.latin_hypercube = false;
+  mc.threads = 3;
+  mc.on_failure = FailurePolicy::kSkip;
+  const MonteCarloOptions back =
+      RunOptions::from(mc).monte_carlo_options();
+  EXPECT_EQ(back.samples, mc.samples);
+  EXPECT_EQ(back.seed, mc.seed);
+  EXPECT_EQ(back.latin_hypercube, mc.latin_hypercube);
+  EXPECT_EQ(back.threads, mc.threads);
+  EXPECT_EQ(back.on_failure, mc.on_failure);
+
+  GradientAnalysisOptions ga;
+  ga.step_fraction = 0.02;
+  ga.threads = 5;
+  ga.on_failure = FailurePolicy::kSkip;
+  const GradientAnalysisOptions gback =
+      RunOptions::from(ga).gradient_options();
+  EXPECT_EQ(gback.step_fraction, ga.step_fraction);
+  EXPECT_EQ(gback.threads, ga.threads);
+  EXPECT_EQ(gback.on_failure, ga.on_failure);
 }
 
 TEST(GradientAnalysis, UniformSourceVariance) {

@@ -84,7 +84,7 @@ TEST(Yield, MonteCarloYieldEstimatorIsThreadCountInvariant) {
   opt.threads = 8;
   const auto par = monte_carlo_yield(f, src, 1.0, opt);
   EXPECT_EQ(serial.yield, par.yield);
-  EXPECT_EQ(serial.mc.values, par.mc.values);
+  EXPECT_EQ(serial.samples().values, par.samples().values);
 }
 
 TEST(Yield, CornerPessimism) {

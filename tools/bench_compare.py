@@ -14,7 +14,13 @@ are reported but never gate.
 
 Usage:
   tools/bench_compare.py BASELINE.json CANDIDATE.json [--threshold 0.10]
+  tools/bench_compare.py BASELINE.json CANDIDATE.json --only speedup
   tools/bench_compare.py --check CANDIDATE.json --min speedup=1.5
+
+--only restricts the two-file diff to the named metrics (repeatable).
+The CI obs stage uses it to gate the disabled-observability overhead on
+the machine-independent speedup ratio alone, ignoring the absolute
+wall-clock metrics that vary from host to host.
 
 Exit status: 0 = no regression, 1 = regression (or floor violated),
 2 = usage / malformed input.
@@ -52,10 +58,17 @@ def load_metrics(path):
     }
 
 
-def compare(base_path, cand_path, threshold):
+def compare(base_path, cand_path, threshold, only=None):
     """Diff candidate vs baseline; return the number of regressions."""
     base_doc, base = load_metrics(base_path)
     cand_doc, cand = load_metrics(cand_path)
+    if only:
+        missing = [m for m in only if m not in base and m not in cand]
+        if missing:
+            sys.exit(f"bench_compare: --only metric(s) {missing} "
+                     "absent from both files")
+        base = {k: v for k, v in base.items() if k in only}
+        cand = {k: v for k, v in cand.items() if k in only}
     if base_doc.get("bench") != cand_doc.get("bench"):
         print(
             f"bench_compare: warning: comparing different benches "
@@ -125,6 +138,10 @@ def main(argv):
                         metavar="METRIC=VALUE",
                         help="absolute floor for a metric (repeatable; "
                              "used with --check)")
+    parser.add_argument("--only", action="append", default=[],
+                        metavar="METRIC",
+                        help="restrict the two-file diff to this metric "
+                             "(repeatable)")
     args = parser.parse_args(argv)
 
     if args.check:
@@ -136,7 +153,8 @@ def main(argv):
     if not args.baseline or not args.candidate:
         parser.error("need BASELINE.json and CANDIDATE.json "
                      "(or --check mode)")
-    bad = compare(args.baseline, args.candidate, args.threshold)
+    bad = compare(args.baseline, args.candidate, args.threshold,
+                  only=set(args.only) or None)
     if bad:
         print(f"bench_compare: {bad} metric(s) regressed beyond "
               f"{args.threshold:.0%}")

@@ -5,6 +5,10 @@
 #   asan-ubsan: LCSF_SANITIZE=address,undefined build + full ctest suite
 #   tsan      : LCSF_SANITIZE=thread build + full ctest suite (includes
 #               the dedicated test_tsan_stress workload)
+#   obs       : observability smoke -- lcsf_sta/lcsf_sim --metrics on the
+#               example workloads, schema-validated by
+#               tools/check_metrics.py, plus the CLI-level witness that
+#               the deterministic metrics are thread-count invariant
 #   doc-lint  : documentation link/anchor checker
 #   lcsf-lint : project-invariant static analysis (+ clang-tidy when
 #               installed, via tools/lint.sh)
@@ -59,12 +63,47 @@ echo "==== stage: bench-quick ===="
 # comfortably ahead. The full-mode acceptance floor is 1.5x; quick mode
 # uses 1.2x to absorb short-run jitter. See docs/performance.md.
 BENCH_JSON=build-ci-release/BENCH_hotpath.json
+# The candidate build has observability compiled in but no registry
+# installed (bench_hotpath never passes one), so diffing its speedup
+# ratio against the checked-in baseline also gates the disabled-obs
+# overhead: the pooled/baseline ratio may not degrade by more than 2%.
 if cmake --build build-ci-release -j "$JOBS" --target bench_hotpath \
     && LCSF_BENCH_QUICK=1 build-ci-release/bench/bench_hotpath "$BENCH_JSON" \
-    && python3 tools/bench_compare.py --check "$BENCH_JSON" --min speedup=1.2; then
+    && python3 tools/bench_compare.py --check "$BENCH_JSON" --min speedup=1.2 \
+    && python3 tools/bench_compare.py BENCH_hotpath.json "$BENCH_JSON" \
+         --only speedup --threshold 0.02; then
   record bench-quick PASS
 else
   record bench-quick FAIL
+fi
+
+echo
+echo "==== stage: obs ===="
+# Observability smoke: the CLIs must emit schema-valid metrics with the
+# engine counters populated, and the deterministic projection must be
+# bitwise identical across thread counts (docs/observability.md).
+OBS_DIR=build-ci-release/obs-ci
+STA=build-ci-release/tools/lcsf_sta
+SIM=build-ci-release/tools/lcsf_sim
+if mkdir -p "$OBS_DIR" \
+    && "$STA" --circuit s27 --samples 16 --seed 3 --threads 1 \
+         --metrics "$OBS_DIR/sta_t1.json" > /dev/null \
+    && "$STA" --circuit s27 --samples 16 --seed 3 --threads 8 \
+         --metrics "$OBS_DIR/sta_t8.json" > /dev/null \
+    && "$SIM" examples/decks/inverter_chain.sp --tstop 1n --dt 2p \
+         --points 2 --metrics "$OBS_DIR/sim.json" > /dev/null \
+    && python3 tools/check_metrics.py --schema tools/metrics_schema.json \
+         "$OBS_DIR/sta_t1.json" "$OBS_DIR/sta_t8.json" \
+         --require stats.mc.samples --require teta.transients \
+         --require mor.rom_evaluations \
+    && python3 tools/check_metrics.py --schema tools/metrics_schema.json \
+         "$OBS_DIR/sim.json" \
+         --require spice.newton_iterations --require parser.devices \
+    && python3 tools/check_metrics.py --diff-deterministic \
+         "$OBS_DIR/sta_t1.json" "$OBS_DIR/sta_t8.json"; then
+  record obs PASS
+else
+  record obs FAIL
 fi
 
 echo

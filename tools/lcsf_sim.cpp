@@ -3,6 +3,13 @@
 //   lcsf_sim <deck.sp> --tstop 2n [--dt 1p] [--probe node]...
 //            [--tech 180nm|600nm] [--points 40] [--threads n]
 //            [--on-failure abort|skip|retry]
+//            [--metrics out.json] [--trace out.trace.json]
+//            [--report-timing]
+//
+// --metrics/--trace/--report-timing enable the observability subsystem
+// (docs/observability.md): engine counters (Newton iterations, LU
+// refactor vs full-factor counts, committed steps) and phase spans for
+// the parse and transient phases.
 //
 // Runs the conventional Newton/trapezoidal engine on the parsed netlist
 // and prints the probed node waveforms as a TSV table.
@@ -25,6 +32,7 @@
 
 #include "circuit/parser.hpp"
 #include "core/thread_pool.hpp"
+#include "obs_cli.hpp"
 #include "spice/transient.hpp"
 
 using namespace lcsf;
@@ -35,7 +43,8 @@ namespace {
   std::fprintf(stderr,
                "usage: lcsf_sim <deck.sp> --tstop <t> [--dt <t>] "
                "[--probe <node>]... [--tech 180nm|600nm] [--points n] "
-               "[--threads n] [--on-failure abort|skip|retry]\n");
+               "[--threads n] [--on-failure abort|skip|retry] %s\n",
+               tools::ObsCli::usage_line());
   std::exit(2);
 }
 
@@ -50,6 +59,7 @@ int main(int argc, char** argv) {
   std::string tech_name = "180nm";
   std::string on_failure = "abort";
   std::vector<std::string> probes;
+  tools::ObsCli obs_cli;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -74,6 +84,8 @@ int main(int argc, char** argv) {
       on_failure = next();
     } else if (arg.rfind("--on-failure=", 0) == 0) {
       on_failure = arg.substr(std::strlen("--on-failure="));
+    } else if (obs_cli.parse_flag(arg, next)) {
+      // handled
     } else if (arg.rfind("--", 0) == 0) {
       usage();
     } else {
@@ -85,6 +97,8 @@ int main(int argc, char** argv) {
       on_failure != "retry") {
     usage();
   }
+
+  obs_cli.install();
 
   const circuit::Technology tech = tech_name == "600nm"
                                        ? circuit::technology_600nm()
@@ -148,5 +162,5 @@ int main(int argc, char** argv) {
   std::fprintf(stderr, "lcsf_sim: %zu steps, %ld Newton iterations\n",
                res.time.empty() ? 0 : res.time.size() - 1,
                res.total_newton_iterations);
-  return 0;
+  return obs_cli.finish("lcsf_sim") ? 0 : 1;
 }

@@ -4,6 +4,14 @@
 //            [--std-dl 0.33] [--std-vt 0.33] [--rho r] [--corner]
 //            [--yield-target 0.9987] [--threads n]
 //            [--on-failure abort|skip|retry]
+//            [--metrics out.json] [--trace out.trace.json]
+//            [--report-timing]
+//
+// The last three flags enable the observability subsystem
+// (docs/observability.md): --metrics writes the merged counters, value
+// distributions and phase timers as JSON; --trace writes Chrome
+// trace_event spans (load in about:tracing or Perfetto); --report-timing
+// prints a human-readable phase-time tree to stderr.
 //
 // --threads (or the LCSF_THREADS environment variable) sets the worker
 // count for the Monte-Carlo sweep; results are bitwise identical for any
@@ -24,6 +32,7 @@
 #include <string>
 
 #include "core/path.hpp"
+#include "obs_cli.hpp"
 #include "stats/yield.hpp"
 
 using namespace lcsf;
@@ -37,7 +46,9 @@ namespace {
       "                [--seed n] [--std-dl s] [--std-vt s] [--rho r]\n"
       "                [--corner] [--yield-target y] [--threads n]\n"
       "                [--on-failure abort|skip|retry]\n"
-      "circuits: s27 s208 s832 s444 s1423 s1423d s9234\n");
+      "                %s\n"
+      "circuits: s27 s208 s832 s444 s1423 s1423d s9234\n",
+      tools::ObsCli::usage_line());
   std::exit(2);
 }
 
@@ -55,6 +66,7 @@ int main(int argc, char** argv) {
   double yield_target = 0.9987;
   std::size_t threads = 0;  // 0 = auto (LCSF_THREADS env / hardware)
   std::string on_failure = "abort";
+  tools::ObsCli obs_cli;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -86,6 +98,8 @@ int main(int argc, char** argv) {
       on_failure = next();
     } else if (arg.rfind("--on-failure=", 0) == 0) {
       on_failure = arg.substr(std::strlen("--on-failure="));
+    } else if (obs_cli.parse_flag(arg, next)) {
+      // handled
     } else {
       usage();
     }
@@ -95,6 +109,8 @@ int main(int argc, char** argv) {
       on_failure != "retry") {
     usage();
   }
+
+  obs_cli.install();
 
   const auto& bspec = timing::find_benchmark(circuit_name);
   const auto nl = timing::generate_benchmark(bspec);
@@ -121,22 +137,24 @@ int main(int argc, char** argv) {
   model.std_dl = std_dl;
   model.std_vt = std_vt;
 
-  stats::MonteCarloOptions mco;
-  mco.samples = samples;
-  mco.seed = seed;
-  mco.threads = threads;
-  mco.on_failure = on_failure == "abort" ? stats::FailurePolicy::kAbort
-                                         : stats::FailurePolicy::kSkip;
+  stats::RunOptions run_opt;
+  run_opt.samples = samples;
+  run_opt.seed = seed;
+  run_opt.exec.threads = threads;
+  run_opt.exec.on_failure = on_failure == "abort"
+                                ? stats::FailurePolicy::kAbort
+                                : stats::FailurePolicy::kSkip;
+  run_opt.registry = obs_cli.registry();
 
   stats::MonteCarloResult mc;
   if (rho > 0.0) {
-    const auto corr = analyzer.monte_carlo_correlated(model, rho, mco);
+    const auto corr = analyzer.monte_carlo_correlated(model, rho, run_opt);
     std::printf("correlated MC (rho = %.2f): %zu sources -> %zu PCA "
                 "factors\n",
                 rho, corr.total_sources, corr.factors_used);
     mc = corr.mc;
   } else {
-    mc = analyzer.monte_carlo(model, mco);
+    mc = analyzer.monte_carlo(model, run_opt);
   }
   const auto ga = analyzer.gradient_analysis(model);
 
@@ -147,6 +165,7 @@ int main(int argc, char** argv) {
   }
   if (mc.values.empty()) {
     std::fprintf(stderr, "lcsf_sta: every Monte-Carlo sample failed\n");
+    obs_cli.finish("lcsf_sta");  // the metrics tell the failure story
     return 1;
   }
   std::printf("Monte-Carlo (%zu samples): mean %.2f ps, std %.2f ps\n",
@@ -170,5 +189,5 @@ int main(int argc, char** argv) {
   }
   std::printf("\ndelay histogram:\n%s",
               stats::Histogram::from_data(mc.values, 12).render(40).c_str());
-  return 0;
+  return obs_cli.finish("lcsf_sta") ? 0 : 1;
 }

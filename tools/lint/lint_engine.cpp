@@ -137,6 +137,7 @@ const char* const kFloatEqRule = "float-equality";
 const char* const kThreadRule = "thread-outside-pool";
 const char* const kGuardRule = "include-guard";
 const char* const kUsingRule = "using-namespace-header";
+const char* const kSpanRule = "obs-span-balance";
 
 bool starts_with(const std::string& s, const char* prefix) {
   return s.rfind(prefix, 0) == 0;
@@ -160,6 +161,13 @@ bool in_engine_dir(const std::string& path) {
 bool is_thread_pool_file(const std::string& path) {
   return path == "src/core/thread_pool.hpp" ||
          path == "src/core/thread_pool.cpp";
+}
+
+/// The obs subsystem itself declares/defines ScopedSpan, so the
+/// span-balance rule must not scan it (its ctor/dtor signatures would
+/// self-flag).
+bool outside_obs_dir(const std::string& path) {
+  return !starts_with(path, "src/obs/");
 }
 
 struct Rule {
@@ -215,6 +223,17 @@ const std::vector<Rule>& line_rules() {
        std::regex(R"(\busing\s+namespace\b)"),
        "`using namespace` in a header pollutes every includer",
        is_header},
+      {kSpanRule,
+       // `ScopedSpan(...)` / `ScopedSpan{...}` with no variable name in
+       // between is a temporary: it is destroyed at the end of the full
+       // expression, so the span it records covers nothing. The leading
+       // class excludes destructor calls (~ScopedSpan) and identifiers
+       // that merely end in ScopedSpan.
+       std::regex(R"((^|[^~\w])ScopedSpan\s*[({])"),
+       "temporary obs::ScopedSpan dies at the end of the statement and "
+       "records a zero-length span; bind it to a named stack object "
+       "(`obs::ScopedSpan span(\"phase\");`) so it covers the scope",
+       outside_obs_dir},
   };
   return rules;
 }
@@ -290,6 +309,9 @@ const std::vector<RuleInfo>& rules() {
        "headers use #pragma once (before any code, no legacy #ifndef "
        "guards)"},
       {kUsingRule, "no `using namespace` in headers"},
+      {kSpanRule,
+       "obs::ScopedSpan must be a named stack object, never a discarded "
+       "temporary (outside src/obs/ itself)"},
   };
   return info;
 }

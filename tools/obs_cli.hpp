@@ -1,0 +1,90 @@
+// Shared observability plumbing for the CLI tools: parses the
+// --metrics/--trace/--report-timing flags, owns the obs::Registry for the
+// run, installs it as the ambient recording context on the main thread,
+// and writes the requested exports at exit (docs/observability.md).
+#pragma once
+
+#include <cstdio>
+#include <fstream>
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "obs/registry.hpp"
+
+namespace lcsf::tools {
+
+class ObsCli {
+ public:
+  /// Consume one obs flag; returns true when `arg` was handled.
+  /// `next` yields the flag's value argument (exits on missing value).
+  template <class NextFn>
+  bool parse_flag(const std::string& arg, NextFn&& next) {
+    if (arg == "--metrics") {
+      metrics_path_ = next();
+    } else if (arg == "--trace") {
+      trace_path_ = next();
+    } else if (arg == "--report-timing") {
+      report_timing_ = true;
+    } else {
+      return false;
+    }
+    return true;
+  }
+
+  static const char* usage_line() {
+    return "[--metrics out.json] [--trace out.trace.json] "
+           "[--report-timing]";
+  }
+
+  /// Create the registry and install it on the calling thread. Call once
+  /// after argument parsing, before the instrumented work. No-op when no
+  /// obs flag was given -- recording then stays disabled (null registry).
+  void install() {
+    if (!enabled()) return;
+    registry_ = std::make_unique<obs::Registry>();
+    ctx_.emplace(registry_.get(), 0);
+  }
+
+  bool enabled() const {
+    return !metrics_path_.empty() || !trace_path_.empty() || report_timing_;
+  }
+
+  obs::Registry* registry() const { return registry_.get(); }
+
+  /// Write the requested exports. Returns false (after a diagnostic on
+  /// stderr) when an output file cannot be written.
+  bool finish(const char* tool_name) {
+    if (registry_ == nullptr) return true;
+    bool ok = true;
+    auto write_file = [&](const std::string& path,
+                          const std::string& content) {
+      std::ofstream out(path);
+      out << content;
+      if (!out) {
+        std::fprintf(stderr, "%s: cannot write %s\n", tool_name,
+                     path.c_str());
+        ok = false;
+      }
+    };
+    if (!metrics_path_.empty()) {
+      write_file(metrics_path_, registry_->to_json(true));
+    }
+    if (!trace_path_.empty()) {
+      write_file(trace_path_, registry_->chrome_trace_json());
+    }
+    if (report_timing_) {
+      std::fprintf(stderr, "\n%s", registry_->timing_report().c_str());
+    }
+    return ok;
+  }
+
+ private:
+  std::string metrics_path_;
+  std::string trace_path_;
+  bool report_timing_ = false;
+  std::unique_ptr<obs::Registry> registry_;
+  std::optional<obs::ScopedContext> ctx_;
+};
+
+}  // namespace lcsf::tools
