@@ -457,6 +457,18 @@ stats::MonteCarloResult PathAnalyzer::monte_carlo(
   return stats::Runner(opt).run_monte_carlo(f, sources(model));
 }
 
+stats::IsYieldEstimate PathAnalyzer::yield_importance(
+    const PathVariationModel& model, double clock_period,
+    const stats::RunOptions& opt) const {
+  LaneWorkspaces pool(opt.exec.threads);
+  stats::LanedPerformanceFn f = [this, &model, &pool](const Vector& w,
+                                                      std::size_t lane) {
+    return framework_delay(sample_from_sources(model, w), pool.lane(lane))
+        .delay;
+  };
+  return stats::Runner(opt).run_yield_is(f, sources(model), clock_period);
+}
+
 PathAnalyzer::CorrelatedMcResult PathAnalyzer::monte_carlo_correlated(
     const PathVariationModel& model, double rho,
     const stats::MonteCarloOptions& opt) const {

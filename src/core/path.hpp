@@ -157,6 +157,17 @@ class PathAnalyzer {
       const PathVariationModel& model, double rho,
       const stats::MonteCarloOptions& opt) const;
 
+  /// Importance-sampled timing yield P(delay <= clock_period) of the
+  /// path (stats::Runner::run_yield_is): the proposal is centered on the
+  /// failure boundary of the linear surrogate built from the framework's
+  /// own gradient analysis, so rare timing failures are resolved with far
+  /// fewer transient simulations than plain Monte Carlo (see
+  /// docs/yield_estimation.md). IS knobs ride in `opt.importance`.
+  stats::IsYieldEstimate yield_importance(const PathVariationModel& model,
+                                          double clock_period,
+                                          const stats::RunOptions& opt)
+      const;
+
   struct GaResult {
     double nominal_delay = 0.0;
     double stddev = 0.0;

@@ -1,0 +1,53 @@
+// Internal helpers shared by the statistical driver engines (runner.cpp,
+// importance.cpp). Not part of the public stats API -- everything here
+// lives in lcsf::stats::detail and may change without notice.
+#pragma once
+
+#include <optional>
+#include <stdexcept>
+
+#include "obs/registry.hpp"
+#include "sim/diagnostics.hpp"
+#include "stats/analysis.hpp"
+
+namespace lcsf::stats::detail {
+
+/// Evaluate one sample under the kSkip policy: returns true and fills
+/// `value` on success, false and fills `failure` on a classified failure.
+/// std::logic_error (misuse) propagates.
+inline bool eval_fail_soft(const LanedPerformanceFn& f,
+                           const numeric::Vector& w, std::size_t lane,
+                           std::size_t index, double& value,
+                           SampleFailure& failure) {
+  try {
+    value = f(w, lane);
+    return true;
+  } catch (const sim::SimulationError& e) {
+    failure = {index, e.kind(), e.diagnostics().message()};
+  } catch (const std::runtime_error& e) {
+    // A foreign engine that does not speak SimulationError: still a
+    // simulation outcome, classified as kOther.
+    failure = {index, sim::FailureKind::kOther, e.what()};
+  }
+  return false;
+}
+
+/// Adapt a lane-blind f to the laned core the drivers run on.
+inline LanedPerformanceFn ignore_lane(const PerformanceFn& f) {
+  return [&f](const numeric::Vector& w, std::size_t) { return f(w); };
+}
+
+/// Installs (registry, lane 0) on the driver thread -- unless that exact
+/// registry is already ambient, in which case the existing context (and
+/// its span path, e.g. an enclosing run_yield span) is left in place.
+class DriverContext {
+ public:
+  explicit DriverContext(obs::Registry* reg) {
+    if (reg != obs::ambient_registry()) ctx_.emplace(reg, 0);
+  }
+
+ private:
+  std::optional<obs::ScopedContext> ctx_;
+};
+
+}  // namespace lcsf::stats::detail

@@ -1,0 +1,395 @@
+// The importance-sampled yield engine behind Runner::run_yield_is (see
+// importance.hpp for the estimator overview and docs/yield_estimation.md
+// for the full derivation).
+//
+// Structure mirrors the plain Monte-Carlo engine in runner.cpp: a
+// parallel evaluation over per-sample counter-based streams fills
+// index-addressed slots, and every statistic -- likelihood ratios, the
+// yield-loss mean, control-variate moments, ESS, failure summaries, obs
+// distributions -- is folded serially in sample order afterwards, so the
+// result is bitwise identical for every thread count.
+#include "stats/importance.hpp"
+
+#include <cmath>
+#include <utility>
+
+#include "core/thread_pool.hpp"
+#include "numeric/fp_compare.hpp"
+#include "obs/span.hpp"
+#include "stats/driver_detail.hpp"
+#include "stats/runner.hpp"
+#include "stats/yield.hpp"
+
+namespace lcsf::stats {
+
+using detail::DriverContext;
+using detail::eval_fail_soft;
+using detail::ignore_lane;
+using numeric::Vector;
+
+namespace {
+
+/// Index-addressed per-sample slots of one IS phase (pilot or main),
+/// filled by the parallel loop and folded serially afterwards.
+struct PhaseSlots {
+  std::vector<double> value;      ///< f(w) per sample (where survived)
+  std::vector<double> weight;     ///< likelihood ratio p/q per sample
+  std::vector<double> surrogate;  ///< linear-surrogate delay per sample
+  std::vector<char> died;
+  std::vector<SampleFailure> deaths;
+  /// Standardized variates per sample (only when keep_u: the pilot needs
+  /// them for the cross-entropy shift refinement).
+  std::vector<Vector> u;
+};
+
+/// One importance-sampled phase: draw n samples from the mean-shifted
+/// (optionally mixture) proposal, evaluate f, and record value + weight +
+/// surrogate delay per sample index. `phase_tag`/`perm_tag` select the
+/// counter-stream family (stream_tag::kIsPilot*/kIsMain*), keeping the
+/// pilot and main draws independent of each other and of plain MC.
+void run_is_phase(const RunOptions& opt, obs::Registry* reg,
+                  const LanedPerformanceFn& f,
+                  const std::vector<VariationSource>& sources,
+                  const IsSurrogate& sur, std::size_t n,
+                  std::uint64_t phase_tag, std::uint64_t perm_tag,
+                  bool keep_u, PhaseSlots& out) {
+  const std::size_t nw = sources.size();
+  const double lambda = opt.importance.mixture_nominal;
+
+  // |theta|^2 of the proposal shift; exact_zero() detects the degenerate
+  // plain-MC case where every likelihood ratio must be exactly 1.0.
+  double theta_sq = 0.0;
+  for (std::size_t d = 0; d < nw; ++d) {
+    theta_sq += sur.shift[d] * sur.shift[d];
+  }
+  const bool shifted = !numeric::exact_zero(theta_sq);
+
+  // Latin-Hypercube stratum assignment, one permutation stream per
+  // dimension (independent of the plain-MC permutations via perm_tag).
+  std::vector<std::vector<std::size_t>> strata;
+  if (opt.latin_hypercube) {
+    strata.reserve(nw);
+    for (std::size_t d = 0; d < nw; ++d) {
+      SplitMix64 perm_stream = sample_stream(opt.seed, d, perm_tag);
+      strata.push_back(stream_permutation(n, perm_stream));
+    }
+  }
+
+  out.value.assign(n, 0.0);
+  out.weight.assign(n, 1.0);
+  out.surrogate.assign(n, 0.0);
+  out.died.assign(n, 0);
+  out.deaths.assign(n, SampleFailure{});
+  out.u.clear();
+  if (keep_u) out.u.resize(n);
+
+  const bool fail_soft = opt.exec.on_failure == FailurePolicy::kSkip;
+
+  core::parallel_for_lanes(
+      opt.exec.threads, n,
+      [&](std::size_t begin, std::size_t end, std::size_t lane) {
+    obs::ScopedContext chunk_ctx(reg, lane);
+    const bool timed = obs::enabled();
+    for (std::size_t s = begin; s < end; ++s) {
+      SplitMix64 stream = sample_stream(opt.seed, s, phase_tag);
+      // Defensive mixture: with probability lambda this sample draws
+      // from the nominal distribution. The coin comes first in the
+      // stream so the per-dimension draws below stay aligned whether or
+      // not it lands on the nominal branch.
+      bool use_shift = shifted;
+      if (shifted && lambda > 0.0) {
+        use_shift = stream.uniform_open() >= lambda;
+      }
+      Vector w(nw);
+      double score = 0.0;       // theta . u over the normal dimensions
+      double sur_delta = 0.0;   // gradient . (w - mean)
+      Vector uvec;
+      if (keep_u) uvec.assign(nw, 0.0);
+      for (std::size_t d = 0; d < nw; ++d) {
+        const double jitter = stream.uniform_open();
+        const double uu =
+            opt.latin_hypercube
+                ? (static_cast<double>(strata[d][s]) + jitter) /
+                      static_cast<double>(n)
+                : jitter;
+        const VariationSource& src = sources[d];
+        if (src.kind == VariationSource::Kind::kUniform) {
+          // Uniform sources are never shifted (a mean shift would break
+          // the absolute continuity the likelihood ratio needs); they
+          // contribute a ratio factor of exactly 1.
+          w[d] = to_uniform(uu, src.mean - src.sigma, src.mean + src.sigma);
+        } else {
+          const double u_d = inverse_normal_cdf(uu) +
+                             (use_shift ? sur.shift[d] : 0.0);
+          w[d] = src.mean + src.sigma * u_d;
+          score += sur.shift[d] * u_d;
+          if (keep_u) uvec[d] = u_d;
+        }
+        sur_delta += sur.gradient[d] * (w[d] - src.mean);
+      }
+      // Likelihood ratio p(u)/q(u). The degenerate zero-shift proposal
+      // is the original distribution, so the ratio is pinned to exactly
+      // 1.0 rather than round-tripped through exp().
+      out.weight[s] =
+          shifted ? mixture_likelihood_ratio(score - 0.5 * theta_sq, lambda)
+                  : 1.0;
+      out.surrogate[s] = sur.nominal + sur_delta;
+      const std::uint64_t t0 = timed ? obs::now_ns() : 0;
+      if (fail_soft) {
+        out.died[s] =
+            eval_fail_soft(f, w, lane, s, out.value[s], out.deaths[s]) ? 0
+                                                                       : 1;
+      } else {
+        out.value[s] = f(w, lane);
+      }
+      if (timed) {
+        obs::record_value(
+            "stats.yield_is.sample_seconds",
+            static_cast<double>(obs::now_ns() - t0) / 1e9);
+      }
+      if (keep_u) out.u[s] = std::move(uvec);
+    }
+  });
+}
+
+/// Serial sample-order fold of a phase's failure slots into a summary
+/// (identical discipline to the plain Monte-Carlo engine).
+void fold_failures(PhaseSlots& slots, std::size_t n, FailureSummary& out) {
+  out.attempted = n;
+  for (std::size_t s = 0; s < n; ++s) {
+    if (!slots.died[s]) continue;
+    ++out.counts[static_cast<std::size_t>(slots.deaths[s].kind)];
+    out.failures.push_back(std::move(slots.deaths[s]));
+  }
+  out.survived = n - out.failures.size();
+}
+
+}  // namespace
+
+IsYieldEstimate Runner::run_yield_is(
+    const PerformanceFn& f, const std::vector<VariationSource>& sources,
+    double clock_period) const {
+  return run_yield_is(ignore_lane(f), sources, clock_period);
+}
+
+IsYieldEstimate Runner::run_yield_is(
+    const LanedPerformanceFn& f, const std::vector<VariationSource>& sources,
+    double clock_period) const {
+  obs::Registry* reg =
+      opt_.registry != nullptr ? opt_.registry : obs::ambient_registry();
+  DriverContext obs_ctx(reg);
+  obs::ScopedSpan span("stats.yield_is");
+  if (sources.empty()) {
+    sim::throw_invalid_input(
+        "run_yield_is: `sources` must contain at least one VariationSource");
+  }
+  if (opt_.samples == 0) {
+    sim::throw_invalid_input("run_yield_is: RunOptions::samples must be >= 1");
+  }
+  const ImportanceOptions& is_opt = opt_.importance;
+  if (!(is_opt.shift_scale >= 0.0) || !std::isfinite(is_opt.shift_scale)) {
+    sim::throw_invalid_input(
+        "run_yield_is: ImportanceOptions::shift_scale must be finite and "
+        ">= 0");
+  }
+  if (is_opt.mixture_nominal < 0.0 || is_opt.mixture_nominal >= 1.0) {
+    sim::throw_invalid_input(
+        "run_yield_is: ImportanceOptions::mixture_nominal must be in [0, 1)");
+  }
+  const std::size_t nw = sources.size();
+  if (is_opt.control_variate) {
+    for (const VariationSource& src : sources) {
+      if (src.kind != VariationSource::Kind::kNormal) {
+        sim::throw_invalid_input(
+            "run_yield_is: the control variate needs the exact Gaussian "
+            "surrogate tail probability, so every VariationSource must be "
+            "kNormal (disable ImportanceOptions::control_variate or drop "
+            "the uniform sources)");
+      }
+    }
+  }
+
+  // ---- Surrogate: linear delay model from the gradient sensitivities.
+  // A failed nominal evaluation rethrows out of run_gradients (there is
+  // no surrogate about a point that does not evaluate); under kSkip a
+  // failed probe zeroes that source's gradient entry, which simply drops
+  // the source from the shift.
+  const GradientAnalysisResult ga = run_gradients(f, sources);
+
+  IsYieldEstimate res;
+  res.surrogate.nominal = ga.nominal;
+  res.surrogate.gradient = ga.gradient;
+  res.surrogate.sigma = ga.stddev;
+  res.surrogate.shift.assign(nw, 0.0);
+  res.main_samples = opt_.samples;
+
+  // Most-probable failure point of the surrogate in standardized units:
+  // minimize |u|^2 subject to sum_d a_d u_d = margin over the *normal*
+  // dimensions (a_d = g_d sigma_d). Uniform sources cannot be shifted
+  // and stay at zero.
+  const double margin = clock_period - ga.nominal;
+  res.surrogate.beta =
+      res.surrogate.sigma > 0.0 ? margin / res.surrogate.sigma : 0.0;
+  double a_norm_sq = 0.0;
+  for (std::size_t d = 0; d < nw; ++d) {
+    if (sources[d].kind != VariationSource::Kind::kNormal) continue;
+    const double a_d = ga.gradient[d] * sources[d].sigma;
+    a_norm_sq += a_d * a_d;
+  }
+  const bool degenerate = !(a_norm_sq > 0.0) || !(margin > 0.0);
+  if (!degenerate) {
+    for (std::size_t d = 0; d < nw; ++d) {
+      if (sources[d].kind != VariationSource::Kind::kNormal) continue;
+      const double a_d = ga.gradient[d] * sources[d].sigma;
+      res.surrogate.shift[d] =
+          is_opt.shift_scale * a_d * margin / a_norm_sq;
+    }
+  }
+
+  // ---- Pilot phase (adaptive two-phase allocation): refine the
+  // analytic shift with the cross-entropy update -- the
+  // likelihood-weighted centroid of the failing pilot samples, which is
+  // the closed-form CE-optimal mean for a Gaussian proposal family.
+  PhaseSlots slots;
+  if (is_opt.pilot_samples > 0 && !degenerate) {
+    obs::ScopedSpan pilot_span("is_pilot");
+    run_is_phase(opt_, reg, f, sources, res.surrogate,
+                 is_opt.pilot_samples, stream_tag::kIsPilot,
+                 stream_tag::kIsPilotPerm, /*keep_u=*/true, slots);
+    fold_failures(slots, is_opt.pilot_samples, res.pilot_failures);
+    res.pilot_used = is_opt.pilot_samples;
+    double wsum = 0.0;
+    Vector centroid(nw);
+    centroid.assign(nw, 0.0);
+    for (std::size_t s = 0; s < is_opt.pilot_samples; ++s) {
+      if (slots.died[s] || !(slots.value[s] > clock_period)) continue;
+      wsum += slots.weight[s];
+      for (std::size_t d = 0; d < nw; ++d) {
+        centroid[d] += slots.weight[s] * slots.u[s][d];
+      }
+    }
+    if (wsum > 0.0) {
+      for (std::size_t d = 0; d < nw; ++d) {
+        if (sources[d].kind != VariationSource::Kind::kNormal) continue;
+        res.surrogate.shift[d] = centroid[d] / wsum;
+      }
+    }
+    // No failing pilot sample: the analytic shift stands unrefined.
+  }
+
+  // ---- Main phase.
+  {
+    obs::ScopedSpan main_span("is_main");
+    run_is_phase(opt_, reg, f, sources, res.surrogate, opt_.samples,
+                 stream_tag::kIsMain, stream_tag::kIsMainPerm,
+                 /*keep_u=*/false, slots);
+  }
+
+  // ---- Serial sample-order fold: failure summary, estimator moments,
+  // ESS, obs distributions. This ordering discipline is what makes the
+  // result (and the merged obs counters) thread-count invariant.
+  fold_failures(slots, opt_.samples, res.failures);
+  const std::size_t n_surv = res.failures.survived;
+  res.values.reserve(n_surv);
+  res.weights.reserve(n_surv);
+  std::uint64_t pass = 0;
+  double sy = 0.0, syy = 0.0;        // y_i = L_i * 1{D_i > T}
+  double sc = 0.0, scc = 0.0;        // c_i = L_i * 1{surrogate_i > T}
+  double syc = 0.0;
+  double sw = 0.0, sww = 0.0;        // raw weights, for ESS
+  for (std::size_t s = 0; s < opt_.samples; ++s) {
+    if (slots.died[s]) continue;
+    const double lr = slots.weight[s];
+    const double y = slots.value[s] > clock_period ? lr : 0.0;
+    const double c = slots.surrogate[s] > clock_period ? lr : 0.0;
+    if (!(slots.value[s] > clock_period)) ++pass;
+    res.values.push_back(slots.value[s]);
+    res.weights.push_back(lr);
+    obs::record_value("stats.yield_is.likelihood_ratio", lr);
+    sy += y;
+    syy += y * y;
+    sc += c;
+    scc += c * c;
+    syc += y * c;
+    sw += lr;
+    sww += lr * lr;
+  }
+
+  if (n_surv == 0) {
+    // Every sample failed under kSkip: same ISLE-style convention as
+    // McYieldEstimate -- a sample that diverges cannot meet timing.
+    res.yield = 0.0;
+    res.yield_loss = 1.0;
+  } else {
+    const double ns = static_cast<double>(n_surv);
+    const double p = sy / ns;
+    double variance = 0.0;  // per-sample variance of the fold
+    if (n_surv > 1) {
+      variance = (syy - ns * p * p) / (ns - 1.0);
+    }
+    res.yield_loss = p;
+    if (is_opt.control_variate) {
+      res.control_variate_used = true;
+      res.control_expectation = normal_cdf(-res.surrogate.beta);
+      const double cbar = sc / ns;
+      if (n_surv > 1) {
+        const double var_c = (scc - ns * cbar * cbar) / (ns - 1.0);
+        const double cov = (syc - ns * p * cbar) / (ns - 1.0);
+        if (var_c > 0.0) {
+          res.control_coefficient = cov / var_c;
+          res.yield_loss =
+              p - res.control_coefficient * (cbar - res.control_expectation);
+          variance -= cov * cov / var_c;  // residual variance at c*
+          if (variance < 0.0) variance = 0.0;
+        }
+        // var_c == 0 (the surrogate never crossed T in-sample): the
+        // control carries no information; fall through with c* = 0.
+      }
+    }
+    if (n_surv > 1) {
+      res.std_error = std::sqrt(variance / ns);
+    }
+    // The CV correction (and pathological weights) can push the point
+    // estimate marginally outside [0, 1]; yield is reported clamped,
+    // yield_loss is left raw so the bias behaviour stays visible.
+    double y_clamped = 1.0 - res.yield_loss;
+    if (y_clamped < 0.0) y_clamped = 0.0;
+    if (y_clamped > 1.0) y_clamped = 1.0;
+    res.yield = y_clamped;
+  }
+  res.ess = sww > 0.0 ? sw * sw / sww : 0.0;
+
+  obs::add_counter("stats.yield_is.samples",
+                   static_cast<std::uint64_t>(opt_.samples));
+  obs::add_counter("stats.yield_is.pilot_samples",
+                   static_cast<std::uint64_t>(res.pilot_used));
+  obs::add_counter("stats.yield_is.skipped",
+                   static_cast<std::uint64_t>(res.failures.failed() +
+                                              res.pilot_failures.failed()));
+  obs::add_counter("stats.yield_is.pass", pass);
+  if (degenerate) obs::add_counter("stats.yield_is.degenerate_shift");
+  obs::record_value("stats.yield_is.ess", res.ess);
+  return res;
+}
+
+IsYieldEstimate importance_yield(const PerformanceFn& f,
+                                 const std::vector<VariationSource>& sources,
+                                 double clock_period,
+                                 const MonteCarloOptions& opt,
+                                 const ImportanceOptions& is) {
+  RunOptions r = RunOptions::from(opt);
+  r.importance = is;
+  return Runner(std::move(r)).run_yield_is(f, sources, clock_period);
+}
+
+IsYieldEstimate importance_yield(const LanedPerformanceFn& f,
+                                 const std::vector<VariationSource>& sources,
+                                 double clock_period,
+                                 const MonteCarloOptions& opt,
+                                 const ImportanceOptions& is) {
+  RunOptions r = RunOptions::from(opt);
+  r.importance = is;
+  return Runner(std::move(r)).run_yield_is(f, sources, clock_period);
+}
+
+}  // namespace lcsf::stats

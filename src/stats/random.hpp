@@ -72,6 +72,26 @@ inline SplitMix64 sample_stream(std::uint64_t seed, std::uint64_t index,
                     mix64(tag + 0x94d049bb133111ebULL));
 }
 
+/// Registry of the sample_stream() tags in use across the statistical
+/// engines. Centralized so two engines can never collide on a
+/// (seed, index) pair by accident, and so the values are visibly frozen:
+/// changing any of them changes every recorded result downstream of that
+/// engine (tag 0 is the plain per-sample Monte-Carlo stream).
+namespace stream_tag {
+/// Latin-Hypercube per-dimension permutation streams of the plain
+/// Monte-Carlo engine (index = dimension). Frozen at the value the PR 1
+/// engine shipped with.
+inline constexpr std::uint64_t kLhsPerm = 0x1a71;
+/// Importance-sampling pilot-phase per-sample streams (index = sample).
+inline constexpr std::uint64_t kIsPilot = 0x15a1;
+/// Importance-sampling main-phase per-sample streams (index = sample).
+inline constexpr std::uint64_t kIsMain = 0x15a2;
+/// LHS permutation streams of the IS pilot phase (index = dimension).
+inline constexpr std::uint64_t kIsPilotPerm = 0x15a3;
+/// LHS permutation streams of the IS main phase (index = dimension).
+inline constexpr std::uint64_t kIsMainPerm = 0x15a4;
+}  // namespace stream_tag
+
 /// Deterministic Fisher-Yates permutation of 0..n-1 driven by a
 /// counter-based stream (the thread-count-independent analogue of
 /// Rng::permutation).
@@ -124,5 +144,24 @@ inline double to_uniform(double u, double lo, double hi) {
 inline double to_normal(double u, double mean, double sigma) {
   return mean + sigma * inverse_normal_cdf(u);
 }
+/// Map a U(0,1) value to the mean-shifted proposal N(mean + sigma*shift,
+/// sigma): the standardized variate is offset by `shift` *before* the
+/// affine map, so the importance-sampling engine can form likelihood
+/// ratios in standardized units. shift == 0.0 reproduces to_normal()
+/// bit for bit.
+inline double to_normal_shifted(double u, double mean, double sigma,
+                                double shift) {
+  return mean + sigma * (inverse_normal_cdf(u) + shift);
+}
+
+/// Likelihood ratio p(u) / q(u) of one standardized sample under the
+/// defensive-mixture proposal q = lambda p + (1 - lambda) p_shifted,
+/// where p is standard normal and p_shifted is p mean-shifted by theta.
+/// `score` is theta . u - |theta|^2 / 2 (the log density ratio
+/// p_shifted / p at the realized u). With lambda == 0 this is the plain
+/// exponential-tilt ratio; the mixture bounds it above by 1 / lambda.
+/// A zero shift gives exactly 1.0 (score == 0) for any lambda -- the
+/// degenerate-to-plain-MC identity the tests pin.
+double mixture_likelihood_ratio(double score, double lambda);
 
 }  // namespace lcsf::stats

@@ -6,59 +6,18 @@
 #include "stats/runner.hpp"
 
 #include <cmath>
-#include <optional>
 #include <stdexcept>
 
 #include "core/thread_pool.hpp"
 #include "obs/span.hpp"
+#include "stats/driver_detail.hpp"
 
 namespace lcsf::stats {
 
+using detail::DriverContext;
+using detail::eval_fail_soft;
+using detail::ignore_lane;
 using numeric::Vector;
-
-namespace {
-
-// Stream tags separating the independent uses of one (seed, counter) pair.
-constexpr std::uint64_t kLhsPermTag = 0x1a71;
-
-/// Evaluate one sample under the kSkip policy: returns true and fills
-/// `value` on success, false and fills `failure` on a classified failure.
-/// std::logic_error (misuse) propagates.
-bool eval_fail_soft(const LanedPerformanceFn& f, const Vector& w,
-                    std::size_t lane, std::size_t index, double& value,
-                    SampleFailure& failure) {
-  try {
-    value = f(w, lane);
-    return true;
-  } catch (const sim::SimulationError& e) {
-    failure = {index, e.kind(), e.diagnostics().message()};
-  } catch (const std::runtime_error& e) {
-    // A foreign engine that does not speak SimulationError: still a
-    // simulation outcome, classified as kOther.
-    failure = {index, sim::FailureKind::kOther, e.what()};
-  }
-  return false;
-}
-
-/// Adapt a lane-blind f to the laned core the drivers run on.
-LanedPerformanceFn ignore_lane(const PerformanceFn& f) {
-  return [&f](const Vector& w, std::size_t) { return f(w); };
-}
-
-/// Installs (registry, lane 0) on the driver thread -- unless that exact
-/// registry is already ambient, in which case the existing context (and
-/// its span path, e.g. an enclosing run_yield span) is left in place.
-class DriverContext {
- public:
-  explicit DriverContext(obs::Registry* reg) {
-    if (reg != obs::ambient_registry()) ctx_.emplace(reg, 0);
-  }
-
- private:
-  std::optional<obs::ScopedContext> ctx_;
-};
-
-}  // namespace
 
 RunOptions RunOptions::from(const MonteCarloOptions& opt) {
   RunOptions r;
@@ -124,7 +83,8 @@ MonteCarloResult Runner::run_monte_carlo(
   if (opt_.latin_hypercube) {
     strata.reserve(nw);
     for (std::size_t d = 0; d < nw; ++d) {
-      SplitMix64 perm_stream = sample_stream(opt_.seed, d, kLhsPermTag);
+      SplitMix64 perm_stream =
+          sample_stream(opt_.seed, d, stream_tag::kLhsPerm);
       strata.push_back(stream_permutation(n, perm_stream));
     }
   }

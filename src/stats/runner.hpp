@@ -17,6 +17,7 @@
 
 #include "obs/registry.hpp"
 #include "stats/analysis.hpp"
+#include "stats/importance.hpp"
 #include "stats/yield.hpp"
 
 namespace lcsf::stats {
@@ -31,6 +32,12 @@ struct RunOptions {
   bool latin_hypercube = true;  ///< stratified vs plain sampling
   double step_fraction = 0.1;   ///< gradient finite-difference step
   ExecutionOptions exec;        ///< threads + failure policy
+
+  /// Importance-sampled yield knobs (run_yield_is only): proposal shift
+  /// scale, defensive-mixture weight, adaptive pilot budget and the
+  /// control-variate switch. See stats/importance.hpp and
+  /// docs/yield_estimation.md.
+  ImportanceOptions importance;
 
   /// Metrics/trace destination. Null = inherit the calling thread's
   /// ambient registry (if any); recording is disabled when both are null.
@@ -82,6 +89,21 @@ class Runner {
   McYieldEstimate run_yield(const LanedPerformanceFn& f,
                             const std::vector<VariationSource>& sources,
                             double clock_period) const;
+
+  /// Importance-sampled timing yield (ISLE-style; stats/importance.hpp):
+  /// builds a linear surrogate from run_gradients, shifts the sampling
+  /// distribution onto the surrogate's failure boundary, and unbiases
+  /// each sample with its likelihood ratio. Configured by
+  /// options().importance (shift scale, defensive mixture, adaptive
+  /// pilot, control variate). Same determinism contract as run_yield:
+  /// the estimate, weights and failure summaries are bitwise identical
+  /// for every exec.threads value. See docs/yield_estimation.md.
+  IsYieldEstimate run_yield_is(const PerformanceFn& f,
+                               const std::vector<VariationSource>& sources,
+                               double clock_period) const;
+  IsYieldEstimate run_yield_is(const LanedPerformanceFn& f,
+                               const std::vector<VariationSource>& sources,
+                               double clock_period) const;
 
  private:
   RunOptions opt_;

@@ -3,6 +3,13 @@
 // are required") and the worst-case-corner analysis the introduction
 // argues against ("worst-case corner methods are known to create overly
 // pessimistic results").
+//
+// Everything here is brute-force: the estimators average indicator
+// functions over a plain Monte-Carlo sample. For *rare* failures (clock
+// periods sigmas beyond nominal) the importance-sampled estimator in
+// stats/importance.hpp resolves the same tail with orders of magnitude
+// fewer simulations -- see the selection table in
+// docs/yield_estimation.md.
 #pragma once
 
 #include <cstddef>

@@ -2,14 +2,18 @@
 # Documentation lint, runnable standalone or as the `doc_lint` ctest:
 #   1. every relative markdown link in README.md and docs/*.md resolves;
 #   2. the required docs/ guides exist and are linked from README.md;
-#   3. if doxygen is installed, the Doxyfile builds warning-free.
+#   3. every `--flag` a doc mentions exists in the tools/ sources (so a
+#      renamed CLI flag cannot leave stale instructions behind);
+#   4. every docs/*.md file is reachable from README.md by following
+#      relative markdown links (no orphaned guides);
+#   5. if doxygen is installed, the Doxyfile builds warning-free.
 # Exits non-zero on the first failure class, printing every offender.
 set -u
 cd "$(dirname "$0")/.."
 
 fail=0
 
-required_docs="docs/architecture.md docs/monte_carlo.md docs/stabilization.md docs/robustness.md"
+required_docs="docs/architecture.md docs/monte_carlo.md docs/stabilization.md docs/robustness.md docs/yield_estimation.md"
 for doc in $required_docs; do
   if [ ! -f "$doc" ]; then
     echo "doc-lint: missing required guide: $doc"
@@ -45,6 +49,61 @@ if [ -n "$broken" ]; then
   echo "$broken"
   fail=1
 fi
+
+# CLI-flag existence: every --flag token the docs mention must appear in
+# a tools/ source (C++ CLI, shell, or python). Flags owned by external
+# programs (ctest, cmake, gtest binaries) are allowlisted.
+external_flags="--gtest_filter --test-dir --output-on-failure --build --target"
+doc_flags=$(grep -rhoE -- '--[a-z][a-z0-9_-]*' README.md docs/*.md | sort -u)
+for flag in $doc_flags; do
+  case " $external_flags " in
+    *" $flag "*) continue ;;
+  esac
+  if ! grep -rqF -- "$flag" tools/; then
+    echo "doc-lint: flag $flag mentioned in docs but absent from tools/"
+    fail=1
+  fi
+done
+
+# Reachability: walk relative markdown links from README.md to a fixpoint
+# and require every docs/*.md to be visited.
+reachable="README.md"
+frontier="README.md"
+while [ -n "$frontier" ]; do
+  next=""
+  for file in $frontier; do
+    dir=$(dirname "$file")
+    targets=$(grep -o '](\([^)]*\))' "$file" 2> /dev/null |
+                sed 's/^](//; s/)$//; s/#.*$//')
+    for target in $targets; do
+      case "$target" in
+        http://*|https://*|mailto:*|"") continue ;;
+      esac
+      if [ -f "$dir/$target" ]; then
+        resolved="$dir/$target"
+      elif [ -f "$target" ]; then
+        resolved="$target"
+      else
+        continue  # broken links already reported above
+      fi
+      resolved=$(realpath --relative-to=. "$resolved")
+      case " $reachable " in
+        *" $resolved "*) ;;
+        *) reachable="$reachable $resolved"; next="$next $resolved" ;;
+      esac
+    done
+  done
+  frontier="$next"
+done
+for doc in docs/*.md; do
+  case " $reachable " in
+    *" $doc "*) ;;
+    *)
+      echo "doc-lint: $doc is not reachable from README.md"
+      fail=1
+      ;;
+  esac
+done
 
 if command -v doxygen > /dev/null 2>&1; then
   out=$(doxygen Doxyfile 2>&1)

@@ -67,11 +67,23 @@ BENCH_JSON=build-ci-release/BENCH_hotpath.json
 # installed (bench_hotpath never passes one), so diffing its speedup
 # ratio against the checked-in baseline also gates the disabled-obs
 # overhead: the pooled/baseline ratio may not degrade by more than 2%.
+BENCH_IS_JSON=build-ci-release/BENCH_yield_is.json
+# Importance-sampling estimator gate: even the quick run must beat plain
+# Monte Carlo by >= 5x effective samples at matched variance and land
+# inside the MC reference's 95% band (docs/yield_estimation.md). The
+# same floors hold for the checked-in full-mode BENCH_yield_is.json.
 if cmake --build build-ci-release -j "$JOBS" --target bench_hotpath \
+    && cmake --build build-ci-release -j "$JOBS" --target bench_yield_is \
     && LCSF_BENCH_QUICK=1 build-ci-release/bench/bench_hotpath "$BENCH_JSON" \
     && python3 tools/bench_compare.py --check "$BENCH_JSON" --min speedup=1.2 \
     && python3 tools/bench_compare.py BENCH_hotpath.json "$BENCH_JSON" \
-         --only speedup --threshold 0.02; then
+         --only speedup --threshold 0.02 \
+    && LCSF_BENCH_QUICK=1 build-ci-release/bench/bench_yield_is \
+         "$BENCH_IS_JSON" \
+    && python3 tools/bench_compare.py --check "$BENCH_IS_JSON" \
+         --min ess_speedup=5 --min is_within_mc_ci=1 \
+    && python3 tools/bench_compare.py --check BENCH_yield_is.json \
+         --min ess_speedup=5 --min is_within_mc_ci=1; then
   record bench-quick PASS
 else
   record bench-quick FAIL
@@ -90,6 +102,12 @@ if mkdir -p "$OBS_DIR" \
          --metrics "$OBS_DIR/sta_t1.json" > /dev/null \
     && "$STA" --circuit s27 --samples 16 --seed 3 --threads 8 \
          --metrics "$OBS_DIR/sta_t8.json" > /dev/null \
+    && "$STA" --circuit s27 --samples 16 --seed 3 --threads 1 \
+         --yield-estimator is --is-pilot 8 \
+         --metrics "$OBS_DIR/sta_is_t1.json" > /dev/null \
+    && "$STA" --circuit s27 --samples 16 --seed 3 --threads 8 \
+         --yield-estimator is --is-pilot 8 \
+         --metrics "$OBS_DIR/sta_is_t8.json" > /dev/null \
     && "$SIM" examples/decks/inverter_chain.sp --tstop 1n --dt 2p \
          --points 2 --metrics "$OBS_DIR/sim.json" > /dev/null \
     && python3 tools/check_metrics.py --schema tools/metrics_schema.json \
@@ -97,10 +115,16 @@ if mkdir -p "$OBS_DIR" \
          --require stats.mc.samples --require teta.transients \
          --require mor.rom_evaluations \
     && python3 tools/check_metrics.py --schema tools/metrics_schema.json \
+         "$OBS_DIR/sta_is_t1.json" "$OBS_DIR/sta_is_t8.json" \
+         --require stats.yield_is.samples \
+         --require stats.yield_is.pilot_samples \
+    && python3 tools/check_metrics.py --schema tools/metrics_schema.json \
          "$OBS_DIR/sim.json" \
          --require spice.newton_iterations --require parser.devices \
     && python3 tools/check_metrics.py --diff-deterministic \
-         "$OBS_DIR/sta_t1.json" "$OBS_DIR/sta_t8.json"; then
+         "$OBS_DIR/sta_t1.json" "$OBS_DIR/sta_t8.json" \
+    && python3 tools/check_metrics.py --diff-deterministic \
+         "$OBS_DIR/sta_is_t1.json" "$OBS_DIR/sta_is_t8.json"; then
   record obs PASS
 else
   record obs FAIL
