@@ -33,65 +33,6 @@ PathSpec PathSpec::from_benchmark(const circuit::Technology& tech,
   return spec;
 }
 
-double PathAnalyzer::input_pin_cap(const timing::CellTemplate& cell,
-                                   const circuit::Technology& tech) {
-  double cap = 0.0;
-  for (const auto& t : cell.transistors) {
-    if (t.gate.kind == timing::CellNode::Kind::kInput &&
-        t.gate.index == 0) {
-      const circuit::Mosfet m =
-          t.type == circuit::MosType::kNmos
-              ? tech.make_nmos(0, 0, 0, t.w_over_l)
-              : tech.make_pmos(0, 0, 0, t.w_over_l);
-      // Miller factor on the receiver's gate-drain cap (it sees part of
-      // the opposing output swing while the receiver switches).
-      cap += m.cgs() + 1.5 * m.cgd();
-    }
-  }
-  return cap;
-}
-
-namespace {
-
-/// Chord conductances of one driver cell (port 0 = its output).
-Vector driver_chords(const timing::CellTemplate& cell,
-                     const circuit::Technology& tech) {
-  teta::StageCircuit probe;
-  const std::size_t out = probe.add_port();
-  const std::size_t in = probe.add_input(SourceWaveform::dc(0.0));
-  const std::size_t vdd = probe.add_rail(tech.vdd);
-  const std::size_t gnd = probe.add_rail(0.0);
-  timing::instantiate_cell(cell, tech, probe, out, in, vdd, gnd);
-  return probe.port_chord_conductances(tech.vdd);
-}
-
-/// Build the stage's wire as a ports-first pencil: near end (driver) and
-/// far end (receiver) are the two ports; the receiver pin cap loads the
-/// far end.
-interconnect::PortedPencil stage_wire_pencil(
-    const circuit::WireGeometry& geom, std::size_t segments,
-    double receiver_cap) {
-  interconnect::CoupledLineSpec spec;
-  spec.num_lines = 1;
-  spec.segment_length = 1e-6;
-  spec.length = static_cast<double>(segments) * 1e-6;
-  spec.geometry = geom;
-  auto bundle = interconnect::build_coupled_lines(spec);
-  bundle.netlist.add_capacitor(bundle.far_ends[0], kGround, receiver_cap);
-  return interconnect::build_ported_pencil(
-      bundle.netlist, {bundle.near_ends[0], bundle.far_ends[0]});
-}
-
-/// Shift a sampled waveform in time.
-Samples shifted(const Samples& w, double dt0) {
-  Samples out;
-  out.reserve(w.size());
-  for (const auto& [t, v] : w) out.emplace_back(t + dt0, v);
-  return out;
-}
-
-}  // namespace
-
 PathAnalyzer::PathAnalyzer(PathSpec spec) : spec_(std::move(spec)) {
   obs::ScopedSpan span("characterize");
   if (spec_.cells.empty()) {
@@ -111,8 +52,8 @@ PathAnalyzer::PathAnalyzer(PathSpec spec) : spec_(std::move(spec)) {
       rom_cache;
   for (std::size_t k = 0; k < spec_.cells.size(); ++k) {
     Stage st;
-    st.cell = &lib.at(spec_.cells[k]);
-    rising = st.cell->inverting ? !rising : rising;
+    st.model.cell = &lib.at(spec_.cells[k]);
+    rising = st.model.cell->inverting ? !rising : rising;
     st.output_rising_if_input_rising = rising;
 
     const std::size_t receiver_idx =
@@ -121,41 +62,30 @@ PathAnalyzer::PathAnalyzer(PathSpec spec) : spec_(std::move(spec)) {
             : static_cast<std::size_t>(
                   &timing::find_cell("INV") - lib.data());
     const timing::CellTemplate& receiver = lib.at(receiver_idx);
-    st.receiver_cap = input_pin_cap(receiver, spec_.tech);
+    st.model.receiver_cap = input_pin_cap(receiver, spec_.tech);
 
     const auto cache_key = std::make_pair(spec_.cells[k], receiver_idx);
     if (auto it = rom_cache.find(cache_key); it != rom_cache.end()) {
-      st.load = it->second;
+      st.model.load = it->second;
       stages_.push_back(std::move(st));
       continue;
     }
 
-    // Effective-load pre-characterization (Table 1): chords folded in,
-    // variational over the global wire parameters (W, H) in normalized
-    // 3-sigma-tolerance units.
-    const Vector chords = driver_chords(*st.cell, spec_.tech);
-    const Vector gout{chords[0], 0.0};
-    const circuit::Technology tech = spec_.tech;
-    const double rc = st.receiver_cap;
-    const std::size_t segs = segments_per_stage_;
-    mor::PencilFamily family = [tech, rc, segs, gout](const Vector& w) {
-      interconnect::WireVariation wv;
-      wv.width = w[0] * tech.wire_tol.width;
-      wv.ild_thickness = w[1] * tech.wire_tol.ild_thickness;
-      const circuit::WireGeometry geom =
-          interconnect::apply_variation(tech.wire, wv);
-      return mor::with_port_conductance(stage_wire_pencil(geom, segs, rc),
-                                        gout);
-    };
-    mor::VariationalOptions vopt;
-    vopt.method = mor::ReductionMethod::kPact;
-    vopt.library = mor::LibraryMode::kFullReduction;
-    vopt.pact.internal_modes = spec_.rom_internal_modes;
-    vopt.fd_step = 0.2;
-    st.load = mor::build_variational_rom(family, 2, vopt);
-    rom_cache.emplace(cache_key, st.load);
+    st.model.load = characterize_stage_load(*st.model.cell, spec_.tech,
+                                            segments_per_stage_,
+                                            st.model.receiver_cap,
+                                            spec_.rom_internal_modes);
+    rom_cache.emplace(cache_key, st.model.load);
     stages_.push_back(std::move(st));
   }
+}
+
+StageSimOptions PathAnalyzer::sim_options() const {
+  StageSimOptions o;
+  o.dt = spec_.dt;
+  o.stage_window = spec_.stage_window;
+  o.recovery = spec_.recovery;
+  return o;
 }
 
 Samples PathAnalyzer::simulate_stage(
@@ -163,56 +93,8 @@ Samples PathAnalyzer::simulate_stage(
     const timing::DeviceVariation& dev,
     const interconnect::WireVariation& wire, double window_scale,
     SampleWorkspace* ws) const {
-  const Stage& st = stages_[k];
-  // Normalized wire sample for the ROM library.
-  const Vector w{
-      spec_.tech.wire_tol.width > 0.0
-          ? wire.width / spec_.tech.wire_tol.width
-          : 0.0,
-      spec_.tech.wire_tol.ild_thickness > 0.0
-          ? wire.ild_thickness / spec_.tech.wire_tol.ild_thickness
-          : 0.0};
-  mor::PoleResidueModel z;
-  if (ws != nullptr) {
-    // Pooled path: evaluate the variational ROM and extract poles through
-    // the per-lane workspace -- bitwise identical to the plain path.
-    st.load.evaluate_into(w, ws->rom);
-    z = mor::stabilize(mor::extract_pole_residue(ws->rom, ws->poleres),
-                       nullptr, mor::StabilizePolicy::kDirectCompensation);
-  } else {
-    mor::ReducedModel rom = st.load.evaluate(w);
-    z = mor::stabilize(mor::extract_pole_residue(rom), nullptr,
-                       mor::StabilizePolicy::kDirectCompensation);
-  }
-
-  teta::StageCircuit stage;
-  const std::size_t out = stage.add_port();
-  (void)stage.add_port();  // far port (receiver side), observed
-  const std::size_t in = stage.add_input(input);
-  const std::size_t vdd = stage.add_rail(spec_.tech.vdd);
-  const std::size_t gnd = stage.add_rail(0.0);
-  timing::instantiate_cell(*st.cell, spec_.tech, stage, out, in, vdd, gnd,
-                           dev);
-  stage.freeze_device_capacitances();
-
-  teta::TetaOptions opt;
-  opt.dt = spec_.dt;
-  opt.tstop = spec_.stage_window * window_scale;
-  opt.vdd = spec_.tech.vdd;
-  opt.recovery = spec_.recovery;
-  if (ws != nullptr) {
-    teta::simulate_stage(stage, z, opt, ws->teta, ws->teta_result);
-    const teta::TetaResult& res = ws->teta_result;
-    if (!res.converged) {
-      throw sim::SimulationError(res.diag);
-    }
-    return res.waveform(1);  // far port
-  }
-  teta::TetaResult res = teta::simulate_stage(stage, z, opt);
-  if (!res.converged) {
-    throw sim::SimulationError(res.diag);
-  }
-  return res.waveform(1);  // far port
+  return simulate_stage_model(stages_[k].model, spec_.tech, sim_options(),
+                              input, dev, wire, window_scale, ws);
 }
 
 RampParams PathAnalyzer::measure_with_retry(
@@ -220,28 +102,9 @@ RampParams PathAnalyzer::measure_with_retry(
     const timing::DeviceVariation& dev,
     const interconnect::WireVariation& wire, bool out_rising,
     Samples* out_samples, SampleWorkspace* ws) const {
-  // The stage window is a heuristic; if the output transition does not
-  // complete inside it, re-simulate with a doubled window (bounded).
-  sim::SimDiagnostics last;
-  for (double scale : {1.0, 2.0, 4.0}) {
-    try {
-      Samples out = simulate_stage(k, input, dev, wire, scale, ws);
-      RampParams p = timing::measure_ramp(out, spec_.tech.vdd, out_rising);
-      p.m += shift;
-      if (out_samples != nullptr) *out_samples = shifted(out, shift);
-      return p;
-    } catch (const sim::SimulationError& e) {
-      last = e.diagnostics();
-    } catch (const std::runtime_error& e) {
-      // measure_ramp: the transition never completed in the window.
-      last = {};
-      last.kind = sim::FailureKind::kOther;
-      last.detail = e.what();
-    }
-  }
-  last.detail = "stage " + std::to_string(k) +
-                " did not complete: " + last.detail;
-  throw sim::SimulationError(std::move(last));
+  return measure_stage_with_retry(stages_[k].model, spec_.tech,
+                                  sim_options(), k, input, shift, dev, wire,
+                                  out_rising, out_samples, ws);
 }
 
 PathDelayResult PathAnalyzer::framework_delay(const PathSample& sample)
@@ -272,9 +135,10 @@ PathDelayResult PathAnalyzer::run_chain(
     const double shift =
         std::max(0.0, m_current - 0.25 * spec_.stage_window);
     SourceWaveform local =
-        shift > 0.0 ? SourceWaveform::pwl(shifted(wave.points(), -shift))
-                    : wave;
-    const bool out_rising = rising != stages_[k].cell->inverting;
+        shift > 0.0
+            ? SourceWaveform::pwl(shifted_samples(wave.points(), -shift))
+            : wave;
+    const bool out_rising = rising != stages_[k].model.cell->inverting;
     if (stage_inputs != nullptr) {
       // Ramp-equivalent parameters of this stage's input (for GA).
       stage_inputs->push_back(
@@ -315,7 +179,7 @@ PathDelayResult PathAnalyzer::spice_delay(const PathSample& sample) const {
   circuit::NodeId prev = in0;
   circuit::NodeId last_far = prev;
   for (std::size_t k = 0; k < stages_.size(); ++k) {
-    const timing::CellTemplate& cell = *stages_[k].cell;
+    const timing::CellTemplate& cell = *stages_[k].model.cell;
     const auto out = nl.add_node("s" + std::to_string(k) + "_out");
     // Side inputs tied to the sensitizing rails.
     std::vector<circuit::NodeId> ins(cell.num_inputs);
@@ -339,7 +203,7 @@ PathDelayResult PathAnalyzer::spice_delay(const PathSample& sample) const {
     // by freeze_device_capacitances); only the last stage's receiver needs
     // an explicit model.
     if (k + 1 == stages_.size()) {
-      nl.add_capacitor(node, kGround, stages_[k].receiver_cap);
+      nl.add_capacitor(node, kGround, stages_[k].model.receiver_cap);
     }
     last_far = node;
     prev = node;
@@ -361,7 +225,7 @@ PathDelayResult PathAnalyzer::spice_delay(const PathSample& sample) const {
   }
   bool rising = spec_.input.rising;
   for (const Stage& st : stages_) {
-    rising = st.cell->inverting ? !rising : rising;
+    rising = st.model.cell->inverting ? !rising : rising;
   }
   const RampParams out =
       timing::measure_ramp(res.waveform(last_far), vdd_v, rising);
@@ -413,32 +277,6 @@ std::vector<stats::VariationSource> PathAnalyzer::sources(
   for (auto& s : src) s.kind = stats::VariationSource::Kind::kNormal;
   return src;
 }
-
-namespace {
-
-/// Per-lane workspace pool for the laned statistical drivers: one
-/// SampleWorkspace per thread lane, created on first touch. A lane is
-/// only ever used by one thread at a time (core::ThreadPool contract),
-/// so no locking is needed.
-class LaneWorkspaces {
- public:
-  explicit LaneWorkspaces(std::size_t threads)
-      : lanes_(std::max<std::size_t>(
-            1, threads == 0 ? core::ThreadPool::default_threads()
-                            : threads)) {}
-
-  PathAnalyzer::SampleWorkspace& lane(std::size_t k) {
-    if (!lanes_[k]) {
-      lanes_[k] = std::make_unique<PathAnalyzer::SampleWorkspace>();
-    }
-    return *lanes_[k];
-  }
-
- private:
-  std::vector<std::unique_ptr<PathAnalyzer::SampleWorkspace>> lanes_;
-};
-
-}  // namespace
 
 stats::MonteCarloResult PathAnalyzer::monte_carlo(
     const PathVariationModel& model,
@@ -536,7 +374,7 @@ PathAnalyzer::GaResult PathAnalyzer::gradient_analysis(
                        const interconnect::WireVariation& wire) {
     RampParams in{m_local, s_in, rising_in};
     ++sims;
-    const bool out_rising = rising_in != stages_[k].cell->inverting;
+    const bool out_rising = rising_in != stages_[k].model.cell->inverting;
     RampParams o = measure_with_retry(k, in.to_source(vdd), 0.0, dev, wire,
                                       out_rising, nullptr);
     return std::pair<double, double>{o.m - m_local, o.s};
@@ -649,7 +487,7 @@ PathAnalyzer::GaResult PathAnalyzer::gradient_analysis(
       dm[l] = dm[l] + dD_dw[l] + dD_dS * ds[l];
       ds[l] = dF_dw[l] + dF_dS * ds[l];
     }
-    rising = rising != stages_[k].cell->inverting;
+    rising = rising != stages_[k].model.cell->inverting;
   }
 
   // Eq. 24 over the normalized sources; the FD steps above were taken in

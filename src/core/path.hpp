@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "circuit/technology.hpp"
+#include "core/stage_model.hpp"
 #include "interconnect/sakurai.hpp"
 #include "sim/diagnostics.hpp"
 #include "mor/poleres.hpp"
@@ -97,15 +98,10 @@ class PathAnalyzer {
   /// (ROM evaluation -> pole/residue extraction -> TETA transient). One
   /// workspace per Monte-Carlo lane makes repeated framework_delay calls
   /// allocation-free after the first sample; see docs/performance.md.
-  struct SampleWorkspace {
-    mor::ReducedModel rom;
-    mor::PoleResidueWorkspace poleres;
-    teta::TetaWorkspace teta;
-    /// Reused TETA result: the waveform storage (time axis + per-step port
-    /// vectors) is recycled across samples by the pooled simulate_stage
-    /// overload.
-    teta::TetaResult teta_result;
-  };
+  /// Shared with the multi-path graph engine (core::GraphAnalyzer), which
+  /// additionally keeps its per-sample stage memo in it -- the definition
+  /// lives in core/stage_model.hpp.
+  using SampleWorkspace = core::SampleWorkspace;
 
   /// Stage-by-stage TETA evaluation at one parameter sample. Throws
   /// sim::SimulationError (with classified diagnostics) when a stage does
@@ -195,12 +191,10 @@ class PathAnalyzer {
 
  private:
   struct Stage {
-    const timing::CellTemplate* cell = nullptr;
+    /// Characterized driver cell + variational effective load (see
+    /// core/stage_model.hpp).
+    StageModel model;
     bool output_rising_if_input_rising = false;
-    /// Variational ROM of the effective load (wire + receiver gate cap +
-    /// driver chords), over the global wire parameters (W, H).
-    mor::VariationalRom load;
-    double receiver_cap = 0.0;
   };
 
   /// Simulate one stage with TETA: input waveform (local time), device
@@ -219,6 +213,9 @@ class PathAnalyzer {
                             std::vector<timing::RampParams>* stage_inputs,
                             SampleWorkspace* ws = nullptr) const;
 
+  /// Engine knobs forwarded to the shared stage simulation helpers.
+  StageSimOptions sim_options() const;
+
   /// Run a stage and extract the output ramp parameters, doubling the
   /// simulation window (up to 4x) if the transition does not complete.
   /// `shift` is added back to the measured arrival.
@@ -227,10 +224,6 @@ class PathAnalyzer {
       const timing::DeviceVariation& dev,
       const interconnect::WireVariation& wire, bool out_rising,
       timing::Samples* out_samples, SampleWorkspace* ws = nullptr) const;
-
-  /// Gate capacitance presented by a cell's switching input pin.
-  static double input_pin_cap(const timing::CellTemplate& cell,
-                              const circuit::Technology& tech);
 
   PathSpec spec_;
   std::size_t segments_per_stage_ = 1;

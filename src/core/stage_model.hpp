@@ -1,0 +1,139 @@
+// One characterized logic stage and the pooled per-sample engine scratch
+// shared by the single-path (PathAnalyzer) and multi-path (GraphAnalyzer)
+// analyzers.
+//
+// A stage is a driver cell plus its variational effective load: the RC
+// wire (segmented per micron), the receiver pin capacitance, and the
+// driver's chord conductances folded in (paper Table 1), reduced with
+// PACT over the global wire parameters (W, H). Characterization happens
+// once per distinct (cell, load) "block"; per-sample evaluation is a TETA
+// transient through the pooled workspace below.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <tuple>
+#include <vector>
+
+#include "circuit/source_waveform.hpp"
+#include "circuit/technology.hpp"
+#include "interconnect/sakurai.hpp"
+#include "mor/poleres.hpp"
+#include "mor/variational.hpp"
+#include "sim/diagnostics.hpp"
+#include "teta/stage.hpp"
+#include "timing/cells.hpp"
+#include "timing/waveform.hpp"
+
+namespace lcsf::core {
+
+/// A stage output carried between gates: ramp parameters plus the
+/// propagated waveform (adaptively compressed PWL) in absolute time.
+struct StageWaveform {
+  timing::RampParams params;
+  circuit::SourceWaveform wave;
+};
+
+/// Memo key of the graph engine's per-sample stage cache: (gate id,
+/// quantized input-ramp M bucket, quantized S bucket, rising).
+using StageCacheKey =
+    std::tuple<std::size_t, std::int64_t, std::int64_t, bool>;
+
+/// Reusable per-worker scratch covering the whole per-sample pipeline
+/// (ROM evaluation -> pole/residue extraction -> TETA transient). One
+/// workspace per Monte-Carlo lane makes repeated per-sample evaluations
+/// allocation-free after the first sample; see docs/performance.md.
+struct SampleWorkspace {
+  mor::ReducedModel rom;
+  mor::PoleResidueWorkspace poleres;
+  teta::TetaWorkspace teta;
+  /// Reused TETA result: the waveform storage (time axis + per-step port
+  /// vectors) is recycled across samples by the pooled simulate_stage
+  /// overload.
+  teta::TetaResult teta_result;
+
+  /// Per-sample state of the multi-path graph engine (GraphAnalyzer),
+  /// pooled here alongside the engine scratch: memoized stage outputs
+  /// keyed by (gate id, input-ramp bucket) -- so stages shared between
+  /// paths simulate once per sample -- and the per-net arrival front (the
+  /// statistical-max winner seen so far at each net). Cleared at the
+  /// start of every sample.
+  std::map<StageCacheKey, StageWaveform> stage_cache;
+  std::map<std::size_t, StageWaveform> net_arrival;
+};
+
+/// One characterized stage: driver cell + variational effective load.
+struct StageModel {
+  const timing::CellTemplate* cell = nullptr;
+  /// Variational ROM of the effective load (wire + receiver gate cap +
+  /// driver chords), over the global wire parameters (W, H).
+  mor::VariationalRom load;
+  double receiver_cap = 0.0;
+};
+
+/// Engine knobs shared by every stage simulation of one analyzer.
+struct StageSimOptions {
+  double dt = 2e-12;             ///< TETA timestep [s]
+  double stage_window = 2.0e-9;  ///< simulated window per stage [s]
+  sim::RecoveryOptions recovery;
+};
+
+/// Gate capacitance presented by a cell's switching input pin (input 0),
+/// with a Miller factor on the gate-drain overlap.
+double input_pin_cap(const timing::CellTemplate& cell,
+                     const circuit::Technology& tech);
+
+/// Variational ROM of a stage's effective load: `segments` 1-um RC wire
+/// segments loaded by `receiver_cap` at the far end, with the driver
+/// cell's chord conductance folded into the near port.
+mor::VariationalRom characterize_stage_load(const timing::CellTemplate& cell,
+                                            const circuit::Technology& tech,
+                                            std::size_t segments,
+                                            double receiver_cap,
+                                            std::size_t rom_internal_modes);
+
+/// Simulate one stage with TETA: input waveform (local time), device
+/// variation, wire parameters; returns far-port samples (local time).
+/// `ws` (optional) supplies the pooled engine scratch. Throws
+/// sim::SimulationError when the transient does not converge.
+timing::Samples simulate_stage_model(const StageModel& st,
+                                     const circuit::Technology& tech,
+                                     const StageSimOptions& opt,
+                                     const circuit::SourceWaveform& input,
+                                     const timing::DeviceVariation& dev,
+                                     const interconnect::WireVariation& wire,
+                                     double window_scale,
+                                     SampleWorkspace* ws);
+
+/// Run a stage and extract the output ramp parameters, doubling the
+/// simulation window (up to 4x) if the transition does not complete.
+/// `shift` is added back to the measured arrival; `label` names the stage
+/// in failure diagnostics. When `out_samples` is non-null it receives the
+/// raw output samples shifted back to absolute time.
+timing::RampParams measure_stage_with_retry(
+    const StageModel& st, const circuit::Technology& tech,
+    const StageSimOptions& opt, std::size_t label,
+    const circuit::SourceWaveform& input, double shift,
+    const timing::DeviceVariation& dev,
+    const interconnect::WireVariation& wire, bool out_rising,
+    timing::Samples* out_samples, SampleWorkspace* ws);
+
+/// Shift a sampled waveform in time.
+timing::Samples shifted_samples(const timing::Samples& w, double dt0);
+
+/// Per-lane workspace pool for the laned statistical drivers: one
+/// SampleWorkspace per thread lane, created on first touch. A lane is
+/// only ever used by one thread at a time (core::ThreadPool contract),
+/// so no locking is needed.
+class LaneWorkspaces {
+ public:
+  explicit LaneWorkspaces(std::size_t threads);
+  SampleWorkspace& lane(std::size_t k);
+
+ private:
+  std::vector<std::unique_ptr<SampleWorkspace>> lanes_;
+};
+
+}  // namespace lcsf::core

@@ -1,0 +1,172 @@
+#include "timing/graph.hpp"
+
+#include <algorithm>
+#include <queue>
+#include <string>
+
+#include "sim/diagnostics.hpp"
+
+namespace lcsf::timing {
+
+TimingGraph::TimingGraph(const GateNetlist& nl) : nl_(&nl) {
+  const std::size_t ngates = nl.gates.size();
+  driver_.assign(nl.num_nets, kNone);
+  for (std::size_t g = 0; g < ngates; ++g) {
+    const Gate& gate = nl.gates[g];
+    if (gate.output >= nl.num_nets) {
+      sim::throw_invalid_input("TimingGraph: gate " + std::to_string(g) +
+                               " output net out of range");
+    }
+    if (driver_[gate.output] != kNone) {
+      sim::throw_invalid_input("TimingGraph: net " +
+                               std::to_string(gate.output) +
+                               " has two drivers");
+    }
+    driver_[gate.output] = g;
+    for (std::size_t in : gate.inputs) {
+      if (in >= nl.num_nets) {
+        sim::throw_invalid_input("TimingGraph: gate " + std::to_string(g) +
+                                 " input net out of range");
+      }
+    }
+  }
+
+  // Kahn levelization over gate-to-gate edges (driver gate of an input net
+  // -> consumer gate). Inputs without a driver -- start nets and floating
+  // nets -- contribute no edge, so their consumers are ready immediately;
+  // a floating input later shows up as an unreachable arrival, not an
+  // error (matching the single-path STA semantics).
+  std::vector<std::vector<std::size_t>> fanout(ngates);
+  std::vector<std::size_t> indegree(ngates, 0);
+  for (std::size_t g = 0; g < ngates; ++g) {
+    for (std::size_t in : nl.gates[g].inputs) {
+      if (driver_[in] != kNone) {
+        fanout[driver_[in]].push_back(g);
+        ++indegree[g];
+      }
+    }
+  }
+  // Ready gates processed in ascending index order for a deterministic
+  // topological order independent of the netlist's storage order.
+  std::priority_queue<std::size_t, std::vector<std::size_t>,
+                      std::greater<std::size_t>>
+      ready;
+  for (std::size_t g = 0; g < ngates; ++g) {
+    if (indegree[g] == 0) ready.push(g);
+  }
+  topo_.reserve(ngates);
+  while (!ready.empty()) {
+    const std::size_t g = ready.top();
+    ready.pop();
+    topo_.push_back(g);
+    for (std::size_t h : fanout[g]) {
+      if (--indegree[h] == 0) ready.push(h);
+    }
+  }
+  if (topo_.size() != ngates) {
+    sim::throw_invalid_input(
+        "TimingGraph: combinational cycle (" +
+        std::to_string(ngates - topo_.size()) +
+        " gates unreachable by levelization)");
+  }
+
+  // Unit-delay arrivals in levelized order.
+  arrival_.assign(nl.num_nets, kNone);
+  for (std::size_t n : nl.primary_inputs) arrival_[n] = 0;
+  for (std::size_t n : nl.latch_outputs) arrival_[n] = 0;
+  for (std::size_t g : topo_) {
+    const Gate& gate = nl.gates[g];
+    std::size_t worst = kNone;
+    for (std::size_t in : gate.inputs) {
+      if (arrival_[in] == kNone) continue;
+      worst = (worst == kNone) ? arrival_[in] : std::max(worst, arrival_[in]);
+    }
+    if (worst != kNone) arrival_[gate.output] = worst + 1;
+  }
+}
+
+namespace {
+
+/// A partially enumerated path, built backward from its endpoint. `gates`
+/// and `pins` are stored endpoint-first and reversed on completion.
+struct Partial {
+  std::size_t net = 0;      ///< current frontier net (start of the suffix)
+  std::size_t end_net = 0;  ///< the latch-input endpoint
+  std::size_t bound = 0;    ///< suffix length + arrival(net): exact best
+                            ///< completion length (arrival is achievable)
+  std::vector<std::size_t> gates;
+  std::vector<std::size_t> pins;
+};
+
+/// Max-heap priority: longer bound first; ties broken deterministically
+/// (smaller endpoint, then lexicographically smaller gate/pin suffix).
+struct LowerPriority {
+  bool operator()(const Partial& a, const Partial& b) const {
+    if (a.bound != b.bound) return a.bound < b.bound;
+    if (a.end_net != b.end_net) return a.end_net > b.end_net;
+    if (a.gates != b.gates) return a.gates > b.gates;
+    return a.pins > b.pins;
+  }
+};
+
+}  // namespace
+
+std::vector<TimingPath> TimingGraph::k_most_critical_paths(
+    std::size_t k) const {
+  std::vector<TimingPath> out;
+  if (k == 0) return out;
+
+  // Seed one partial per distinct reachable endpoint with at least one
+  // gate on its path.
+  std::vector<std::size_t> ends = nl_->latch_inputs;
+  std::sort(ends.begin(), ends.end());
+  ends.erase(std::unique(ends.begin(), ends.end()), ends.end());
+  std::priority_queue<Partial, std::vector<Partial>, LowerPriority> heap;
+  for (std::size_t e : ends) {
+    if (arrival_[e] == kNone || arrival_[e] == 0) continue;
+    Partial p;
+    p.net = e;
+    p.end_net = e;
+    p.bound = arrival_[e];
+    heap.push(std::move(p));
+  }
+
+  // Best-first expansion. The bound is exact (unit-delay arrival times are
+  // attained by some prefix), so completed paths pop in descending length
+  // order. A generous expansion cap guards against pathological graphs
+  // with exponentially many equal-length paths.
+  const std::size_t kMaxPops = 200000;
+  std::size_t pops = 0;
+  while (!heap.empty() && out.size() < k && pops++ < kMaxPops) {
+    Partial p = heap.top();
+    heap.pop();
+    const std::size_t drv = driver_[p.net];
+    if (drv == kNone) {
+      // Reached a start net: the path is complete.
+      TimingPath path;
+      path.start_net = p.net;
+      path.end_net = p.end_net;
+      path.gates.assign(p.gates.rbegin(), p.gates.rend());
+      path.switching_pin.assign(p.pins.rbegin(), p.pins.rend());
+      out.push_back(std::move(path));
+      continue;
+    }
+    const Gate& gate = nl_->gates[drv];
+    for (std::size_t pin = 0; pin < gate.inputs.size(); ++pin) {
+      const std::size_t in = gate.inputs[pin];
+      if (arrival_[in] == kNone) continue;
+      Partial q;
+      q.net = in;
+      q.end_net = p.end_net;
+      q.bound = p.gates.size() + 1 + arrival_[in];
+      q.gates = p.gates;
+      q.gates.push_back(drv);
+      q.pins = p.pins;
+      q.pins.push_back(pin);
+      heap.push(std::move(q));
+    }
+  }
+  return out;
+}
+
+}  // namespace lcsf::timing

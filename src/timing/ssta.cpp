@@ -1,0 +1,99 @@
+#include "timing/ssta.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace lcsf::timing::ssta {
+
+namespace {
+
+double phi_pdf(double x) {
+  constexpr double kInvSqrt2Pi = 0.39894228040143267794;
+  return kInvSqrt2Pi * std::exp(-0.5 * x * x);
+}
+
+double phi_cdf(double x) {
+  constexpr double kInvSqrt2 = 0.70710678118654752440;
+  return 0.5 * std::erfc(-x * kInvSqrt2);
+}
+
+void check_basis(const CanonicalForm& a, const CanonicalForm& b) {
+  if (a.sens.size() != b.sens.size()) {
+    throw std::invalid_argument("ssta: mismatched canonical source bases");
+  }
+}
+
+}  // namespace
+
+CanonicalForm CanonicalForm::constant(double mean, std::size_t num_sources) {
+  CanonicalForm f;
+  f.mean = mean;
+  f.sens.assign(num_sources, 0.0);
+  return f;
+}
+
+double variance(const CanonicalForm& a) {
+  double v = a.local * a.local;
+  for (double s : a.sens) v += s * s;
+  return v;
+}
+
+double covariance(const CanonicalForm& a, const CanonicalForm& b) {
+  check_basis(a, b);
+  double c = 0.0;
+  for (std::size_t i = 0; i < a.sens.size(); ++i) c += a.sens[i] * b.sens[i];
+  return c;
+}
+
+CanonicalForm sum(const CanonicalForm& a, const CanonicalForm& b) {
+  check_basis(a, b);
+  CanonicalForm f;
+  f.mean = a.mean + b.mean;
+  f.sens.resize(a.sens.size());
+  for (std::size_t i = 0; i < a.sens.size(); ++i) {
+    f.sens[i] = a.sens[i] + b.sens[i];
+  }
+  f.local = std::sqrt(a.local * a.local + b.local * b.local);
+  return f;
+}
+
+CanonicalForm stat_max(const CanonicalForm& a, const CanonicalForm& b) {
+  check_basis(a, b);
+  const double var_a = variance(a);
+  const double var_b = variance(b);
+  const double cov = covariance(a, b);
+  const double theta2 = std::max(0.0, var_a + var_b - 2.0 * cov);
+  const double theta = std::sqrt(theta2);
+
+  // Degenerate spread: the two arrivals are (to first order) the same
+  // random variable shifted by a constant -- the larger mean dominates.
+  if (theta < 1e-300) return a.mean >= b.mean ? a : b;
+
+  const double alpha = (a.mean - b.mean) / theta;
+  const double p = phi_cdf(alpha);   // P(A >= B)
+  const double q = 1.0 - p;
+  const double dens = phi_pdf(alpha);
+
+  CanonicalForm f;
+  f.mean = a.mean * p + b.mean * q + theta * dens;
+  // Clark's exact second moment of max(A, B).
+  const double second = (a.mean * a.mean + var_a) * p +
+                        (b.mean * b.mean + var_b) * q +
+                        (a.mean + b.mean) * theta * dens;
+  const double var_max = std::max(0.0, second - f.mean * f.mean);
+
+  // Tightness-weighted sensitivities preserve downstream correlation.
+  f.sens.resize(a.sens.size());
+  double shared = 0.0;
+  for (std::size_t i = 0; i < a.sens.size(); ++i) {
+    f.sens[i] = p * a.sens[i] + q * b.sens[i];
+    shared += f.sens[i] * f.sens[i];
+  }
+  // The residual absorbs the variance the shared terms cannot represent,
+  // so Var[max] is matched exactly.
+  f.local = std::sqrt(std::max(0.0, var_max - shared));
+  return f;
+}
+
+}  // namespace lcsf::timing::ssta

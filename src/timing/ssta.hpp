@@ -1,0 +1,66 @@
+// Statistical STA algebra: first-order canonical delay forms, Clark's
+// moment-matching statistical max, and the compact per-block variational
+// delay model used for hierarchical reuse.
+//
+// Grounded in the hierarchical-SSTA / timing-model-extraction papers in
+// PAPERS.md: an arrival time is carried as a canonical first-order form
+//   A = mean + sum_i sens[i] * x_i + local * x_r
+// over shared normalized N(0,1) sources x_i (per-gate device parameters,
+// global wire parameters) plus an independent residual x_r. Sums along a
+// path add means and sensitivities; at merge nets the max of two
+// correlated Gaussians is moment-matched per Clark (1961), keeping the
+// result in canonical form so downstream correlation is preserved.
+#pragma once
+
+#include <cstddef>
+
+#include "numeric/matrix.hpp"
+
+namespace lcsf::timing::ssta {
+
+/// First-order canonical arrival/delay form over a fixed source basis.
+struct CanonicalForm {
+  double mean = 0.0;
+  numeric::Vector sens;  ///< per-source sensitivity (basis fixed by caller)
+  double local = 0.0;    ///< sigma of the independent residual term
+
+  static CanonicalForm constant(double mean, std::size_t num_sources);
+};
+
+/// Var[A] = |sens|^2 + local^2.
+double variance(const CanonicalForm& a);
+
+/// Cov[A, B] over the shared sources (residuals are independent).
+double covariance(const CanonicalForm& a, const CanonicalForm& b);
+
+/// A + B for independent residuals: means and sensitivities add, the
+/// residuals add in RSS.
+CanonicalForm sum(const CanonicalForm& a, const CanonicalForm& b);
+
+/// Clark's moment-matched max(A, B): the exact first two moments of the
+/// max of two correlated Gaussians, re-expressed in canonical form with
+/// tightness-weighted sensitivities (s_i = P*a_i + (1-P)*b_i where P is
+/// the probability that A wins) and the residual sized so the total
+/// variance matches the Clark variance exactly.
+CanonicalForm stat_max(const CanonicalForm& a, const CanonicalForm& b);
+
+/// Compact variational delay model of one characterized block -- a
+/// (driver cell, effective load) combination. Extracted once per block by
+/// core::GraphAnalyzer (central differences around the nominal input
+/// ramp) and reused for every instantiation of the block in the graph;
+/// sensitivities are per +1 *normalized* unit of each source, i.e. per
+/// 3-sigma tolerance of the technology card.
+struct BlockDelayModel {
+  std::size_t cell = 0;       ///< driver cell (timing::cell_library index)
+  double load_cap = 0.0;      ///< receiver pin cap identifying the block
+  double input_slew = 0.0;    ///< slew the block was characterized at [s]
+  double nominal_delay = 0.0; ///< 50%-in to 50%-out at nominal [s]
+  double nominal_slew = 0.0;  ///< output slew at nominal [s]
+  double d_delay_dl = 0.0;    ///< per normalized channel-length unit
+  double d_delay_vt = 0.0;    ///< per normalized threshold unit
+  double d_delay_wire_w = 0.0;  ///< per normalized wire-width unit
+  double d_delay_wire_h = 0.0;  ///< per normalized ILD-thickness unit
+  double d_delay_slew = 0.0;  ///< per second of input slew (dimensionless)
+};
+
+}  // namespace lcsf::timing::ssta

@@ -5,6 +5,8 @@
 #include <random>
 #include <stdexcept>
 
+#include "timing/graph.hpp"
+
 namespace lcsf::timing {
 
 namespace {
@@ -12,19 +14,13 @@ constexpr std::size_t kUnreachable = std::numeric_limits<std::size_t>::max();
 }
 
 std::vector<std::size_t> arrival_times(const GateNetlist& nl) {
-  std::vector<std::size_t> arrival(nl.num_nets, kUnreachable);
-  for (std::size_t n : nl.primary_inputs) arrival[n] = 0;
-  for (std::size_t n : nl.latch_outputs) arrival[n] = 0;
-  for (const Gate& g : nl.gates) {
-    std::size_t worst = kUnreachable;
-    for (std::size_t in : g.inputs) {
-      if (arrival[in] == kUnreachable) continue;
-      worst = (worst == kUnreachable) ? arrival[in]
-                                      : std::max(worst, arrival[in]);
-    }
-    if (worst != kUnreachable) arrival[g.output] = worst + 1;
-  }
-  return arrival;
+  // Delegates to the timing graph, which levelizes internally: a single
+  // forward pass over nl.gates used to silently assume topological
+  // storage order and returned garbage arrivals for gates stored before
+  // their drivers. TimingGraph also rejects cyclic netlists with a
+  // classified sim::SimulationError (kInvalidInput) instead of returning
+  // wrong answers.
+  return TimingGraph(nl).arrival();
 }
 
 TimingPath longest_path(const GateNetlist& nl) {
@@ -165,7 +161,6 @@ GateNetlist generate_benchmark(const BenchmarkSpec& spec) {
       spec.longest_path_stages > 2 ? spec.longest_path_stages - 2 : 1;
   std::uniform_int_distribution<std::size_t> pick_depth(1, max_side_depth);
   std::size_t emitted = 0;
-  std::size_t latch_cursor = 1;
   while (emitted < filler) {
     const std::size_t depth = std::min(pick_depth(rng), filler - emitted);
     // Chains start from PIs / latch outputs (arrival-0 nets).
@@ -186,10 +181,26 @@ GateNetlist generate_benchmark(const BenchmarkSpec& spec) {
       nl.gates.push_back(std::move(g));
       ++emitted;
     }
-    // Terminate the chain at a latch input.
-    if (latch_cursor < spec.num_latches) {
-      nl.latch_inputs.push_back(chain_prev);
-      ++latch_cursor;
+    // Terminate the chain at a latch input. Once the circuit has more
+    // chains than latches, latches are conceptually reused (multiple
+    // combinational endpoints feeding the same latch through downstream
+    // muxing): the endpoint is still registered so no generated logic is
+    // invisible to STA. The old guard `if (latch_cursor < num_latches)`
+    // silently dropped these endpoints, leaving dangling chains.
+    nl.latch_inputs.push_back(chain_prev);
+  }
+
+  // Invariant: every gate either fans out to another gate or ends at a
+  // registered latch input -- no dangling endpoints.
+  std::vector<bool> consumed(nl.num_nets, false);
+  for (const Gate& g : nl.gates) {
+    for (std::size_t in : g.inputs) consumed[in] = true;
+  }
+  for (std::size_t n : nl.latch_inputs) consumed[n] = true;
+  for (const Gate& g : nl.gates) {
+    if (!consumed[g.output]) {
+      throw std::logic_error("generate_benchmark: dangling gate output " +
+                             std::to_string(g.output));
     }
   }
   return nl;

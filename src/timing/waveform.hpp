@@ -3,6 +3,7 @@
 // utilities that extract those parameters from simulated waveforms.
 #pragma once
 
+#include <optional>
 #include <utility>
 #include <vector>
 
@@ -24,9 +25,15 @@ struct RampParams {
 
 using Samples = std::vector<std::pair<double, double>>;
 
-/// First time the waveform crosses `level` in the given direction
-/// (linearly interpolated). Returns a negative value if it never does.
-double crossing_time(const Samples& w, double level, bool rising);
+/// First time the waveform reaches `level` in the given direction
+/// (linearly interpolated). A sample landing exactly on the threshold
+/// counts as a crossing; a waveform whose first sample is already at (or
+/// past) the threshold crosses at that sample's time. Returns
+/// std::nullopt if the level is never reached -- crossing times
+/// themselves may be legitimately negative (a ramp starting before t=0),
+/// which is why the old -1.0 sentinel was retired.
+std::optional<double> crossing_time(const Samples& w, double level,
+                                    bool rising);
 
 /// Extract (M, S) from a simulated transition between 0 and vdd.
 /// S is measured 20%-80% and scaled by 1/0.6 to the full-swing equivalent.

@@ -134,9 +134,10 @@ TEST(StaEdge, UnreachableAndMissingEndpoints) {
 TEST(WaveformEdge, NonMonotoneCrossings) {
   // Glitchy waveform: crossing_time returns the FIRST crossing.
   timing::Samples w{{0.0, 0.0}, {1.0, 1.0}, {2.0, 0.4}, {3.0, 1.0}};
-  EXPECT_NEAR(timing::crossing_time(w, 0.5, true), 0.5, 1e-12);
+  EXPECT_NEAR(timing::crossing_time(w, 0.5, true).value(), 0.5, 1e-12);
   // Falling crossing of the dip.
-  EXPECT_NEAR(timing::crossing_time(w, 0.5, false), 1.0 + 0.5 / 0.6, 1e-9);
+  EXPECT_NEAR(timing::crossing_time(w, 0.5, false).value(),
+              1.0 + 0.5 / 0.6, 1e-9);
 }
 
 TEST(HistogramEdge, SingleValueData) {

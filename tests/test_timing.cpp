@@ -49,11 +49,53 @@ TEST(Waveform, FallingMeasurement) {
 
 TEST(Waveform, CrossingAndFailureModes) {
   Samples flat{{0.0, 0.0}, {1e-9, 0.0}};
-  EXPECT_LT(crossing_time(flat, 0.9, true), 0.0);
+  EXPECT_FALSE(crossing_time(flat, 0.9, true).has_value());
   EXPECT_THROW(measure_ramp(flat, 1.8, true), std::runtime_error);
   EXPECT_NEAR(stage_delay(RampParams{1e-9, 0, true},
                           RampParams{1.5e-9, 0, false}),
               0.5e-9, 1e-18);
+}
+
+TEST(Waveform, ExactThresholdSampleIsACrossing) {
+  // Regression: a sample landing exactly on the threshold used to be
+  // skipped by the strict predicates, making measure_ramp throw.
+  Samples w{{0.0, 0.0}, {1.0, 0.5}, {2.0, 1.0}};
+  const auto t = crossing_time(w, 0.5, true);
+  ASSERT_TRUE(t.has_value());
+  EXPECT_NEAR(*t, 1.0, 0.0);
+  // Same waveform, threshold hit exactly by the *last* sample.
+  const auto t2 = crossing_time(w, 1.0, true);
+  ASSERT_TRUE(t2.has_value());
+  EXPECT_NEAR(*t2, 2.0, 0.0);
+}
+
+TEST(Waveform, StartAtThresholdRegistersImmediately) {
+  // Regression: a waveform starting exactly at the level never used to
+  // register a crossing at all.
+  Samples rising{{2.0, 0.5}, {3.0, 1.0}};
+  const auto tr = crossing_time(rising, 0.5, true);
+  ASSERT_TRUE(tr.has_value());
+  EXPECT_NEAR(*tr, 2.0, 0.0);
+  Samples falling{{1.0, 0.5}, {2.0, 0.0}};
+  const auto tf = crossing_time(falling, 0.5, false);
+  ASSERT_TRUE(tf.has_value());
+  EXPECT_NEAR(*tf, 1.0, 0.0);
+  // A segment pinned flat at the level crosses at its start.
+  Samples pinned{{0.0, 0.5}, {1.0, 0.5}, {2.0, 1.0}};
+  const auto tp = crossing_time(pinned, 0.5, true);
+  ASSERT_TRUE(tp.has_value());
+  EXPECT_NEAR(*tp, 0.0, 0.0);
+}
+
+TEST(Waveform, NegativeCrossingTimesAreNotSentinels) {
+  // Pre-zero ramp starts produce legitimately negative crossing times;
+  // the retired -1.0 sentinel used to collide with them.
+  Samples w{{-2.0, 0.0}, {-1.0, 1.0}};
+  const auto t = crossing_time(w, 0.5, true);
+  ASSERT_TRUE(t.has_value());
+  EXPECT_NEAR(*t, -1.5, 1e-12);
+  // Direction still matters: this waveform never falls through 0.5.
+  EXPECT_FALSE(crossing_time(w, 0.5, false).has_value());
 }
 
 TEST(Cells, LibraryShape) {

@@ -72,8 +72,14 @@ BENCH_IS_JSON=build-ci-release/BENCH_yield_is.json
 # Monte Carlo by >= 5x effective samples at matched variance and land
 # inside the MC reference's 95% band (docs/yield_estimation.md). The
 # same floors hold for the checked-in full-mode BENCH_yield_is.json.
+BENCH_GRAPH_JSON=build-ci-release/BENCH_sta_graph.json
+# Multi-path graph engine gate: memoizing shared stages must beat the
+# per-path re-simulation baseline by >= 1.5x (docs/timing_graph.md). The
+# ratio is dominated by the stage-simulation count, not timer jitter, so
+# quick mode holds the full acceptance floor.
 if cmake --build build-ci-release -j "$JOBS" --target bench_hotpath \
     && cmake --build build-ci-release -j "$JOBS" --target bench_yield_is \
+    && cmake --build build-ci-release -j "$JOBS" --target bench_sta_graph \
     && LCSF_BENCH_QUICK=1 build-ci-release/bench/bench_hotpath "$BENCH_JSON" \
     && python3 tools/bench_compare.py --check "$BENCH_JSON" --min speedup=1.2 \
     && python3 tools/bench_compare.py BENCH_hotpath.json "$BENCH_JSON" \
@@ -83,7 +89,13 @@ if cmake --build build-ci-release -j "$JOBS" --target bench_hotpath \
     && python3 tools/bench_compare.py --check "$BENCH_IS_JSON" \
          --min ess_speedup=5 --min is_within_mc_ci=1 \
     && python3 tools/bench_compare.py --check BENCH_yield_is.json \
-         --min ess_speedup=5 --min is_within_mc_ci=1; then
+         --min ess_speedup=5 --min is_within_mc_ci=1 \
+    && LCSF_BENCH_QUICK=1 build-ci-release/bench/bench_sta_graph \
+         "$BENCH_GRAPH_JSON" \
+    && python3 tools/bench_compare.py --check "$BENCH_GRAPH_JSON" \
+         --min speedup=1.5 \
+    && python3 tools/bench_compare.py --check BENCH_sta_graph.json \
+         --min speedup=1.5; then
   record bench-quick PASS
 else
   record bench-quick FAIL
@@ -108,6 +120,10 @@ if mkdir -p "$OBS_DIR" \
     && "$STA" --circuit s27 --samples 16 --seed 3 --threads 8 \
          --yield-estimator is --is-pilot 8 \
          --metrics "$OBS_DIR/sta_is_t8.json" > /dev/null \
+    && "$STA" --circuit s27 --graph --top-k 8 --samples 8 --seed 3 \
+         --threads 1 --metrics "$OBS_DIR/sta_graph_t1.json" > /dev/null \
+    && "$STA" --circuit s27 --graph --top-k 8 --samples 8 --seed 3 \
+         --threads 8 --metrics "$OBS_DIR/sta_graph_t8.json" > /dev/null \
     && "$SIM" examples/decks/inverter_chain.sp --tstop 1n --dt 2p \
          --points 2 --metrics "$OBS_DIR/sim.json" > /dev/null \
     && python3 tools/check_metrics.py --schema tools/metrics_schema.json \
@@ -119,12 +135,20 @@ if mkdir -p "$OBS_DIR" \
          --require stats.yield_is.samples \
          --require stats.yield_is.pilot_samples \
     && python3 tools/check_metrics.py --schema tools/metrics_schema.json \
+         "$OBS_DIR/sta_graph_t1.json" "$OBS_DIR/sta_graph_t8.json" \
+         --require stats.graph.paths \
+         --require stats.graph.stages_simulated \
+         --require stats.graph.stage_cache_hits \
+         --require stats.graph.merges \
+    && python3 tools/check_metrics.py --schema tools/metrics_schema.json \
          "$OBS_DIR/sim.json" \
          --require spice.newton_iterations --require parser.devices \
     && python3 tools/check_metrics.py --diff-deterministic \
          "$OBS_DIR/sta_t1.json" "$OBS_DIR/sta_t8.json" \
     && python3 tools/check_metrics.py --diff-deterministic \
-         "$OBS_DIR/sta_is_t1.json" "$OBS_DIR/sta_is_t8.json"; then
+         "$OBS_DIR/sta_is_t1.json" "$OBS_DIR/sta_is_t8.json" \
+    && python3 tools/check_metrics.py --diff-deterministic \
+         "$OBS_DIR/sta_graph_t1.json" "$OBS_DIR/sta_graph_t8.json"; then
   record obs PASS
 else
   record obs FAIL

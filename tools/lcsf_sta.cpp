@@ -5,9 +5,20 @@
 //            [--yield-target 0.9987] [--threads n]
 //            [--yield-estimator mc|is|is-cv] [--clock-period t]
 //            [--is-pilot n]
+//            [--graph] [--top-k n]
 //            [--on-failure abort|skip|retry]
 //            [--metrics out.json] [--trace out.trace.json]
 //            [--report-timing]
+//
+// --graph switches from single-path to multi-path analysis
+// (docs/timing_graph.md): the K most-critical latch-to-latch paths
+// (--top-k, default 8) are carried simultaneously by core::GraphAnalyzer,
+// stages shared between paths are simulated once per sample (memoized in
+// the pooled workspace), and the per-sample metric is the statistical-max
+// worst endpoint delay. The report adds per-endpoint delays, the stage
+// reuse counters (also exported as stats.graph.* metrics), and the
+// analytic SSTA endpoint forms composed from the compact per-block
+// variational delay models.
 //
 // --yield-estimator selects how the timing yield at --clock-period is
 // estimated (docs/yield_estimation.md): mc reuses the Monte-Carlo sweep
@@ -44,6 +55,7 @@
 #include <cstring>
 #include <string>
 
+#include "core/graph_analyzer.hpp"
 #include "core/path.hpp"
 #include "obs_cli.hpp"
 #include "stats/yield.hpp"
@@ -59,7 +71,8 @@ namespace {
       "                [--seed n] [--std-dl s] [--std-vt s] [--rho r]\n"
       "                [--corner] [--yield-target y] [--threads n]\n"
       "                [--yield-estimator mc|is|is-cv] [--clock-period t]\n"
-      "                [--is-pilot n] [--on-failure abort|skip|retry]\n"
+      "                [--is-pilot n] [--graph] [--top-k n]\n"
+      "                [--on-failure abort|skip|retry]\n"
       "                %s\n"
       "circuits: s27 s208 s832 s444 s1423 s1423d s9234\n",
       tools::ObsCli::usage_line());
@@ -83,6 +96,8 @@ int main(int argc, char** argv) {
   std::string yield_estimator = "mc";
   double clock_period = 0.0;  // 0 = GA period for --yield-target
   std::size_t is_pilot = 0;
+  bool graph_mode = false;
+  std::size_t top_k = 8;
   tools::ObsCli obs_cli;
 
   for (int i = 1; i < argc; ++i) {
@@ -117,6 +132,10 @@ int main(int argc, char** argv) {
       clock_period = std::stod(next());
     } else if (arg == "--is-pilot") {
       is_pilot = std::stoul(next());
+    } else if (arg == "--graph") {
+      graph_mode = true;
+    } else if (arg == "--top-k") {
+      top_k = std::stoul(next());
     } else if (arg == "--on-failure") {
       on_failure = next();
     } else if (arg.rfind("--on-failure=", 0) == 0) {
@@ -141,6 +160,93 @@ int main(int argc, char** argv) {
 
   const auto& bspec = timing::find_benchmark(circuit_name);
   const auto nl = timing::generate_benchmark(bspec);
+
+  if (graph_mode) {
+    core::GraphSpec gspec;
+    gspec.tech = circuit::technology_180nm();
+    gspec.netlist = nl;
+    gspec.top_k = top_k;
+    gspec.linear_elements_per_stage = elements;
+    gspec.stage_window = 1.0e-9;
+    if (on_failure == "retry") gspec.recovery.max_dt_retries = 3;
+    core::GraphAnalyzer analyzer(std::move(gspec));
+
+    std::printf("circuit %s: %zu gates, %zu latches; %zu most-critical "
+                "paths\n",
+                bspec.name.c_str(), nl.gates.size(), bspec.num_latches,
+                analyzer.paths().size());
+    for (const auto& p : analyzer.paths()) {
+      std::printf("  path (%zu stages -> net %zu):", p.length(), p.end_net);
+      for (std::size_t g : p.gates) {
+        std::printf(" %s",
+                    timing::cell_library()[nl.gates[g].cell].name.c_str());
+      }
+      std::printf("\n");
+    }
+    std::printf("subgraph: %zu gates, %zu characterized blocks, %zu "
+                "endpoints\n\n",
+                analyzer.subgraph_gates().size(), analyzer.num_blocks(),
+                analyzer.endpoint_nets().size());
+
+    core::PathVariationModel model;
+    model.std_dl = std_dl;
+    model.std_vt = std_vt;
+
+    stats::RunOptions run_opt;
+    run_opt.samples = samples;
+    run_opt.seed = seed;
+    run_opt.exec.threads = threads;
+    run_opt.exec.on_failure = on_failure == "abort"
+                                  ? stats::FailurePolicy::kAbort
+                                  : stats::FailurePolicy::kSkip;
+    run_opt.registry = obs_cli.registry();
+
+    const auto mc = analyzer.monte_carlo(model, run_opt);
+    if (mc.failures.any()) {
+      std::printf("sample failures: %zu of %zu attempted\n%s\n",
+                  mc.failures.failed(), mc.failures.attempted,
+                  mc.failures.table().c_str());
+    }
+    if (mc.values.empty()) {
+      std::fprintf(stderr, "lcsf_sta: every Monte-Carlo sample failed\n");
+      obs_cli.finish("lcsf_sta");
+      return 1;
+    }
+    std::printf("Monte-Carlo max endpoint delay (%zu samples): mean %.2f "
+                "ps, std %.2f ps\n",
+                mc.values.size(), mc.stats.mean() * 1e12,
+                mc.stats.stddev() * 1e12);
+    const double t_mc = stats::period_for_yield(mc.values, yield_target);
+    std::printf("clock period for %.2f%% yield: %.2f ps (MC)\n\n",
+                100 * yield_target, t_mc * 1e12);
+
+    // Nominal-sample endpoint report + the stage-reuse counters (the same
+    // numbers accumulate into stats.graph.* for --metrics).
+    core::GraphAnalyzer::Workspace ws;
+    const numeric::Vector w0(analyzer.sources(model).size(), 0.0);
+    const auto nominal =
+        analyzer.evaluate(analyzer.sample_from_sources(model, w0), ws);
+    const auto analytic = analyzer.analytic_endpoints(model);
+    std::printf("endpoints (nominal sample | analytic SSTA):\n");
+    for (std::size_t k = 0; k < nominal.endpoints.size(); ++k) {
+      const auto& e = nominal.endpoints[k];
+      const auto& a = analytic[k].arrival;
+      std::printf("  net %4zu: %.2f ps slew %.2f ps | mean %.2f ps "
+                  "std %.2f ps\n",
+                  e.net, e.delay * 1e12, e.slew * 1e12, a.mean * 1e12,
+                  std::sqrt(timing::ssta::variance(a)) * 1e12);
+    }
+    std::printf("stage reuse per sample: %zu simulated, %zu cache hits, "
+                "%zu merges (%zu path-stages)\n",
+                nominal.stages_simulated, nominal.stage_cache_hits,
+                nominal.merges,
+                nominal.stages_simulated + nominal.stage_cache_hits);
+
+    std::printf("\ndelay histogram:\n%s",
+                stats::Histogram::from_data(mc.values, 12).render(40).c_str());
+    return obs_cli.finish("lcsf_sta") ? 0 : 1;
+  }
+
   const auto path = timing::longest_path(nl);
 
   std::printf("circuit %s: %zu gates, %zu latches; longest path %zu "
