@@ -13,7 +13,7 @@
 #include <vector>
 
 #include "bench_common.hpp"
-#include "core/thread_pool.hpp"
+#include "runtime/thread_pool.hpp"
 #include "example2_stage.hpp"
 #include "stats/descriptive.hpp"
 #include "stats/runner.hpp"
@@ -28,7 +28,7 @@ int main() {
   const double length = 100e-6;
 
   bench::Example2Stage stage(circuit::technology_180nm(), length);
-  const std::size_t threads = core::ThreadPool::default_threads();
+  const std::size_t threads = runtime::ThreadPool::default_threads();
   std::printf("\nwirelength %.0f um, %zu linear elements, %zu LHS samples, "
               "%zu threads\n",
               length * 1e6, stage.linear_elements(), samples, threads);

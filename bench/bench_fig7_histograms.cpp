@@ -8,7 +8,7 @@
 
 #include "bench_common.hpp"
 #include "core/path.hpp"
-#include "core/thread_pool.hpp"
+#include "runtime/thread_pool.hpp"
 
 using namespace lcsf;
 
@@ -17,7 +17,7 @@ int main() {
   const bool quick = bench::quick_mode();
   const std::size_t mc_samples = quick ? 20 : 100;
   std::printf("MC engine threads: %zu (set LCSF_THREADS to override)\n",
-              core::ThreadPool::default_threads());
+              runtime::ThreadPool::default_threads());
 
   for (const char* name : {"s27", "s208"}) {
     const auto& bspec = timing::find_benchmark(name);

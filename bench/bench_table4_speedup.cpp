@@ -17,14 +17,14 @@
 
 #include "bench_common.hpp"
 #include "core/path.hpp"
-#include "core/thread_pool.hpp"
+#include "runtime/thread_pool.hpp"
 
 using namespace lcsf;
 
 int main() {
   bench::print_header("Table 4: framework speedup vs SPICE (Example 3)");
   const bool quick = bench::quick_mode();
-  const std::size_t threads = core::ThreadPool::default_threads();
+  const std::size_t threads = runtime::ThreadPool::default_threads();
   std::printf("host threads for the MT column: %zu\n", threads);
 
   struct Row {

@@ -12,7 +12,7 @@
 
 #include "bench_common.hpp"
 #include "core/path.hpp"
-#include "core/thread_pool.hpp"
+#include "runtime/thread_pool.hpp"
 #include "stats/yield.hpp"
 
 using namespace lcsf;
@@ -20,7 +20,7 @@ using namespace lcsf;
 int main() {
   bench::print_header("Extension: timing yield & corner pessimism");
   const bool quick = bench::quick_mode();
-  const std::size_t threads = core::ThreadPool::default_threads();
+  const std::size_t threads = runtime::ThreadPool::default_threads();
 
   const auto& bspec = timing::find_benchmark("s208");
   const auto nl = timing::generate_benchmark(bspec);

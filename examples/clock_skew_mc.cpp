@@ -16,7 +16,7 @@
 
 #include "circuit/netlist.hpp"
 #include "circuit/technology.hpp"
-#include "core/thread_pool.hpp"
+#include "runtime/thread_pool.hpp"
 #include "interconnect/coupled_lines.hpp"
 #include "mor/poleres.hpp"
 #include "mor/variational.hpp"
@@ -137,7 +137,7 @@ int main() {
       stats::Runner(opt).run_yield(skew_fn, sources, skew_budget);
   const auto& mc = est.samples();
   std::printf("clock skew over %zu samples (%zu threads):\n",
-              mc.values.size(), core::ThreadPool::default_threads());
+              mc.values.size(), runtime::ThreadPool::default_threads());
   std::printf("  mean  = %.2f ps\n", mc.stats.mean() * 1e12);
   std::printf("  std   = %.2f ps\n", mc.stats.stddev() * 1e12);
   std::printf("  range = [%.2f, %.2f] ps\n", mc.stats.min() * 1e12,

@@ -92,6 +92,9 @@ class Netlist {
   void check_node(NodeId n) const;
 
   std::vector<std::string> names_{std::string{"gnd"}};
+  // Lookup-only index (never iterated): element order cannot reach any
+  // result, so the unordered map is safe here -- node identity and
+  // ordering come from the insertion-ordered `names_` vector alone.
   std::unordered_map<std::string, NodeId> by_name_{{"gnd", kGround},
                                                    {"0", kGround}};
   std::vector<Resistor> resistors_;

@@ -6,7 +6,7 @@
 #include <memory>
 #include <stdexcept>
 
-#include "core/thread_pool.hpp"
+#include "runtime/thread_pool.hpp"
 #include "interconnect/coupled_lines.hpp"
 #include "obs/span.hpp"
 #include "spice/transient.hpp"

@@ -4,7 +4,7 @@
 #include <string>
 #include <utility>
 
-#include "core/thread_pool.hpp"
+#include "runtime/thread_pool.hpp"
 #include "interconnect/coupled_lines.hpp"
 
 namespace lcsf::core {
@@ -193,7 +193,7 @@ Samples shifted_samples(const Samples& w, double dt0) {
 
 LaneWorkspaces::LaneWorkspaces(std::size_t threads)
     : lanes_(std::max<std::size_t>(
-          1, threads == 0 ? core::ThreadPool::default_threads() : threads)) {}
+          1, threads == 0 ? runtime::ThreadPool::default_threads() : threads)) {}
 
 SampleWorkspace& LaneWorkspaces::lane(std::size_t k) {
   if (!lanes_[k]) {

@@ -125,7 +125,7 @@ timing::Samples shifted_samples(const timing::Samples& w, double dt0);
 
 /// Per-lane workspace pool for the laned statistical drivers: one
 /// SampleWorkspace per thread lane, created on first touch. A lane is
-/// only ever used by one thread at a time (core::ThreadPool contract),
+/// only ever used by one thread at a time (runtime::ThreadPool contract),
 /// so no locking is needed.
 class LaneWorkspaces {
  public:

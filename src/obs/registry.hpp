@@ -4,7 +4,7 @@
 //
 // Design constraints (docs/observability.md):
 //  * Recording never perturbs results. Metrics are written to per-lane
-//    sinks -- one sink per core::ThreadPool lane, each touched by at most
+//    sinks -- one sink per runtime::ThreadPool lane, each touched by at most
 //    one thread at a time (the pool's lane exclusivity contract) -- and
 //    merged only at snapshot() time, after the parallel joins. Enabling
 //    observability therefore cannot change the bitwise thread-count
@@ -30,7 +30,6 @@
 #include <mutex>
 #include <string>
 #include <string_view>
-#include <unordered_map>
 #include <vector>
 
 // Compile-time gate; the build defines it via the LCSF_OBS cmake option
@@ -78,9 +77,14 @@ class LaneSink {
 
  private:
   friend class Registry;
-  std::unordered_map<std::string, std::uint64_t> counters_;
-  std::unordered_map<std::string, std::vector<double>> values_;
-  std::unordered_map<std::string, TimerStat> timers_;
+  // Ordered maps, not unordered: snapshot() iterates these to build the
+  // merged (and ultimately serialized) view, so the per-lane iteration
+  // order must be canonical. The name-keyed sorted order makes the merge
+  // independent of insertion history (and of the hash seed), which the
+  // `nondeterministic-iteration` lint rule enforces tree-wide.
+  std::map<std::string, std::uint64_t> counters_;
+  std::map<std::string, std::vector<double>> values_;
+  std::map<std::string, TimerStat> timers_;
   std::vector<SpanEvent> spans_;
 };
 

@@ -1,4 +1,4 @@
-#include "core/thread_pool.hpp"
+#include "runtime/thread_pool.hpp"
 
 #include <algorithm>
 #include <atomic>
@@ -9,7 +9,7 @@
 #include <stdexcept>
 #include <string>
 
-namespace lcsf::core {
+namespace lcsf::runtime {
 
 namespace {
 
@@ -216,4 +216,4 @@ void parallel_for_lanes(
   pool.parallel_for_lanes(n, body, grain);
 }
 
-}  // namespace lcsf::core
+}  // namespace lcsf::runtime

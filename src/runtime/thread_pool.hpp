@@ -15,7 +15,7 @@
 #include <thread>
 #include <vector>
 
-namespace lcsf::core {
+namespace lcsf::runtime {
 
 /// A persistent pool of worker threads with a dynamically-chunked
 /// parallel_for. Work is claimed from a shared atomic cursor in grains, so
@@ -94,4 +94,4 @@ void parallel_for_lanes(
     const std::function<void(std::size_t, std::size_t, std::size_t)>& body,
     std::size_t grain = 0);
 
-}  // namespace lcsf::core
+}  // namespace lcsf::runtime

@@ -3,7 +3,7 @@
 // Both operate on an abstract performance function f(w) over independent
 // variation sources w (use Pca::from_factors upstream if the physical
 // parameters are correlated). Both evaluate f in parallel on the shared
-// core::ThreadPool substrate; results are bitwise identical for every
+// runtime::ThreadPool substrate; results are bitwise identical for every
 // thread count because each sample draws from its own counter-based
 // stream (see stats/random.hpp and docs/monte_carlo.md).
 #pragma once
@@ -26,7 +26,7 @@ namespace lcsf::stats {
 using PerformanceFn = std::function<double(const numeric::Vector&)>;
 
 /// Lane-aware performance function: the driver passes the executing
-/// thread's lane index (core::ThreadPool lane semantics: caller = 0,
+/// thread's lane index (runtime::ThreadPool lane semantics: caller = 0,
 /// worker k = k + 1, lane < max(1, resolved thread count)). Within one
 /// driver call a lane is used by at most one thread at a time, so f may
 /// keep mutable per-lane workspaces -- the allocation-free Monte-Carlo
@@ -86,7 +86,7 @@ struct FailureSummary {
 /// the semantics are documented exactly once.
 struct ExecutionOptions {
   /// Worker threads for the parallel evaluations. 0 = auto-detect via
-  /// core::ThreadPool::default_threads() (LCSF_THREADS env, then hardware
+  /// runtime::ThreadPool::default_threads() (LCSF_THREADS env, then hardware
   /// concurrency); 1 = serial.
   std::size_t threads = 0;
   /// Fail-soft switch. With kSkip, an evaluation that throws

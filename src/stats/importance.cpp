@@ -13,7 +13,7 @@
 #include <cmath>
 #include <utility>
 
-#include "core/thread_pool.hpp"
+#include "runtime/thread_pool.hpp"
 #include "numeric/fp_compare.hpp"
 #include "obs/span.hpp"
 #include "stats/driver_detail.hpp"
@@ -85,7 +85,7 @@ void run_is_phase(const RunOptions& opt, obs::Registry* reg,
 
   const bool fail_soft = opt.exec.on_failure == FailurePolicy::kSkip;
 
-  core::parallel_for_lanes(
+  runtime::parallel_for_lanes(
       opt.exec.threads, n,
       [&](std::size_t begin, std::size_t end, std::size_t lane) {
     obs::ScopedContext chunk_ctx(reg, lane);

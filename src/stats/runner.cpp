@@ -8,7 +8,7 @@
 #include <cmath>
 #include <stdexcept>
 
-#include "core/thread_pool.hpp"
+#include "runtime/thread_pool.hpp"
 #include "obs/span.hpp"
 #include "stats/driver_detail.hpp"
 
@@ -99,7 +99,7 @@ MonteCarloResult Runner::run_monte_carlo(
   // Each sample draws every variate from its own counter-based stream, so
   // the partition of [0, n) across threads cannot change any value; and
   // under kSkip, neither can the set of failed indices.
-  core::parallel_for_lanes(
+  runtime::parallel_for_lanes(
       opt_.exec.threads, n,
       [&](std::size_t begin, std::size_t end, std::size_t lane) {
     // Route engine metrics recorded inside f to this chunk's lane sink.
@@ -196,7 +196,7 @@ GradientAnalysisResult Runner::run_gradients(
 
   // The 2 * nw central-difference probes are independent; run them on the
   // pool and fold the Eq. 24 sum serially in source order afterwards.
-  core::parallel_for_lanes(
+  runtime::parallel_for_lanes(
       opt_.exec.threads, nw,
       [&](std::size_t begin, std::size_t end, std::size_t lane) {
     obs::ScopedContext chunk_ctx(reg, lane);

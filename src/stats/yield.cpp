@@ -4,7 +4,7 @@
 #include <cmath>
 #include <stdexcept>
 
-#include "core/thread_pool.hpp"
+#include "runtime/thread_pool.hpp"
 #include "numeric/fp_compare.hpp"
 #include "sim/diagnostics.hpp"
 #include "stats/random.hpp"
@@ -31,7 +31,7 @@ std::vector<double> empirical_yield_curve(const std::vector<double>& delays,
     sim::throw_invalid_input("empirical_yield_curve: empty sample");
   }
   std::vector<double> out(periods.size());
-  core::parallel_for(threads, periods.size(),
+  runtime::parallel_for(threads, periods.size(),
                      [&](std::size_t begin, std::size_t end) {
                        for (std::size_t k = begin; k < end; ++k) {
                          out[k] = empirical_yield(delays, periods[k]);

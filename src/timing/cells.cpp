@@ -1,7 +1,6 @@
 #include "timing/cells.hpp"
 
 #include <stdexcept>
-#include <unordered_map>
 
 namespace lcsf::timing {
 

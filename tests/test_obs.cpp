@@ -8,7 +8,7 @@
 #include <string>
 #include <vector>
 
-#include "core/thread_pool.hpp"
+#include "runtime/thread_pool.hpp"
 #include "obs/registry.hpp"
 #include "obs/span.hpp"
 #include "stats/runner.hpp"
@@ -146,7 +146,7 @@ TEST(ObsConcurrent, DistinctLanesRecordRaceFree) {
   // the lane-exclusivity contract makes the design race-free.
   Registry r;
   const std::size_t n = 10000;
-  core::parallel_for_lanes(
+  runtime::parallel_for_lanes(
       4, n,
       [&](std::size_t begin, std::size_t end, std::size_t lane) {
         ScopedContext ctx(&r, lane);

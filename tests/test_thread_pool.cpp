@@ -11,10 +11,10 @@
 #include <utility>
 #include <vector>
 
-#include "core/thread_pool.hpp"
+#include "runtime/thread_pool.hpp"
 #include "stats/descriptive.hpp"
 
-namespace lcsf::core {
+namespace lcsf::runtime {
 namespace {
 
 TEST(ThreadPool, CoversEveryIndexExactlyOnce) {
@@ -181,4 +181,4 @@ TEST(OnlineStatsMerge, EmptySidesAreIdentity) {
 }
 
 }  // namespace
-}  // namespace lcsf::core
+}  // namespace lcsf::runtime

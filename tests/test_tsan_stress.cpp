@@ -4,7 +4,7 @@
 // one pool at a time with mostly-idle workers; data races with narrow
 // windows (pool teardown vs. late grabs, concurrent pools sharing
 // process-wide state, exception propagation racing result writes) need
-// a workload designed to collide. This file hammers core::ThreadPool
+// a workload designed to collide. This file hammers runtime::ThreadPool
 // and the parallel statistical drivers from many directions at once so
 // `tools/sanitize.sh thread` has real interleavings to inspect. The
 // assertions double as determinism checks: whatever the interleaving,
@@ -13,7 +13,7 @@
 // lcsf-lint: allow(thread-outside-pool) -- the point of this stress
 // test is to drive *several* pools and drivers concurrently, which by
 // construction needs raw threads above the pool layer; production code
-// must still route all parallelism through core::ThreadPool.
+// must still route all parallelism through runtime::ThreadPool.
 #include <atomic>
 #include <cmath>
 #include <cstddef>
@@ -22,7 +22,7 @@
 
 #include <gtest/gtest.h>
 
-#include "core/thread_pool.hpp"
+#include "runtime/thread_pool.hpp"
 #include "sim/diagnostics.hpp"
 #include "stats/analysis.hpp"
 #include "stats/random.hpp"
@@ -33,7 +33,7 @@ namespace {
 TEST(TsanStress, RepeatedParallelForBursts) {
   // Many short parallel_for rounds maximize startup/teardown races
   // between the cursor, the batch state and the worker wakeups.
-  core::ThreadPool pool(4);
+  runtime::ThreadPool pool(4);
   std::atomic<std::uint64_t> sum{0};
   for (int round = 0; round < 200; ++round) {
     pool.parallel_for(
@@ -52,7 +52,7 @@ TEST(TsanStress, ConcurrentPoolsDoNotShareMutableState) {
   // Two pools driven from two raw threads: collides worker startup,
   // the pools' internal state and default_threads() resolution.
   auto hammer = [](std::uint64_t* out) {
-    core::ThreadPool pool(3);
+    runtime::ThreadPool pool(3);
     std::atomic<std::uint64_t> acc{0};
     for (int round = 0; round < 50; ++round) {
       pool.parallel_for(1000, [&](std::size_t b, std::size_t e) {
@@ -79,7 +79,7 @@ TEST(TsanStress, PoolOutlivesManyConstructionCycles) {
   // Construction/destruction churn: a worker still parked in its wait
   // loop while the pool dies is the classic teardown race.
   for (int cycle = 0; cycle < 100; ++cycle) {
-    core::ThreadPool pool(4);
+    runtime::ThreadPool pool(4);
     std::atomic<int> hits{0};
     pool.parallel_for(16, [&](std::size_t b, std::size_t e) {
       hits.fetch_add(static_cast<int>(e - b), std::memory_order_relaxed);

@@ -48,11 +48,23 @@ def load_metrics(path):
     try:
         with open(path, "r", encoding="utf-8") as fh:
             doc = json.load(fh)
+    except FileNotFoundError:
+        sys.exit(
+            f"bench_compare: {path} does not exist; regenerate it by "
+            "running the corresponding bench_* binary with the output "
+            "path as its argument (see docs/performance.md), or pass "
+            "the checked-in BENCH_*.json baseline from the repo root")
     except (OSError, json.JSONDecodeError) as err:
         sys.exit(f"bench_compare: cannot read {path}: {err}")
+    if not isinstance(doc, dict):
+        sys.exit(f"bench_compare: {path} is not a JSON object "
+                 "(expected a BENCH_*.json result file)")
     metrics = doc.get("metrics")
     if not isinstance(metrics, dict):
-        sys.exit(f"bench_compare: {path} has no 'metrics' object")
+        sys.exit(
+            f"bench_compare: {path} has no 'metrics' object; every "
+            "BENCH_*.json result carries one (keys present: "
+            f"{sorted(doc)})")
     return doc, {
         k: float(v) for k, v in metrics.items() if isinstance(v, (int, float))
     }
@@ -109,10 +121,15 @@ def check_floors(cand_path, floors):
         if not value:
             sys.exit(f"bench_compare: bad --min spec {spec!r} "
                      "(expected metric=value)")
-        floor = float(value)
+        try:
+            floor = float(value)
+        except ValueError:
+            sys.exit(f"bench_compare: bad --min spec {spec!r} "
+                     f"({value!r} is not a number)")
         got = cand.get(name)
         if got is None:
-            print(f"  {name}: MISSING (floor {floor:g})")
+            print(f"  {name}: MISSING (floor {floor:g}); metrics present: "
+                  f"{sorted(cand)}")
             violations += 1
         elif got < floor:
             print(f"  {name}: {got:g} < floor {floor:g}  VIOLATION")

@@ -10,8 +10,12 @@
 #               tools/check_metrics.py, plus the CLI-level witness that
 #               the deterministic metrics are thread-count invariant
 #   doc-lint  : documentation link/anchor checker
-#   lcsf-lint : project-invariant static analysis (+ clang-tidy when
-#               installed, via tools/lint.sh)
+#   lcsf-lint : project-invariant static analysis via tools/lint.sh --
+#               the per-file rules, the include-graph pass (layering
+#               manifest, cycles, orphan headers), the lcsf-lint-v2
+#               JSON document gated by schema + baseline + suppression
+#               budget (tools/lint_compare.py), and clang-tidy when
+#               installed
 #
 # Each stage runs to completion even after earlier failures so one pass
 # reports everything; the summary table at the end and the exit status

@@ -31,7 +31,7 @@
 #include <vector>
 
 #include "circuit/parser.hpp"
-#include "core/thread_pool.hpp"
+#include "runtime/thread_pool.hpp"
 #include "obs_cli.hpp"
 #include "spice/transient.hpp"
 
@@ -78,7 +78,7 @@ int main(int argc, char** argv) {
     } else if (arg == "--points") {
       points = static_cast<std::size_t>(std::stoul(next()));
     } else if (arg == "--threads") {
-      core::ThreadPool::set_default_threads(
+      runtime::ThreadPool::set_default_threads(
           static_cast<std::size_t>(std::stoul(next())));
     } else if (arg == "--on-failure") {
       on_failure = next();

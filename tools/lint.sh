@@ -29,6 +29,16 @@ else
   FAILED=1
 fi
 
+# ---- machine-readable findings gate ---------------------------------
+# Schema-validates the lcsf-lint-v2 document and diffs it against the
+# checked-in baseline: new (rule, file) findings and suppression-budget
+# growth both fail, even when the finding itself is suppressed.
+if tools/lint_gate.sh "$BUILD_DIR/tools/lint/lcsf_lint" .; then
+  echo "lint.sh: findings baseline OK (tools/lint_baseline.json)"
+else
+  FAILED=1
+fi
+
 # ---- clang-tidy (optional) ------------------------------------------
 TIDY="${LCSF_CLANG_TIDY:-clang-tidy}"
 if command -v "$TIDY" > /dev/null 2>&1; then

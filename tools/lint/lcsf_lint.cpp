@@ -1,17 +1,25 @@
-// lcsf_lint: project-invariant static analysis driver.
+// lcsf_lint: project-invariant static analysis driver (v2, multi-pass).
 //
-// Scans src/, tools/, bench/ and tests/ for violations of the
-// invariants the compiler cannot see (deterministic RNG streams,
-// classified failure paths, exact float comparisons, pooled
-// parallelism, header hygiene) and exits non-zero on any finding.
-// Registered as the `lcsf_lint` ctest (label: lint), so the invariants
-// are enforced on every `ctest` run; see docs/static_analysis.md.
+// Pass 1 scans src/, tools/, bench/ and tests/ file by file for
+// violations of the invariants the compiler cannot see (deterministic
+// RNG streams, classified failure paths, exact float comparisons,
+// pooled parallelism, hash-order iteration, wall-clock reads, header
+// hygiene). Pass 2 analyzes the project include graph: the module
+// layering manifest (tools/lint/layers.txt), include cycles, and
+// orphan headers. Registered as the `lcsf_lint` ctest (label: lint),
+// so the invariants are enforced on every `ctest` run; see
+// docs/static_analysis.md.
 //
 // Usage:
-//   lcsf_lint [--root <repo-root>] [--list-rules] [paths...]
+//   lcsf_lint [--root <repo-root>] [--list-rules] [--json] [paths...]
 //
-// `paths` (repo-relative files or directories) restrict the scan; the
-// default is the four standard trees.
+// `paths` (repo-relative files or directories) restrict the scan to
+// pass 1 only -- the include-graph rules need the whole tree, so they
+// run exclusively on the default full scan. `--json` emits the
+// versioned lcsf-lint-v2 findings document (suppressed findings
+// included, status flagged) and always exits 0 on a successful scan:
+// the baseline comparison (tools/lint_compare.py) owns the verdict in
+// that mode.
 #include <algorithm>
 #include <cstdio>
 #include <filesystem>
@@ -21,6 +29,7 @@
 #include <vector>
 
 #include "lint_engine.hpp"
+#include "project_analyzer.hpp"
 
 namespace fs = std::filesystem;
 
@@ -56,6 +65,7 @@ void collect(const fs::path& root, const fs::path& arg,
 
 int main(int argc, char** argv) {
   fs::path root = ".";
+  bool json = false;
   std::vector<fs::path> args;
   for (int i = 1; i < argc; ++i) {
     const std::string a = argv[i];
@@ -63,40 +73,77 @@ int main(int argc, char** argv) {
       root = argv[++i];
     } else if (a == "--list-rules") {
       for (const auto& r : lcsf::lint::rules()) {
-        std::printf("%-24s %s\n", r.id, r.summary);
+        std::printf("%-28s %s\n", r.id, r.summary);
       }
       return 0;
+    } else if (a == "--json") {
+      json = true;
     } else if (a == "--help" || a == "-h") {
-      std::printf("usage: lcsf_lint [--root <dir>] [--list-rules] "
-                  "[paths...]\n");
+      std::printf(
+          "usage: lcsf_lint [--root <dir>] [--list-rules] [--json] "
+          "[paths...]\n"
+          "  --json emits the lcsf-lint-v2 findings document on stdout\n"
+          "  explicit paths restrict the scan to the per-file rules\n");
       return 0;
     } else {
       args.emplace_back(a);
     }
   }
-  if (args.empty()) {
+  const bool full_scan = args.empty();
+  if (full_scan) {
     args = {"src", "tools", "bench", "tests"};
   }
 
   std::vector<fs::path> files;
   for (const auto& a : args) collect(root, a, files);
   std::sort(files.begin(), files.end());
+  files.erase(std::unique(files.begin(), files.end()), files.end());
 
-  std::size_t total = 0;
+  std::vector<lcsf::lint::FileScan> scans;
+  scans.reserve(files.size());
   for (const auto& rel : files) {
     const std::string path = rel.generic_string();
-    const auto findings = lcsf::lint::lint_source(path, read_file(root / rel));
-    for (const auto& f : findings) {
-      std::printf("%s:%zu: [%s] %s\n", path.c_str(), f.line, f.rule.c_str(),
-                  f.message.c_str());
-    }
-    total += findings.size();
+    scans.push_back(lcsf::lint::scan_file(path, read_file(root / rel)));
   }
-  if (total > 0) {
-    std::printf("lcsf_lint: %zu finding(s) in %zu file(s) scanned\n", total,
-                files.size());
+
+  // Pass 2 needs every include edge in the tree; a restricted scan
+  // would misreport orphans and miss cross-file edges, so it only runs
+  // on the full default scan.
+  if (full_scan) {
+    const fs::path manifest_path = root / "tools" / "lint" / "layers.txt";
+    const lcsf::lint::LayerManifest manifest =
+        lcsf::lint::parse_layers(read_file(manifest_path));
+    if (!manifest.error.empty()) {
+      std::fprintf(stderr, "lcsf_lint: %s: %s\n",
+                   manifest_path.generic_string().c_str(),
+                   manifest.error.c_str());
+      return 2;
+    }
+    lcsf::lint::analyze_project(scans, manifest);
+  }
+
+  for (auto& scan : scans) lcsf::lint::finalize_scan(scan);
+
+  if (json) {
+    const std::string doc = lcsf::lint::findings_to_json(scans);
+    std::fwrite(doc.data(), 1, doc.size(), stdout);
+    return 0;
+  }
+
+  std::size_t active = 0;
+  for (const auto& scan : scans) {
+    for (const auto& f : scan.findings) {
+      if (f.suppressed) continue;
+      ++active;
+      std::printf("%s:%zu: [%s] %s\n", f.file.c_str(), f.line,
+                  f.rule.c_str(), f.message.c_str());
+    }
+  }
+  if (active > 0) {
+    std::printf("lcsf_lint: %zu finding(s) in %zu file(s) scanned\n", active,
+                scans.size());
     return 1;
   }
-  std::printf("lcsf_lint: clean (%zu files scanned)\n", files.size());
+  std::printf("lcsf_lint: clean (%zu files scanned)\n", scans.size());
   return 0;
 }

@@ -1,8 +1,10 @@
 #include "lint_engine.hpp"
 
 #include <algorithm>
+#include <cctype>
 #include <map>
 #include <regex>
+#include <set>
 
 namespace lcsf::lint {
 
@@ -138,6 +140,9 @@ const char* const kThreadRule = "thread-outside-pool";
 const char* const kGuardRule = "include-guard";
 const char* const kUsingRule = "using-namespace-header";
 const char* const kSpanRule = "obs-span-balance";
+const char* const kIterRule = "nondeterministic-iteration";
+const char* const kWallClockRule = "wall-clock-in-engine";
+const char* const kMutStaticRule = "mutable-static-in-header";
 
 bool starts_with(const std::string& s, const char* prefix) {
   return s.rfind(prefix, 0) == 0;
@@ -159,8 +164,8 @@ bool in_engine_dir(const std::string& path) {
 
 /// The one sanctioned home for raw std::thread / std::async.
 bool is_thread_pool_file(const std::string& path) {
-  return path == "src/core/thread_pool.hpp" ||
-         path == "src/core/thread_pool.cpp";
+  return path == "src/runtime/thread_pool.hpp" ||
+         path == "src/runtime/thread_pool.cpp";
 }
 
 /// The obs subsystem itself declares/defines ScopedSpan, so the
@@ -168,6 +173,20 @@ bool is_thread_pool_file(const std::string& path) {
 /// self-flag).
 bool outside_obs_dir(const std::string& path) {
   return !starts_with(path, "src/obs/");
+}
+
+/// Engine + tooling sources whose iteration order can reach numeric
+/// results, merged metrics, or serialized output. Tests and benches may
+/// iterate hash containers for their own bookkeeping.
+bool in_src_or_tools(const std::string& path) {
+  return starts_with(path, "src/") || starts_with(path, "tools/");
+}
+
+/// Wall-clock reads are sanctioned only in the observability substrate
+/// (phase timers) and the benches; engine results must be a pure
+/// function of their inputs.
+bool in_engine_wall_clock_scope(const std::string& path) {
+  return starts_with(path, "src/") && !starts_with(path, "src/obs/");
 }
 
 struct Rule {
@@ -215,7 +234,7 @@ const std::vector<Rule>& line_rules() {
        [](const std::string&) { return true; }},
       {kThreadRule,
        std::regex(R"(\bstd\s*::\s*(thread|jthread|async)\b)"),
-       "raw std::thread/std::async outside core::ThreadPool: all "
+       "raw std::thread/std::async outside runtime::ThreadPool: all "
        "parallelism must go through the pool so LCSF_THREADS, nesting "
        "rules and the determinism contract hold",
        [](const std::string& p) { return !is_thread_pool_file(p); }},
@@ -234,17 +253,245 @@ const std::vector<Rule>& line_rules() {
        "records a zero-length span; bind it to a named stack object "
        "(`obs::ScopedSpan span(\"phase\");`) so it covers the scope",
        outside_obs_dir},
+      {kWallClockRule,
+       std::regex(R"(\bstd\s*::\s*chrono\b)"
+                  R"(|\b(steady_clock|system_clock|high_resolution_clock)\b)"
+                  R"(|#\s*include\s*<chrono>)"),
+       "wall-clock read in engine code: results must be a pure function "
+       "of inputs; std::chrono is sanctioned only in src/obs/ (phase "
+       "timers, excluded from the deterministic export) and bench/",
+       in_engine_wall_clock_scope},
   };
   return rules;
 }
 
-/// Suppression directive parsed out of the comment stream.
-struct Suppression {
-  std::string rule;
-  std::size_t line = 0;  ///< where the directive lives
-  bool justified = false;
-  bool used = false;
-};
+// ---------------------------------------------------------------------
+// nondeterministic-iteration: track variables declared (or passed) with
+// an unordered container type, then flag loops that walk them. Element
+// order in a hash container depends on insertion history, hash seeding
+// and load factor, so any walk whose visit order can reach results or
+// serialized/merged output breaks the reproducibility contract.
+// ---------------------------------------------------------------------
+
+/// The trailing identifier of an expression like `lane->counters_`,
+/// `sink.values_`, `obs::registry().names` or plain `m`; empty when the
+/// expression ends in something else (a call, an index, a literal).
+std::string trailing_identifier(const std::string& expr) {
+  std::size_t end = expr.size();
+  while (end > 0 && std::isspace(static_cast<unsigned char>(expr[end - 1]))) {
+    --end;
+  }
+  std::size_t begin = end;
+  while (begin > 0 && is_ident_char(expr[begin - 1])) --begin;
+  if (begin == end) return {};
+  return expr.substr(begin, end - begin);
+}
+
+/// Names declared with unordered_map/unordered_set type in this file
+/// (members, locals, parameters). A declaration whose name is followed
+/// by '(' is a function returning the container and is not tracked.
+std::set<std::string> unordered_container_names(
+    const std::vector<std::string>& code) {
+  static const std::regex decl(R"(\bunordered_(?:map|set|multimap|multiset)\s*<)");
+  std::set<std::string> names;
+  for (std::size_t i = 0; i < code.size(); ++i) {
+    for (std::sregex_iterator it(code[i].begin(), code[i].end(), decl), end;
+         it != end; ++it) {
+      // Balance the template angle brackets, spilling over at most a few
+      // lines (every in-tree declaration is single-line; the slack keeps
+      // clang-formatted wrapping from hiding a declaration).
+      std::size_t line = i;
+      std::size_t pos = static_cast<std::size_t>(it->position()) +
+                        static_cast<std::size_t>(it->length());
+      int depth = 1;
+      std::size_t scanned_lines = 0;
+      std::string tail;
+      while (depth > 0 && line < code.size() && scanned_lines < 6) {
+        const std::string& text = code[line];
+        for (; pos < text.size(); ++pos) {
+          if (text[pos] == '<') ++depth;
+          if (text[pos] == '>' && --depth == 0) {
+            tail = text.substr(pos + 1);
+            break;
+          }
+        }
+        if (depth > 0) {
+          ++line;
+          pos = 0;
+          ++scanned_lines;
+        }
+      }
+      if (depth > 0) continue;  // unbalanced; give up on this one
+      // Skip references/pointers/cv in `const unordered_map<..>& name`.
+      std::size_t j = 0;
+      while (j < tail.size() &&
+             (std::isspace(static_cast<unsigned char>(tail[j])) ||
+              tail[j] == '&' || tail[j] == '*')) {
+        ++j;
+      }
+      std::size_t k = j;
+      while (k < tail.size() && is_ident_char(tail[k])) ++k;
+      if (k == j) continue;
+      std::size_t after = k;
+      while (after < tail.size() &&
+             std::isspace(static_cast<unsigned char>(tail[after]))) {
+        ++after;
+      }
+      if (after < tail.size() && tail[after] == '(') continue;  // function
+      names.insert(tail.substr(j, k - j));
+    }
+  }
+  return names;
+}
+
+/// Extract the range expression of a range-for on this line, if any:
+/// the text between the top-level ':' and the matching ')'.
+std::string range_for_expression(const std::string& line) {
+  const std::size_t f = line.find("for");
+  if (f == std::string::npos) return {};
+  if (f > 0 && is_ident_char(line[f - 1])) return {};
+  if (f + 3 < line.size() && is_ident_char(line[f + 3])) return {};
+  std::size_t open = line.find('(', f);
+  if (open == std::string::npos) return {};
+  int depth = 0;
+  std::size_t colon = std::string::npos;
+  for (std::size_t i = open; i < line.size(); ++i) {
+    const char c = line[i];
+    if (c == '(' || c == '[' || c == '{') ++depth;
+    if (c == ')' || c == ']' || c == '}') {
+      --depth;
+      if (depth == 0) {
+        if (colon == std::string::npos) return {};
+        return line.substr(colon + 1, i - colon - 1);
+      }
+    }
+    if (c == ':' && depth == 1) {
+      const bool double_colon = (i > 0 && line[i - 1] == ':') ||
+                                (i + 1 < line.size() && line[i + 1] == ':');
+      if (!double_colon && colon == std::string::npos) colon = i;
+    }
+  }
+  return {};  // spans lines; out of scope for the textual rule
+}
+
+void run_iteration_rule(const std::string& path, const ScrubbedSource& src,
+                        FileScan& scan) {
+  if (!in_src_or_tools(path)) return;
+  const std::set<std::string> names = unordered_container_names(src.code);
+  if (names.empty()) return;
+  static const std::regex begin_call(
+      R"((\w+)\s*(?:\.|->)\s*c?begin\s*\()");
+  for (std::size_t i = 0; i < src.code.size(); ++i) {
+    const std::string& line = src.code[i];
+    if (line.empty()) continue;
+    std::string hit;
+    const std::string range = range_for_expression(line);
+    const std::string range_id = trailing_identifier(range);
+    if (!range_id.empty() && names.count(range_id)) hit = range_id;
+    if (hit.empty()) {
+      std::smatch m;
+      if (std::regex_search(line, m, begin_call) && names.count(m[1])) {
+        hit = m[1];
+      }
+    }
+    if (hit.empty()) continue;
+    attach_finding(
+        scan,
+        {kIterRule, i + 1,
+         "iteration over unordered container '" + hit +
+             "': element order depends on hashing and insertion history, "
+             "so any order-sensitive use (export, merge, fp accumulation) "
+             "is nondeterministic; use std::map/std::set or copy out and "
+             "sort before iterating",
+         path,
+         {},
+         false});
+  }
+}
+
+// ---------------------------------------------------------------------
+// mutable-static-in-header: a non-const static variable in a header is
+// one mutable object per TU (pre-C++17) or a shared mutable global
+// (inline) -- either way hidden cross-TU state that breaks reproducible
+// runs and thread-safety audits. Static member *functions* and
+// constexpr/const data are fine.
+// ---------------------------------------------------------------------
+
+void run_mutable_static_rule(const std::string& path,
+                             const ScrubbedSource& src, FileScan& scan) {
+  if (!is_header(path)) return;
+  static const std::regex static_kw(R"(\bstatic\b)");
+  for (std::size_t i = 0; i < src.code.size(); ++i) {
+    const std::string& line = src.code[i];
+    if (line.empty()) continue;
+    for (std::sregex_iterator it(line.begin(), line.end(), static_kw), end;
+         it != end; ++it) {
+      // The declaration tail: rest of this line plus a couple more, to
+      // survive clang-format wrapping of long declarations.
+      std::string tail =
+          line.substr(static_cast<std::size_t>(it->position()) +
+                      static_cast<std::size_t>(it->length()));
+      for (std::size_t extra = 1; extra <= 2 && i + extra < src.code.size();
+           ++extra) {
+        tail += ' ';
+        tail += src.code[i + extra];
+      }
+      // Swallow storage/qualifier keywords; const/constexpr make the
+      // object immutable and exempt.
+      static const std::set<std::string> passthrough = {"inline",
+                                                        "thread_local"};
+      bool immutable = false;
+      std::size_t pos = 0;
+      for (;;) {
+        while (pos < tail.size() &&
+               std::isspace(static_cast<unsigned char>(tail[pos]))) {
+          ++pos;
+        }
+        std::size_t e = pos;
+        while (e < tail.size() && is_ident_char(tail[e])) ++e;
+        const std::string word = tail.substr(pos, e - pos);
+        if (word == "const" || word == "constexpr" || word == "constinit") {
+          immutable = true;
+          break;
+        }
+        if (passthrough.count(word)) {
+          pos = e;
+          continue;
+        }
+        break;
+      }
+      if (immutable) continue;
+      // Function declaration vs variable: the first structural token
+      // decides. '(' first = function; '=', ';' or '{' first = variable
+      // (brace or equals initialization). Angle brackets are skipped so
+      // template arguments cannot fool the scan.
+      int angle = 0;
+      char decided = '\0';
+      for (std::size_t j = pos; j < tail.size(); ++j) {
+        const char c = tail[j];
+        if (c == '<') ++angle;
+        if (c == '>' && angle > 0) --angle;
+        if (angle > 0) continue;
+        if (c == '(' || c == '=' || c == ';' || c == '{') {
+          decided = c;
+          break;
+        }
+      }
+      if (decided == '\0' || decided == '(') continue;
+      attach_finding(
+          scan,
+          {kMutStaticRule, i + 1,
+           "mutable static in a header: every includer shares (or "
+           "duplicates, pre-C++17) this writable state, invisible to the "
+           "determinism audit; move it behind a function in a .cpp or "
+           "make it constexpr/const",
+           path,
+           {},
+           false});
+      break;  // one finding per line is plenty
+    }
+  }
+}
 
 std::vector<Suppression> parse_suppressions(
     const std::vector<std::string>& comments,
@@ -265,7 +512,7 @@ std::vector<Suppression> parse_suppressions(
     if (!is_rule(s.rule)) {
       meta_findings.push_back(
           {"unknown-rule-suppression", s.line,
-           "suppression names unknown rule '" + s.rule + "'"});
+           "suppression names unknown rule '" + s.rule + "'", {}, {}, false});
       continue;
     }
     // Count multi-line justifications: a directive whose own line has no
@@ -281,11 +528,37 @@ std::vector<Suppression> parse_suppressions(
           {"suppression-missing-justification", s.line,
            "suppression of '" + s.rule +
                "' has no justification; write `-- <why this file is "
-               "allowed to break the rule>`"});
+               "allowed to break the rule>`",
+           {},
+           {},
+           false});
     }
     sup.push_back(std::move(s));
   }
   return sup;
+}
+
+/// Quoted project includes, parsed from the raw content (the scrubber
+/// blanks string literals, which is exactly where the target lives).
+/// Anchoring on a line-leading '#' keeps commented-out includes and
+/// includes quoted inside string literals from matching.
+std::vector<Include> parse_includes(const std::string& content) {
+  static const std::regex inc(R"re(^[ \t]*#[ \t]*include[ \t]*"([^"]+)")re");
+  std::vector<Include> out;
+  std::size_t line = 1;
+  std::size_t begin = 0;
+  while (begin <= content.size()) {
+    std::size_t end = content.find('\n', begin);
+    if (end == std::string::npos) end = content.size();
+    const std::string text = content.substr(begin, end - begin);
+    std::smatch m;
+    if (std::regex_search(text, m, inc)) {
+      out.push_back({m[1], line});
+    }
+    begin = end + 1;
+    ++line;
+  }
+  return out;
 }
 
 }  // namespace
@@ -304,7 +577,7 @@ const std::vector<RuleInfo>& rules() {
        "numeric::exact_eq/exact_zero or an explicit tolerance"},
       {kThreadRule,
        "no std::thread/std::jthread/std::async outside "
-       "src/core/thread_pool.*"},
+       "src/runtime/thread_pool.*"},
       {kGuardRule,
        "headers use #pragma once (before any code, no legacy #ifndef "
        "guards)"},
@@ -312,6 +585,24 @@ const std::vector<RuleInfo>& rules() {
       {kSpanRule,
        "obs::ScopedSpan must be a named stack object, never a discarded "
        "temporary (outside src/obs/ itself)"},
+      {kIterRule,
+       "no iteration over unordered_map/unordered_set in src/ or tools/; "
+       "hash order can reach results, merges and serialized output"},
+      {kWallClockRule,
+       "no std::chrono/steady_clock wall-clock reads in src/ outside "
+       "src/obs/; engine results are a pure function of inputs"},
+      {kMutStaticRule,
+       "no mutable static data in headers; shared writable cross-TU state "
+       "evades the determinism audit"},
+      {"layering-violation",
+       "module include edges must point downward in the layering manifest "
+       "(tools/lint/layers.txt)"},
+      {"include-cycle",
+       "the project include graph (files and collapsed modules) must stay "
+       "acyclic"},
+      {"orphan-header",
+       "every src/ and tools/ header must be included by at least one "
+       "scanned file"},
   };
   return info;
 }
@@ -322,33 +613,39 @@ bool is_rule(const std::string& id) {
                      [&](const RuleInfo& i) { return id == i.id; });
 }
 
-std::vector<Finding> lint_source(const std::string& path,
-                                 const std::string& content) {
-  const ScrubbedSource src = scrub(content);
-  std::vector<Finding> meta;
-  std::vector<Suppression> suppressions = parse_suppressions(src.comments, meta);
-
-  auto suppressed = [&](const std::string& rule) -> bool {
-    for (auto& s : suppressions) {
-      if (s.rule == rule) {
-        s.used = true;
-        return true;
-      }
+void attach_finding(FileScan& scan, Finding finding) {
+  finding.file = scan.path;
+  for (auto& s : scan.suppressions) {
+    if (s.rule == finding.rule) {
+      s.used = true;
+      finding.suppressed = true;
+      break;
     }
-    return false;
-  };
+  }
+  scan.findings.push_back(std::move(finding));
+}
 
-  std::vector<Finding> findings;
+FileScan scan_file(const std::string& path, const std::string& content) {
+  FileScan scan;
+  scan.path = path;
+  scan.includes = parse_includes(content);
+  const ScrubbedSource src = scrub(content);
+
+  std::vector<Finding> meta;
+  scan.suppressions = parse_suppressions(src.comments, meta);
+
   for (std::size_t i = 0; i < src.code.size(); ++i) {
     const std::string& line = src.code[i];
     if (line.empty()) continue;
     for (const Rule& rule : line_rules()) {
       if (!rule.applies(path)) continue;
       if (!std::regex_search(line, rule.pattern)) continue;
-      if (suppressed(rule.id)) continue;
-      findings.push_back({rule.id, i + 1, rule.message});
+      attach_finding(scan, {rule.id, i + 1, rule.message, path, {}, false});
     }
   }
+
+  run_iteration_rule(path, src, scan);
+  run_mutable_static_rule(path, src, scan);
 
   // Header hygiene: #pragma once present, and no legacy #ifndef guard.
   if (is_header(path)) {
@@ -361,40 +658,140 @@ std::vector<Finding> lint_source(const std::string& path,
         break;
       }
     }
-    if (!has_pragma && !suppressed(kGuardRule)) {
-      findings.push_back(
-          {kGuardRule, 1,
-           "header has no #pragma once (the project's one guard style)"});
+    if (!has_pragma) {
+      attach_finding(
+          scan, {kGuardRule, 1,
+                 "header has no #pragma once (the project's one guard style)",
+                 path,
+                 {},
+                 false});
     }
     for (std::size_t i = 0; i < src.code.size(); ++i) {
       if (std::regex_search(src.code[i], ifndef_guard)) {
-        if (!suppressed(kGuardRule)) {
-          findings.push_back(
-              {kGuardRule, i + 1,
-               "legacy #ifndef include guard; the project convention is "
-               "#pragma once"});
-        }
+        attach_finding(scan,
+                       {kGuardRule, i + 1,
+                        "legacy #ifndef include guard; the project "
+                        "convention is #pragma once",
+                        path,
+                        {},
+                        false});
         break;
       }
     }
   }
 
+  // Meta-findings about the suppression directives themselves are never
+  // suppressible; append them directly.
+  for (Finding& f : meta) {
+    f.file = path;
+    scan.findings.push_back(std::move(f));
+  }
+  return scan;
+}
+
+void finalize_scan(FileScan& scan) {
   // A suppression that silenced nothing is itself a finding: stale
   // directives rot into blanket licenses to reintroduce the bug.
-  for (const auto& s : suppressions) {
+  for (const auto& s : scan.suppressions) {
     if (!s.used) {
-      meta.push_back({"unused-suppression", s.line,
-                      "suppression of '" + s.rule +
-                          "' matched no finding; delete the stale directive"});
+      scan.findings.push_back(
+          {"unused-suppression", s.line,
+           "suppression of '" + s.rule +
+               "' matched no finding; delete the stale directive",
+           scan.path,
+           {},
+           false});
     }
   }
-
-  findings.insert(findings.end(), meta.begin(), meta.end());
-  std::sort(findings.begin(), findings.end(),
+  std::sort(scan.findings.begin(), scan.findings.end(),
             [](const Finding& a, const Finding& b) {
               return a.line != b.line ? a.line < b.line : a.rule < b.rule;
             });
-  return findings;
+}
+
+std::vector<Finding> lint_source(const std::string& path,
+                                 const std::string& content) {
+  FileScan scan = scan_file(path, content);
+  finalize_scan(scan);
+  std::vector<Finding> active;
+  for (Finding& f : scan.findings) {
+    if (!f.suppressed) active.push_back(std::move(f));
+  }
+  return active;
+}
+
+// ---------------------------------------------------------------------
+// lcsf-lint-v2 JSON document
+// ---------------------------------------------------------------------
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 8);
+  for (const char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          const char* hex = "0123456789abcdef";
+          out += "\\u00";
+          out += hex[(c >> 4) & 0xf];
+          out += hex[c & 0xf];
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string findings_to_json(const std::vector<FileScan>& scans) {
+  std::size_t suppression_count = 0;
+  for (const FileScan& s : scans) suppression_count += s.suppressions.size();
+
+  std::string out;
+  out += "{\n";
+  out += "  \"schema\": \"lcsf-lint-v2\",\n";
+  out += "  \"files_scanned\": " + std::to_string(scans.size()) + ",\n";
+  out +=
+      "  \"suppression_count\": " + std::to_string(suppression_count) + ",\n";
+  out += "  \"findings\": [";
+  bool first = true;
+  for (const FileScan& s : scans) {
+    for (const Finding& f : s.findings) {
+      if (!first) out += ",";
+      first = false;
+      out += "\n    {\"rule\": \"" + json_escape(f.rule) + "\", ";
+      out += "\"file\": \"" + json_escape(f.file) + "\", ";
+      out += "\"line\": " + std::to_string(f.line) + ", ";
+      out += "\"suppressed\": " + std::string(f.suppressed ? "true" : "false");
+      if (!f.edge_path.empty()) {
+        out += ", \"edge_path\": [";
+        for (std::size_t k = 0; k < f.edge_path.size(); ++k) {
+          if (k) out += ", ";
+          out += "\"" + json_escape(f.edge_path[k]) + "\"";
+        }
+        out += "]";
+      }
+      out += ", \"message\": \"" + json_escape(f.message) + "\"}";
+    }
+  }
+  out += first ? "]\n" : "\n  ]\n";
+  out += "}\n";
+  return out;
 }
 
 }  // namespace lcsf::lint

@@ -1,0 +1,310 @@
+#include "project_analyzer.hpp"
+
+#include <algorithm>
+#include <functional>
+#include <set>
+#include <sstream>
+
+namespace lcsf::lint {
+
+namespace {
+
+const char* const kLayerRule = "layering-violation";
+const char* const kCycleRule = "include-cycle";
+const char* const kOrphanRule = "orphan-header";
+
+bool starts_with(const std::string& s, const char* prefix) {
+  return s.rfind(prefix, 0) == 0;
+}
+
+bool ends_with(const std::string& s, const char* suffix) {
+  const std::string suf(suffix);
+  return s.size() >= suf.size() &&
+         s.compare(s.size() - suf.size(), suf.size(), suf) == 0;
+}
+
+std::string dirname_of(const std::string& path) {
+  const std::size_t slash = path.rfind('/');
+  return slash == std::string::npos ? std::string() : path.substr(0, slash);
+}
+
+/// Resolved include edge between two scanned files.
+struct Edge {
+  std::size_t from = 0;  ///< index into scans
+  std::size_t to = 0;
+  std::size_t line = 0;  ///< line of the #include in `from`
+};
+
+/// Resolve one include target against the scanned set, mirroring the
+/// build's include directories: the src/ root, the includer's own
+/// directory, the repo root -- then a unique-suffix fallback for
+/// targets reached through per-target include paths (tests include
+/// "lint_engine.hpp" via the lcsf_lint_engine PUBLIC include dir).
+/// Returns scans.size() when the target is not a scanned file (system
+/// and third-party headers).
+std::size_t resolve_include(const std::map<std::string, std::size_t>& index,
+                            const std::vector<FileScan>& scans,
+                            const std::string& includer,
+                            const std::string& target) {
+  const std::string dir = dirname_of(includer);
+  const std::string candidates[] = {
+      "src/" + target,
+      dir.empty() ? target : dir + "/" + target,
+      target,
+  };
+  for (const std::string& c : candidates) {
+    const auto it = index.find(c);
+    if (it != index.end()) return it->second;
+  }
+  // Unique-suffix fallback, deterministic by construction: the index is
+  // an ordered map, so the first match is the lexicographically
+  // smallest path.
+  const std::string suffix = "/" + target;
+  for (const auto& [path, idx] : index) {
+    if (ends_with(path, suffix.c_str())) return idx;
+  }
+  return scans.size();
+}
+
+std::string join_path(const std::vector<std::string>& parts) {
+  std::string out;
+  for (const std::string& p : parts) {
+    if (!out.empty()) out += " -> ";
+    out += p;
+  }
+  return out;
+}
+
+/// Iterative DFS cycle finder over an adjacency list. Calls `emit` with
+/// each distinct elementary cycle found via a back edge (node indices,
+/// first == last). Visit order is ascending node index, so the report
+/// is deterministic.
+void find_cycles(
+    std::size_t n,
+    const std::vector<std::vector<std::size_t>>& adj,
+    const std::function<void(const std::vector<std::size_t>&)>& emit) {
+  enum class Color { kWhite, kGray, kBlack };
+  std::vector<Color> color(n, Color::kWhite);
+  std::vector<std::size_t> stack;
+  std::set<std::string> seen;  // canonicalized cycles already emitted
+
+  // Recursive lambda via explicit stack of (node, next-child) frames.
+  for (std::size_t root = 0; root < n; ++root) {
+    if (color[root] != Color::kWhite) continue;
+    std::vector<std::pair<std::size_t, std::size_t>> frames{{root, 0}};
+    color[root] = Color::kGray;
+    stack.push_back(root);
+    while (!frames.empty()) {
+      auto& [node, child] = frames.back();
+      if (child < adj[node].size()) {
+        const std::size_t next = adj[node][child++];
+        if (color[next] == Color::kWhite) {
+          color[next] = Color::kGray;
+          stack.push_back(next);
+          frames.push_back({next, 0});
+        } else if (color[next] == Color::kGray) {
+          // Back edge: the cycle is the stack suffix from `next`.
+          const auto begin =
+              std::find(stack.begin(), stack.end(), next);
+          std::vector<std::size_t> cycle(begin, stack.end());
+          cycle.push_back(next);
+          // Canonical key: rotate so the smallest node leads, so the
+          // same cycle entered elsewhere is not re-reported.
+          std::vector<std::size_t> body(cycle.begin(), cycle.end() - 1);
+          const auto min_it = std::min_element(body.begin(), body.end());
+          std::rotate(body.begin(), min_it, body.end());
+          std::string key;
+          for (const std::size_t v : body) key += std::to_string(v) + ",";
+          if (seen.insert(key).second) emit(cycle);
+        }
+      } else {
+        color[node] = Color::kBlack;
+        stack.pop_back();
+        frames.pop_back();
+      }
+    }
+  }
+}
+
+}  // namespace
+
+LayerManifest parse_layers(const std::string& text) {
+  LayerManifest m;
+  int layer = 0;
+  std::istringstream lines(text);
+  std::string line;
+  while (std::getline(lines, line)) {
+    const std::size_t hash = line.find('#');
+    if (hash != std::string::npos) line.resize(hash);
+    std::istringstream words(line);
+    std::string word;
+    bool any = false;
+    while (words >> word) {
+      any = true;
+      if (!m.layer.emplace(word, layer).second) {
+        m.error = "module '" + word + "' listed twice in the manifest";
+        return m;
+      }
+    }
+    if (any) ++layer;
+  }
+  if (m.layer.empty()) m.error = "manifest declares no layers";
+  return m;
+}
+
+std::string module_of(const std::string& path) {
+  if (starts_with(path, "src/")) {
+    const std::size_t slash = path.find('/', 4);
+    return slash == std::string::npos ? "src" : path.substr(4, slash - 4);
+  }
+  const std::size_t slash = path.find('/');
+  return slash == std::string::npos ? path : path.substr(0, slash);
+}
+
+void analyze_project(std::vector<FileScan>& scans,
+                     const LayerManifest& manifest) {
+  std::map<std::string, std::size_t> index;
+  for (std::size_t i = 0; i < scans.size(); ++i) index[scans[i].path] = i;
+
+  // ------------------------------------------------------------------
+  // Resolve the include edges once; every rule below walks this list.
+  // ------------------------------------------------------------------
+  std::vector<Edge> edges;
+  std::vector<char> included(scans.size(), 0);
+  for (std::size_t i = 0; i < scans.size(); ++i) {
+    for (const Include& inc : scans[i].includes) {
+      const std::size_t to =
+          resolve_include(index, scans, scans[i].path, inc.target);
+      if (to >= scans.size() || to == i) continue;
+      edges.push_back({i, to, inc.line});
+      included[to] = 1;
+    }
+  }
+
+  // ------------------------------------------------------------------
+  // layering-violation: every edge must point sideways or down.
+  // ------------------------------------------------------------------
+  std::set<std::string> unknown_reported;
+  auto report_unknown_module = [&](const std::string& mod, const Edge& e) {
+    if (!unknown_reported.insert(mod).second) return;
+    attach_finding(scans[e.from],
+                   {kLayerRule, e.line,
+                    "module '" + mod +
+                        "' is not in the layering manifest "
+                        "(tools/lint/layers.txt); add it to a layer",
+                    scans[e.from].path,
+                    {scans[e.from].path, scans[e.to].path},
+                    false});
+  };
+  for (const Edge& e : edges) {
+    const std::string from_mod = module_of(scans[e.from].path);
+    const std::string to_mod = module_of(scans[e.to].path);
+    const auto from_it = manifest.layer.find(from_mod);
+    const auto to_it = manifest.layer.find(to_mod);
+    if (from_it == manifest.layer.end()) report_unknown_module(from_mod, e);
+    if (to_it == manifest.layer.end()) report_unknown_module(to_mod, e);
+    if (from_it == manifest.layer.end() || to_it == manifest.layer.end()) {
+      continue;
+    }
+    if (to_it->second > from_it->second) {
+      attach_finding(
+          scans[e.from],
+          {kLayerRule, e.line,
+           "layering violation: module '" + from_mod + "' (layer " +
+               std::to_string(from_it->second) + ") includes module '" +
+               to_mod + "' (layer " + std::to_string(to_it->second) +
+               "): " + scans[e.from].path + " -> " + scans[e.to].path +
+               "; dependencies must point down the manifest "
+               "(tools/lint/layers.txt)",
+           scans[e.from].path,
+           {scans[e.from].path, scans[e.to].path},
+           false});
+    }
+  }
+
+  // ------------------------------------------------------------------
+  // include-cycle, file level.
+  // ------------------------------------------------------------------
+  std::vector<std::vector<std::size_t>> adj(scans.size());
+  std::map<std::pair<std::size_t, std::size_t>, std::size_t> edge_line;
+  for (const Edge& e : edges) {
+    adj[e.from].push_back(e.to);
+    edge_line.emplace(std::make_pair(e.from, e.to), e.line);
+  }
+  for (auto& a : adj) std::sort(a.begin(), a.end());
+  find_cycles(scans.size(), adj, [&](const std::vector<std::size_t>& cycle) {
+    std::vector<std::string> path;
+    for (const std::size_t v : cycle) path.push_back(scans[v].path);
+    const std::size_t from = cycle[cycle.size() - 2];
+    const std::size_t to = cycle.back();
+    attach_finding(scans[from],
+                   {kCycleRule, edge_line[{from, to}],
+                    "include cycle: " + join_path(path) +
+                        "; break the cycle by splitting the shared "
+                        "declarations into a lower header",
+                    scans[from].path, path, false});
+  });
+
+  // ------------------------------------------------------------------
+  // include-cycle, module level (collapsed graph, self-edges dropped).
+  // Same-layer modules may include each other pairwise-acyclically;
+  // this catches the mutual case the layering rule cannot.
+  // ------------------------------------------------------------------
+  std::vector<std::string> modules;
+  std::map<std::string, std::size_t> module_index;
+  for (const FileScan& s : scans) {
+    const std::string mod = module_of(s.path);
+    if (module_index.emplace(mod, modules.size()).second) {
+      modules.push_back(mod);
+    }
+  }
+  std::vector<std::set<std::size_t>> module_adj_set(modules.size());
+  // Representative file edge for each module edge, for the report.
+  std::map<std::pair<std::size_t, std::size_t>, Edge> module_edge_rep;
+  for (const Edge& e : edges) {
+    const std::size_t a = module_index[module_of(scans[e.from].path)];
+    const std::size_t b = module_index[module_of(scans[e.to].path)];
+    if (a == b) continue;
+    if (module_adj_set[a].insert(b).second) {
+      module_edge_rep.emplace(std::make_pair(a, b), e);
+    }
+  }
+  std::vector<std::vector<std::size_t>> module_adj(modules.size());
+  for (std::size_t i = 0; i < modules.size(); ++i) {
+    module_adj[i].assign(module_adj_set[i].begin(), module_adj_set[i].end());
+  }
+  find_cycles(modules.size(), module_adj,
+              [&](const std::vector<std::size_t>& cycle) {
+                std::vector<std::string> path;
+                for (const std::size_t v : cycle) path.push_back(modules[v]);
+                const Edge& rep = module_edge_rep[{cycle[cycle.size() - 2],
+                                                   cycle.back()}];
+                attach_finding(
+                    scans[rep.from],
+                    {kCycleRule, rep.line,
+                     "module-level include cycle: " + join_path(path) +
+                         " (witness edge " + scans[rep.from].path + " -> " +
+                         scans[rep.to].path +
+                         "); modules must form a DAG even within one layer",
+                     scans[rep.from].path, path, false});
+              });
+
+  // ------------------------------------------------------------------
+  // orphan-header: src/ and tools/ headers nothing includes.
+  // ------------------------------------------------------------------
+  for (std::size_t i = 0; i < scans.size(); ++i) {
+    const std::string& path = scans[i].path;
+    if (!ends_with(path, ".hpp")) continue;
+    if (!starts_with(path, "src/") && !starts_with(path, "tools/")) continue;
+    if (included[i]) continue;
+    attach_finding(scans[i],
+                   {kOrphanRule, 1,
+                    "orphan header: no scanned file includes '" + path +
+                        "'; delete it or wire it into the build",
+                    path,
+                    {},
+                    false});
+  }
+}
+
+}  // namespace lcsf::lint

@@ -1,0 +1,52 @@
+// Pass 2 of lcsf_lint: project-wide include-graph analysis.
+//
+// Pass 1 (lint_engine.hpp) sees one file at a time; this pass sees the
+// whole scanned tree. It resolves every quoted `#include` to a scanned
+// file, collapses files to modules (src/<dir>, tools, bench, tests),
+// and enforces:
+//   * layering-violation -- the explicit layering manifest
+//     tools/lint/layers.txt assigns each module a layer; an include
+//     edge may only point into the same or a lower layer. This is what
+//     keeps `stats` reusable without dragging the analyzers in, and the
+//     engine modules ignorant of the drivers above them.
+//   * include-cycle -- the file-level include graph and the collapsed
+//     module graph must both be acyclic; the finding carries the whole
+//     offending cycle as an edge path.
+//   * orphan-header -- a src/ or tools/ header no scanned file includes
+//     is dead surface area (or a build-system wiring bug).
+//
+// Findings are attached to the owning FileScan through
+// attach_finding(), so the file-scope suppression mechanism applies to
+// these rules exactly as it does to the per-file ones.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "lint_engine.hpp"
+
+namespace lcsf::lint {
+
+/// Parsed layering manifest: module -> layer index (0 = foundation).
+/// Manifest syntax: one layer per line, lowest first, modules separated
+/// by spaces; '#' starts a comment. Modules sharing a line share a
+/// layer and may include each other (the cycle rules still apply).
+struct LayerManifest {
+  std::map<std::string, int> layer;
+  std::string error;  ///< non-empty when the manifest failed to parse
+};
+LayerManifest parse_layers(const std::string& text);
+
+/// The module a repo-relative path belongs to: "src/mor/pact.hpp" ->
+/// "mor", "tools/lint/lint_engine.cpp" -> "tools", "bench/x.cpp" ->
+/// "bench", "tests/x.cpp" -> "tests".
+std::string module_of(const std::string& path);
+
+/// Run the cross-file passes over all scans, appending findings to the
+/// owning scans. Scans must come from pass 1 (scan_file) and must not
+/// yet be finalized -- this pass consumes suppressions too.
+void analyze_project(std::vector<FileScan>& scans,
+                     const LayerManifest& manifest);
+
+}  // namespace lcsf::lint

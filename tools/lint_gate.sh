@@ -1,0 +1,18 @@
+#!/usr/bin/env bash
+# Machine-readable lint gate: emit the lcsf-lint-v2 findings document,
+# schema-validate it, and diff it against the checked-in baseline
+# (new-finding + suppression-budget gates). Registered as the
+# `lcsf_lint_json` ctest (label: lint) and run by tools/lint.sh / ci.sh.
+#
+# Usage: tools/lint_gate.sh <lcsf_lint-binary> [repo-root]
+set -eu
+BIN="$1"
+ROOT="${2:-.}"
+cd "$ROOT"
+
+OUT="$(mktemp)"
+trap 'rm -f "$OUT"' EXIT
+"$BIN" --root . --json > "$OUT"
+python3 tools/lint_compare.py "$OUT" \
+  --schema tools/lint_schema.json \
+  --baseline tools/lint_baseline.json
