@@ -13,11 +13,16 @@
 //   pooled   : the workspace-pooled engine (the Monte-Carlo lane path:
 //              evaluate_into + workspace extraction + TetaWorkspace),
 //              which is allocation-free after warm-up.
+//   batched  : the lockstep SoA engine (core::measure_stage_batch): blocks
+//              of K samples march through the TETA timestep loop together,
+//              every per-step kernel vectorizing across samples
+//              (docs/performance.md).
 //
-// Both legs perform the same floating-point operation sequence, so the
-// results must be bitwise identical (the PR 1 invariant); the bench fails
-// if they are not. It emits a machine-readable BENCH_hotpath.json consumed
-// by tools/bench_compare.py and the ci.sh bench stage.
+// All legs perform the same per-sample floating-point operation sequence,
+// so the results must be bitwise identical (the PR 1 invariant, extended
+// to the batched path); the bench fails if they are not. It emits a
+// machine-readable BENCH_hotpath.json consumed by tools/bench_compare.py
+// and the ci.sh bench stage.
 //
 // Usage: bench_hotpath [output.json]   (default BENCH_hotpath.json)
 #include <algorithm>
@@ -526,29 +531,38 @@ int main(int argc, char** argv) {
   const bool quick = bench::quick_mode();
   const std::size_t nsamples = quick ? 8 : 64;
 
-  bench::print_header("Hot-path per-sample throughput (pre-PR vs pooled)");
+  bench::print_header(
+      "Hot-path per-sample throughput (pre-PR vs pooled vs batched)");
 
   const circuit::Technology tech = circuit::technology_180nm();
   const timing::CellTemplate& cell = timing::find_cell("INV");
   const std::size_t segments = 4;  // PathSpec linear_elements_per_stage=10
-  const mor::VariationalRom rom = characterize_stage_load(
-      cell, tech, segments, receiver_pin_cap(cell, tech));
+  const double rcap = receiver_pin_cap(cell, tech);
+  const mor::VariationalRom rom =
+      characterize_stage_load(cell, tech, segments, rcap);
   const circuit::SourceWaveform input =
       circuit::SourceWaveform::ramp(0.0, tech.vdd, 0.2e-9, 0.1e-9);
 
   teta::TetaOptions opt;
-  opt.dt = 0.5e-12;    // fine-resolution waveform propagation
-  opt.tstop = 2.0e-9;  // the PathSpec default stage window
+  opt.dt = 0.5e-12;  // fine-resolution waveform propagation
+  // Quick mode scales the transient length along with the sample count,
+  // so a quick run is genuinely cheap; the transition (input ramp at
+  // 0.2 ns) still completes well inside the shorter window.
+  opt.tstop = quick ? 1.0e-9 : 2.0e-9;
   opt.vdd = tech.vdd;
   const auto nsteps =
       static_cast<std::size_t>(std::ceil(opt.tstop / opt.dt - 1e-9));
 
-  // The deterministic variate set both pipelines consume (counter-based
+  // The deterministic variate set all pipelines consume (counter-based
   // streams, exactly like stats::monte_carlo): per-sample device dl/vt
   // plus global wire W/H, each at sigma = 1/3 in 3-sigma units, mapped to
-  // physical units with the sample_from_sources rules.
+  // physical units with the sample_from_sources rules. The wire draw is
+  // physical (what a PathSample carries); the normalized ROM coordinates
+  // are derived from it with the simulate_stage_model rule, so the scalar
+  // and batched legs consume bitwise-identical ROM inputs.
   struct Draw {
     timing::DeviceVariation dev;
+    interconnect::WireVariation wire;  // physical global wire variation
     Vector w;  // normalized wire (W, H) for the ROM library
   };
   std::vector<Draw> samples;
@@ -561,7 +575,14 @@ int main(int argc, char** argv) {
     Draw d;
     d.dev.delta_l = normal() * tech.sigma3_dl_frac * tech.lmin;
     d.dev.delta_vt = normal() * tech.sigma3_vt_frac * tech.nmos.vt0;
-    d.w = Vector{normal(), normal()};
+    d.wire.width = normal() * tech.wire_tol.width;
+    d.wire.ild_thickness = normal() * tech.wire_tol.ild_thickness;
+    d.w = Vector{tech.wire_tol.width > 0.0
+                     ? d.wire.width / tech.wire_tol.width
+                     : 0.0,
+                 tech.wire_tol.ild_thickness > 0.0
+                     ? d.wire.ild_thickness / tech.wire_tol.ild_thickness
+                     : 0.0};
     samples.push_back(std::move(d));
   }
 
@@ -602,18 +623,69 @@ int main(int argc, char** argv) {
   }
   const double t_pooled = sw_pooled.seconds();
 
+  // Batched: the lockstep SoA pipeline, exactly as the batch-dispatched
+  // Monte-Carlo drivers call it (core::measure_stage_batch over K-sample
+  // blocks, one BatchWorkspace reused across blocks).
+  const std::size_t kbatch = 8;
+  core::StageModel smodel;
+  smodel.cell = &cell;
+  smodel.load = rom;
+  smodel.receiver_cap = rcap;
+  core::StageSimOptions sopt;
+  sopt.dt = opt.dt;
+  sopt.stage_window = opt.tstop;
+  core::BatchWorkspace bws;
+  std::vector<const circuit::SourceWaveform*> binputs;
+  std::vector<double> bshifts;
+  std::vector<const timing::DeviceVariation*> bdevs;
+  std::vector<const interconnect::WireVariation*> bwires;
+  std::vector<core::StageMeasurement> meas;
+  std::vector<double> batched_d(nsamples);
+  auto run_batched_block = [&](std::size_t s0, std::size_t cnt) {
+    binputs.assign(cnt, &input);
+    bshifts.assign(cnt, 0.0);
+    bdevs.clear();
+    bwires.clear();
+    for (std::size_t b = 0; b < cnt; ++b) {
+      bdevs.push_back(&samples[s0 + b].dev);
+      bwires.push_back(&samples[s0 + b].wire);
+    }
+    core::measure_stage_batch(smodel, tech, sopt, 0, binputs, bshifts,
+                              bdevs, bwires, /*out_rising=*/false, nullptr,
+                              meas, bws);
+    for (std::size_t b = 0; b < cnt; ++b) {
+      if (meas[b].failed) {
+        throw std::runtime_error("bench_hotpath batched: " +
+                                 meas[b].diag.message());
+      }
+      batched_d[s0 + b] = meas[b].params.m;
+    }
+  };
+  run_batched_block(0, std::min(kbatch, nsamples));  // warm-up fills SoA
+  bench::Stopwatch sw_batched;
+  for (std::size_t s0 = 0; s0 < nsamples; s0 += kbatch) {
+    run_batched_block(s0, std::min(kbatch, nsamples - s0));
+  }
+  const double t_batched = sw_batched.seconds();
+
   bool identical = true;
   for (std::size_t s = 0; s < nsamples; ++s) {
-    if (numeric::exact_eq(base_d[s], pooled_d[s])) continue;
+    if (numeric::exact_eq(base_d[s], pooled_d[s]) &&
+        numeric::exact_eq(base_d[s], batched_d[s])) {
+      continue;
+    }
     identical = false;
-    std::printf("MISMATCH sample %zu: baseline %.17g pooled %.17g\n", s,
-                base_d[s], pooled_d[s]);
+    std::printf("MISMATCH sample %zu: baseline %.17g pooled %.17g "
+                "batched %.17g\n",
+                s, base_d[s], pooled_d[s], batched_d[s]);
   }
 
   const double n = static_cast<double>(nsamples);
   const double rate_base = n / t_base;
   const double rate_pooled = n / t_pooled;
+  const double rate_batched = n / t_batched;
   const double speedup = rate_pooled / rate_base;
+  const double batched_speedup = rate_batched / rate_pooled;
 
   std::printf("samples            : %zu (%s), %zu transient steps each\n",
               nsamples, quick ? "quick" : "full", nsteps);
@@ -621,7 +693,11 @@ int main(int argc, char** argv) {
               1e3 * t_base / n, rate_base);
   std::printf("pooled workspace   : %8.3f ms/sample  (%7.2f samples/s)\n",
               1e3 * t_pooled / n, rate_pooled);
-  std::printf("speedup            : %.2fx\n", speedup);
+  std::printf("batched SoA (K=%zu) : %8.3f ms/sample  (%7.2f samples/s)\n",
+              kbatch, 1e3 * t_batched / n, rate_batched);
+  std::printf("speedup            : %.2fx (pooled vs baseline)\n", speedup);
+  std::printf("batched speedup    : %.2fx (batched vs pooled)\n",
+              batched_speedup);
   std::printf("bitwise identical  : %s\n", identical ? "yes" : "NO");
 
   std::FILE* f = std::fopen(out_path.c_str(), "w");
@@ -638,20 +714,25 @@ int main(int argc, char** argv) {
                "    \"wire_segments\": %zu,\n"
                "    \"samples\": %zu,\n"
                "    \"dt\": %g,\n"
-               "    \"transient_steps\": %zu\n"
+               "    \"transient_steps\": %zu,\n"
+               "    \"batch\": %zu\n"
                "  },\n"
                "  \"metrics\": {\n"
                "    \"baseline_ms_per_sample\": %.6f,\n"
                "    \"baseline_samples_per_sec\": %.6f,\n"
                "    \"pooled_ms_per_sample\": %.6f,\n"
                "    \"pooled_samples_per_sec\": %.6f,\n"
-               "    \"speedup\": %.6f\n"
+               "    \"speedup\": %.6f,\n"
+               "    \"batched_ms_per_sample\": %.6f,\n"
+               "    \"batched_samples_per_sec\": %.6f,\n"
+               "    \"batched_speedup_vs_pooled\": %.6f\n"
                "  },\n"
                "  \"bitwise_identical\": %s\n"
                "}\n",
                quick ? "true" : "false", segments, nsamples, opt.dt, nsteps,
-               1e3 * t_base / n, rate_base, 1e3 * t_pooled / n, rate_pooled,
-               speedup, identical ? "true" : "false");
+               kbatch, 1e3 * t_base / n, rate_base, 1e3 * t_pooled / n,
+               rate_pooled, speedup, 1e3 * t_batched / n, rate_batched,
+               batched_speedup, identical ? "true" : "false");
   std::fclose(f);
   std::printf("wrote %s\n", out_path.c_str());
   return identical ? 0 : 1;

@@ -159,6 +159,77 @@ PathDelayResult PathAnalyzer::run_chain(
   return res;
 }
 
+void PathAnalyzer::run_chain_batch(const std::vector<PathSample>& samples,
+                                   BatchWorkspace& bws,
+                                   std::vector<stats::BatchSlot>& out) const {
+  const std::size_t nl = samples.size();
+  const double vdd = spec_.tech.vdd;
+  // Per-lane propagation state (what run_chain keeps in locals).
+  std::vector<SourceWaveform> wave(nl, spec_.input.to_source(vdd));
+  std::vector<double> m_current(nl, spec_.input.m);
+  std::vector<RampParams> out_params(nl);
+  std::vector<unsigned char> alive(nl, 1);
+  // Staging for the per-stage block dispatch.
+  std::vector<std::size_t> idx;
+  std::vector<SourceWaveform> local;
+  std::vector<const SourceWaveform*> inputs;
+  std::vector<double> shifts;
+  std::vector<const timing::DeviceVariation*> devs;
+  std::vector<const interconnect::WireVariation*> wires;
+  std::vector<Samples> souts;
+  std::vector<StageMeasurement> meas;
+
+  bool rising = spec_.input.rising;
+  for (std::size_t k = 0; k < stages_.size(); ++k) {
+    const bool out_rising = rising != stages_[k].model.cell->inverting;
+    idx.clear();
+    local.clear();
+    shifts.clear();
+    for (std::size_t l = 0; l < nl; ++l) {
+      if (alive[l] == 0) continue;
+      // Localize time so the transition sits at ~1/4 of the stage window
+      // (same shift rule as run_chain).
+      const double shift =
+          std::max(0.0, m_current[l] - 0.25 * spec_.stage_window);
+      local.push_back(shift > 0.0 ? SourceWaveform::pwl(shifted_samples(
+                                        wave[l].points(), -shift))
+                                  : wave[l]);
+      idx.push_back(l);
+      shifts.push_back(shift);
+    }
+    if (idx.empty()) break;
+    inputs.clear();
+    devs.clear();
+    wires.clear();
+    for (std::size_t s = 0; s < idx.size(); ++s) {
+      inputs.push_back(&local[s]);
+      devs.push_back(&samples[idx[s]].device[k]);
+      wires.push_back(&samples[idx[s]].wire);
+    }
+    measure_stage_batch(stages_[k].model, spec_.tech, sim_options(), k,
+                        inputs, shifts, devs, wires, out_rising, &souts,
+                        meas, bws);
+    for (std::size_t s = 0; s < idx.size(); ++s) {
+      const std::size_t l = idx[s];
+      if (meas[s].failed) {
+        alive[l] = 0;
+        out[l].failed = true;
+        out[l].diag = meas[s].diag;
+        continue;
+      }
+      // Propagate the fine-resolution PWL (adaptively compressed).
+      wave[l] = SourceWaveform::pwl(teta::compress_pwl(souts[s], 1e-4 * vdd));
+      m_current[l] = meas[s].params.m;
+      out_params[l] = meas[s].params;
+    }
+    rising = out_rising;
+  }
+  for (std::size_t l = 0; l < nl; ++l) {
+    if (alive[l] == 0) continue;
+    out[l].value = out_params[l].m - spec_.input.m;
+  }
+}
+
 PathDelayResult PathAnalyzer::spice_delay(const PathSample& sample) const {
   if (sample.device.size() != stages_.size()) {
     throw std::invalid_argument("spice_delay: sample size mismatch");
@@ -292,7 +363,18 @@ stats::MonteCarloResult PathAnalyzer::monte_carlo(
     return framework_delay(sample_from_sources(model, w), pool.lane(lane))
         .delay;
   };
-  return stats::Runner(opt).run_monte_carlo(f, sources(model));
+  LaneBatchWorkspaces bpool(opt.exec.threads);
+  stats::BatchPerformanceFn fb =
+      [this, &model, &bpool](const std::vector<Vector>& w, std::size_t lane,
+                             std::vector<stats::BatchSlot>& out) {
+        std::vector<PathSample> block;
+        block.reserve(w.size());
+        for (const Vector& wi : w) {
+          block.push_back(sample_from_sources(model, wi));
+        }
+        run_chain_batch(block, bpool.lane(lane), out);
+      };
+  return stats::Runner(opt).run_monte_carlo(f, fb, sources(model));
 }
 
 stats::IsYieldEstimate PathAnalyzer::yield_importance(
@@ -354,8 +436,20 @@ PathAnalyzer::CorrelatedMcResult PathAnalyzer::monte_carlo_correlated(
     return framework_delay(sample_from_sources(model, w), pool.lane(lane))
         .delay;
   };
+  LaneBatchWorkspaces bpool(opt.exec.threads);
+  stats::BatchPerformanceFn fb =
+      [this, &model, &pca, &bpool](const std::vector<Vector>& z,
+                                   std::size_t lane,
+                                   std::vector<stats::BatchSlot>& out) {
+        std::vector<PathSample> block;
+        block.reserve(z.size());
+        for (const Vector& zi : z) {
+          block.push_back(sample_from_sources(model, pca.from_factors(zi)));
+        }
+        run_chain_batch(block, bpool.lane(lane), out);
+      };
   CorrelatedMcResult res;
-  res.mc = stats::Runner(opt).run_monte_carlo(f, factor_src);
+  res.mc = stats::Runner(opt).run_monte_carlo(f, fb, factor_src);
   res.total_sources = nsrc;
   res.factors_used = nfactors;
   return res;

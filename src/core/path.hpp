@@ -213,6 +213,18 @@ class PathAnalyzer {
                             std::vector<timing::RampParams>* stage_inputs,
                             SampleWorkspace* ws = nullptr) const;
 
+  /// Lockstep block sibling of run_chain, backing the batched Monte-Carlo
+  /// dispatch: marches all samples down the path one stage at a time
+  /// through measure_stage_batch, propagating per-lane waveform / arrival
+  /// state. A lane whose stage fails is recorded in `out` with the
+  /// classified diagnostics (exactly what run_chain would have thrown) and
+  /// dropped from the remaining stages; survivors' delays are bitwise
+  /// identical to scalar run_chain. `out` must be pre-sized to
+  /// samples.size() (the stats driver's BatchSlot contract).
+  void run_chain_batch(const std::vector<PathSample>& samples,
+                       BatchWorkspace& bws,
+                       std::vector<stats::BatchSlot>& out) const;
+
   /// Engine knobs forwarded to the shared stage simulation helpers.
   StageSimOptions sim_options() const;
 

@@ -191,6 +191,133 @@ Samples shifted_samples(const Samples& w, double dt0) {
   return out;
 }
 
+SampleWorkspace& BatchWorkspace::lane(std::size_t k) {
+  while (lanes.size() <= k) {
+    lanes.push_back(std::make_unique<SampleWorkspace>());
+  }
+  return *lanes[k];
+}
+
+void measure_stage_batch(const StageModel& st,
+                         const circuit::Technology& tech,
+                         const StageSimOptions& opt, std::size_t label,
+                         const std::vector<const SourceWaveform*>& inputs,
+                         const std::vector<double>& shifts,
+                         const std::vector<const timing::DeviceVariation*>& devs,
+                         const std::vector<const interconnect::WireVariation*>& wires,
+                         bool out_rising, std::vector<Samples>* out_samples,
+                         std::vector<StageMeasurement>& out,
+                         BatchWorkspace& bws) {
+  const std::size_t nl = inputs.size();
+  out.assign(nl, StageMeasurement{});
+  if (out_samples != nullptr) out_samples->resize(nl);
+  bws.fallback.assign(nl, 0);
+
+  // Normalized wire samples, then one streamed ROM evaluation for the
+  // whole block (per-lane bitwise identical to evaluate_into).
+  bws.w.resize(nl);
+  bws.wptr.clear();
+  bws.romptr.clear();
+  for (std::size_t l = 0; l < nl; ++l) {
+    bws.w[l] = Vector{tech.wire_tol.width > 0.0
+                          ? wires[l]->width / tech.wire_tol.width
+                          : 0.0,
+                      tech.wire_tol.ild_thickness > 0.0
+                          ? wires[l]->ild_thickness /
+                                tech.wire_tol.ild_thickness
+                          : 0.0};
+    bws.wptr.push_back(&bws.w[l]);
+    bws.romptr.push_back(&bws.lane(l).rom);
+  }
+  st.load.evaluate_into_batch(bws.wptr, bws.romptr);
+
+  // Pole/residue extraction stays per-lane (dense eigensolves do not gain
+  // from lockstep); a lane whose load fails to extract falls back -- the
+  // scalar rerun repeats the failure with the ladder's diagnostics.
+  bws.z.resize(nl);
+  for (std::size_t l = 0; l < nl; ++l) {
+    SampleWorkspace& ws = bws.lane(l);
+    try {
+      bws.z[l] =
+          mor::stabilize(mor::extract_pole_residue(ws.rom, ws.poleres),
+                         nullptr, mor::StabilizePolicy::kDirectCompensation);
+    } catch (const std::runtime_error&) {
+      bws.fallback[l] = 1;
+    }
+  }
+
+  // Per-lane stage circuits, built exactly as simulate_stage_model does.
+  bws.stages.clear();
+  bws.stages.resize(nl);
+  for (std::size_t l = 0; l < nl; ++l) {
+    if (bws.fallback[l] != 0) continue;
+    teta::StageCircuit& stage = bws.stages[l];
+    const std::size_t sout = stage.add_port();
+    (void)stage.add_port();  // far port (receiver side), observed
+    const std::size_t in = stage.add_input(*inputs[l]);
+    const std::size_t vdd = stage.add_rail(tech.vdd);
+    const std::size_t gnd = stage.add_rail(0.0);
+    timing::instantiate_cell(*st.cell, tech, stage, sout, in, vdd, gnd,
+                             *devs[l]);
+    stage.freeze_device_capacitances();
+  }
+
+  // Lockstep leg at window scale 1.0 (the retry ladder's first rung).
+  teta::TetaOptions topt;
+  topt.dt = opt.dt;
+  topt.tstop = opt.stage_window;
+  topt.vdd = tech.vdd;
+  topt.recovery = opt.recovery;
+  bws.teta_lanes.clear();
+  bws.slot.clear();
+  for (std::size_t l = 0; l < nl; ++l) {
+    if (bws.fallback[l] != 0) continue;
+    SampleWorkspace& ws = bws.lane(l);
+    bws.teta_lanes.push_back(
+        {&bws.stages[l], &bws.z[l], &ws.teta, &ws.teta_result});
+    bws.slot.push_back(l);
+  }
+  if (!bws.teta_lanes.empty()) {
+    teta::simulate_stage_batch(bws.teta_lanes, topt, bws.teta);
+  }
+  for (std::size_t s = 0; s < bws.slot.size(); ++s) {
+    const std::size_t l = bws.slot[s];
+    const teta::TetaResult& res = bws.lane(l).teta_result;
+    if (!res.converged) {
+      bws.fallback[l] = 1;
+      continue;
+    }
+    try {
+      Samples so = res.waveform(1);  // far port
+      RampParams p = timing::measure_ramp(so, tech.vdd, out_rising);
+      p.m += shifts[l];
+      out[l].params = p;
+      if (out_samples != nullptr) {
+        (*out_samples)[l] = shifted_samples(so, shifts[l]);
+      }
+    } catch (const std::runtime_error&) {
+      // Transition incomplete at scale 1.0: the ladder widens the window.
+      bws.fallback[l] = 1;
+    }
+  }
+
+  // Fallback lanes rerun the full scalar retry ladder, whose first rung
+  // repeats the failed lockstep attempt bitwise and then widens the
+  // window -- so per-lane values and diagnostics match a scalar call.
+  for (std::size_t l = 0; l < nl; ++l) {
+    if (bws.fallback[l] == 0) continue;
+    Samples* osp = out_samples != nullptr ? &(*out_samples)[l] : nullptr;
+    try {
+      out[l].params = measure_stage_with_retry(
+          st, tech, opt, label, *inputs[l], shifts[l], *devs[l], *wires[l],
+          out_rising, osp, &bws.lane(l));
+    } catch (const sim::SimulationError& e) {
+      out[l].failed = true;
+      out[l].diag = e.diagnostics();
+    }
+  }
+}
+
 LaneWorkspaces::LaneWorkspaces(std::size_t threads)
     : lanes_(std::max<std::size_t>(
           1, threads == 0 ? runtime::ThreadPool::default_threads() : threads)) {}
@@ -198,6 +325,17 @@ LaneWorkspaces::LaneWorkspaces(std::size_t threads)
 SampleWorkspace& LaneWorkspaces::lane(std::size_t k) {
   if (!lanes_[k]) {
     lanes_[k] = std::make_unique<SampleWorkspace>();
+  }
+  return *lanes_[k];
+}
+
+LaneBatchWorkspaces::LaneBatchWorkspaces(std::size_t threads)
+    : lanes_(std::max<std::size_t>(
+          1, threads == 0 ? runtime::ThreadPool::default_threads() : threads)) {}
+
+BatchWorkspace& LaneBatchWorkspaces::lane(std::size_t k) {
+  if (!lanes_[k]) {
+    lanes_[k] = std::make_unique<BatchWorkspace>();
   }
   return *lanes_[k];
 }

@@ -23,6 +23,7 @@
 #include "mor/poleres.hpp"
 #include "mor/variational.hpp"
 #include "sim/diagnostics.hpp"
+#include "teta/batch.hpp"
 #include "teta/stage.hpp"
 #include "timing/cells.hpp"
 #include "timing/waveform.hpp"
@@ -123,6 +124,65 @@ timing::RampParams measure_stage_with_retry(
 /// Shift a sampled waveform in time.
 timing::Samples shifted_samples(const timing::Samples& w, double dt0);
 
+/// Per-lane outcome of measure_stage_batch. On failure `diag` carries the
+/// classified diagnostics the scalar measure_stage_with_retry would have
+/// thrown as sim::SimulationError (same kind, same message).
+struct StageMeasurement {
+  timing::RampParams params;
+  bool failed = false;
+  sim::SimDiagnostics diag;
+};
+
+/// Reusable scratch of the batched per-sample pipeline: one scalar
+/// SampleWorkspace per block slot (created on first touch, so the block
+/// width can grow), the TETA lockstep SoA buffers, and the ROM / circuit /
+/// dispatch staging used by measure_stage_batch. One BatchWorkspace per
+/// Monte-Carlo lane; see LaneBatchWorkspaces and docs/performance.md.
+struct BatchWorkspace {
+  /// Ensure slot `k` exists and return its scalar workspace.
+  SampleWorkspace& lane(std::size_t k);
+
+  std::vector<std::unique_ptr<SampleWorkspace>> lanes;
+  teta::BatchTetaWorkspace teta;
+
+  // measure_stage_batch staging (opaque engine internals).
+  std::vector<numeric::Vector> w;         ///< normalized wire sample per lane
+  std::vector<mor::PoleResidueModel> z;   ///< stabilized load per lane
+  std::vector<teta::StageCircuit> stages; ///< per-lane stage circuit
+  std::vector<unsigned char> fallback;    ///< lanes rerun under the scalar path
+  std::vector<const numeric::Vector*> wptr;
+  std::vector<mor::ReducedModel*> romptr;
+  std::vector<teta::BatchLane> teta_lanes;
+  std::vector<std::size_t> slot;          ///< lane index per TETA batch slot
+};
+
+/// Lockstep-batched sibling of measure_stage_with_retry: measure the same
+/// characterized stage at `inputs.size()` parameter samples (per-lane input
+/// waveform, arrival shift, device and wire variation; `shifts`, `devs`,
+/// `wires` must match `inputs` in size). The batch leg runs every lane at
+/// window scale 1.0 through the SoA TETA engine; any lane that cannot stay
+/// in lockstep -- ROM extraction failure, non-convergence, or an output
+/// transition that does not complete in the window -- is transparently
+/// rerun through the full scalar retry ladder, so per-lane results (values
+/// bitwise, diagnostics verbatim) match a scalar measure_stage_with_retry
+/// call. A lane that exhausts the ladder reports failed=true in `out`
+/// instead of throwing, so one diverging sample never perturbs its block
+/// neighbours (the stats::BatchPerformanceFn fail-soft contract). When
+/// `out_samples` is non-null it is resized to the lane count and each
+/// successful lane's raw output samples are stored shifted to absolute
+/// time.
+void measure_stage_batch(const StageModel& st,
+                         const circuit::Technology& tech,
+                         const StageSimOptions& opt, std::size_t label,
+                         const std::vector<const circuit::SourceWaveform*>& inputs,
+                         const std::vector<double>& shifts,
+                         const std::vector<const timing::DeviceVariation*>& devs,
+                         const std::vector<const interconnect::WireVariation*>& wires,
+                         bool out_rising,
+                         std::vector<timing::Samples>* out_samples,
+                         std::vector<StageMeasurement>& out,
+                         BatchWorkspace& bws);
+
 /// Per-lane workspace pool for the laned statistical drivers: one
 /// SampleWorkspace per thread lane, created on first touch. A lane is
 /// only ever used by one thread at a time (runtime::ThreadPool contract),
@@ -134,6 +194,17 @@ class LaneWorkspaces {
 
  private:
   std::vector<std::unique_ptr<SampleWorkspace>> lanes_;
+};
+
+/// Per-lane BatchWorkspace pool for the batch-dispatched statistical
+/// drivers (same lane-exclusivity contract as LaneWorkspaces).
+class LaneBatchWorkspaces {
+ public:
+  explicit LaneBatchWorkspaces(std::size_t threads);
+  BatchWorkspace& lane(std::size_t k);
+
+ private:
+  std::vector<std::unique_ptr<BatchWorkspace>> lanes_;
 };
 
 }  // namespace lcsf::core

@@ -1,5 +1,6 @@
 #include "mor/variational.hpp"
 
+#include <cstdint>
 #include <memory>
 #include <stdexcept>
 #include <utility>
@@ -70,6 +71,44 @@ void VariationalRom::evaluate_into(const Vector& w, ReducedModel& out) const {
     out.g.axpy(w[i], d.g);
     out.c.axpy(w[i], d.c);
     out.b.axpy(w[i], d.b);
+  }
+}
+
+void VariationalRom::evaluate_into_batch(
+    const std::vector<const Vector*>& w,
+    const std::vector<ReducedModel*>& out) const {
+  if (w.size() != out.size()) {
+    throw std::invalid_argument(
+        "VariationalRom::evaluate_into_batch: lane count mismatch");
+  }
+  for (const Vector* wb : w) {
+    if (wb->size() != sensitivity_.size()) {
+      throw std::invalid_argument("VariationalRom::evaluate: wrong w size");
+    }
+  }
+  obs::add_counter("mor.rom_evaluations",
+                   static_cast<std::uint64_t>(w.size()));
+  for (ReducedModel* m : out) {
+    m->num_ports = nominal_.num_ports;
+    m->g = nominal_.g;
+    m->c = nominal_.c;
+    m->b = nominal_.b;
+  }
+  // Direction-outer: each sensitivity block is streamed through the cache
+  // once per batch. Per lane this performs the same ascending-i axpy
+  // sequence (with the same exact-zero skips) as evaluate_into.
+  const std::size_t ng = nominal_.g.rows() * nominal_.g.cols();
+  const std::size_t nc = nominal_.c.rows() * nominal_.c.cols();
+  const std::size_t nb = nominal_.b.rows() * nominal_.b.cols();
+  for (std::size_t i = 0; i < sensitivity_.size(); ++i) {
+    const ReducedModel& d = sensitivity_[i];
+    for (std::size_t l = 0; l < w.size(); ++l) {
+      const double wi = (*w[l])[i];
+      if (numeric::exact_zero(wi)) continue;
+      numeric::axpy_batch(wi, d.g.data(), out[l]->g.data(), ng);
+      numeric::axpy_batch(wi, d.c.data(), out[l]->c.data(), nc);
+      numeric::axpy_batch(wi, d.b.data(), out[l]->b.data(), nb);
+    }
   }
 }
 

@@ -83,6 +83,14 @@ class VariationalRom {
   /// to a plain copy of the nominal model.
   void evaluate_into(const numeric::Vector& w, ReducedModel& out) const;
 
+  /// Batched evaluate_into over a block of samples, direction-outer so
+  /// each sensitivity matrix is streamed once per block instead of once
+  /// per sample. Per lane it performs the same accumulations in the same
+  /// order as evaluate_into (including the all-zero and exact-zero skip
+  /// paths), so every out[b] is bitwise identical to a scalar call.
+  void evaluate_into_batch(const std::vector<const numeric::Vector*>& w,
+                           const std::vector<ReducedModel*>& out) const;
+
  private:
   ReducedModel nominal_;
   std::vector<ReducedModel> sensitivity_;

@@ -82,6 +82,17 @@ void LuFactorization::solve_into(const Vector& b, Vector& x) const {
   }
 }
 
+void LuFactorization::solve_into_strided(const double* b, double* x,
+                                         std::size_t stride,
+                                         Vector& scratch_b,
+                                         Vector& scratch_x) const {
+  const std::size_t n = size();
+  scratch_b.resize(n);
+  for (std::size_t i = 0; i < n; ++i) scratch_b[i] = b[i * stride];
+  solve_into(scratch_b, scratch_x);
+  for (std::size_t i = 0; i < n; ++i) x[i * stride] = scratch_x[i];
+}
+
 Matrix LuFactorization::solve(const Matrix& b) const {
   if (b.rows() != size()) throw std::invalid_argument("LU solve: size");
   Matrix x(b.rows(), b.cols());

@@ -43,6 +43,12 @@ class LuFactorization {
                   Vector& col_x) const;
   /// Solve A^T x = b (needed for adjoint sensitivity computations).
   Vector solve_transposed(const Vector& b) const;
+  /// Strided-batch solve for SoA lane storage: element i of the RHS lives
+  /// at b[i*stride] and the solution is scattered to x[i*stride] (b and x
+  /// must not alias). Gathers through the caller's dense scratch vectors,
+  /// runs solve_into, and scatters back -- bitwise identical to solve().
+  void solve_into_strided(const double* b, double* x, std::size_t stride,
+                          Vector& scratch_b, Vector& scratch_x) const;
 
   /// det(A), with pivoting sign folded in.
   double determinant() const;

@@ -6,6 +6,7 @@
 #include <sstream>
 
 #include "numeric/fp_compare.hpp"
+#include "numeric/simd.hpp"
 
 namespace lcsf::numeric {
 
@@ -254,6 +255,36 @@ void mul_into(const Matrix& a, const Vector& x, Vector& y) {
     double s = 0.0;
     for (std::size_t j = 0; j < a.cols(); ++j) s += a(i, j) * x[j];
     y[i] = s;
+  }
+}
+
+void axpy_batch(double a, const double* x, double* y, std::size_t n) {
+  LCSF_SIMD_LOOP
+  for (std::size_t k = 0; k < n; ++k) y[k] += a * x[k];
+}
+
+void mul_into_batch(const Matrix* const* a, std::size_t rows,
+                    std::size_t cols, const double* x, double* y,
+                    std::size_t lanes) {
+  // Per lane this is exactly mul_into's i-outer / ascending-j accumulation;
+  // lanes are independent, so the lane-inner reorder cannot change any bit.
+  for (std::size_t i = 0; i < rows; ++i) {
+    double* yi = y + i * lanes;
+    LCSF_SIMD_LOOP
+    for (std::size_t l = 0; l < lanes; ++l) yi[l] = 0.0;
+    for (std::size_t j = 0; j < cols; ++j) {
+      const double* xj = x + j * lanes;
+      for (std::size_t l = 0; l < lanes; ++l) {
+        yi[l] += (*a[l])(i, j) * xj[l];
+      }
+    }
+  }
+}
+
+void gemm_into_batch(const Matrix* const* a, const Matrix* const* b,
+                     Matrix* const* c, std::size_t lanes) {
+  for (std::size_t l = 0; l < lanes; ++l) {
+    gemm_into(*a[l], *b[l], *c[l]);
   }
 }
 

@@ -125,6 +125,30 @@ void gemm_into(const Matrix& a, const Matrix& b, Matrix& c);
 /// to operator*(Matrix, Vector).
 void mul_into(const Matrix& a, const Vector& x, Vector& y);
 
+// ---- Strided-batch (SoA) kernels for the batched Monte-Carlo hot path.
+//
+// Lane-inner layout: element i of lane l lives at soa[i * lanes + l], so
+// the innermost loop runs over independent lanes with unit stride (see
+// numeric/simd.hpp). Each kernel performs, per lane, exactly the IEEE
+// operation sequence of its scalar counterpart, so batched results are
+// bitwise identical to running the scalar kernel per lane.
+
+/// y[k] += a * x[k] over n contiguous entries -- the Matrix::axpy /
+/// axpy(Vector) inner loop on raw SoA storage.
+void axpy_batch(double a, const double* x, double* y, std::size_t n);
+
+/// Batched mat-vec over `lanes` SoA lanes with per-lane matrices:
+/// y[i*lanes+l] = sum_j a[l](i,j) * x[j*lanes+l], accumulated in ascending
+/// j per lane (the mul_into order). All a[l] must be rows x cols.
+void mul_into_batch(const Matrix* const* a, std::size_t rows,
+                    std::size_t cols, const double* x, double* y,
+                    std::size_t lanes);
+
+/// Batched gemm: c[l] <- a[l] * b[l] for each lane, with the loop order
+/// and exact-zero skip of gemm_into (bitwise identical per lane).
+void gemm_into_batch(const Matrix* const* a, const Matrix* const* b,
+                     Matrix* const* c, std::size_t lanes);
+
 /// Congruence product X^T A X — the kernel of projection-based MOR.
 Matrix congruence(const Matrix& x, const Matrix& a);
 

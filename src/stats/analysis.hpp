@@ -35,6 +35,32 @@ using PerformanceFn = std::function<double(const numeric::Vector&)>;
 using LanedPerformanceFn =
     std::function<double(const numeric::Vector&, std::size_t)>;
 
+/// Compiled-in default width of a lockstep sample block (see
+/// ExecutionOptions::batch and docs/performance.md).
+inline constexpr std::size_t kDefaultBatch = 8;
+
+/// Per-sample outcome of one batched evaluation. On failure `diag` carries
+/// the classified diagnostics (what the scalar path would have thrown as
+/// sim::SimulationError); foreign std::runtime_error failures are
+/// classified kOther with the exception message as detail.
+struct BatchSlot {
+  double value = 0.0;
+  bool failed = false;
+  sim::SimDiagnostics diag;
+};
+
+/// Batched performance function: evaluate a block of variation-source
+/// samples in lockstep on one lane, filling one BatchSlot per input (the
+/// driver sizes `out` to match). Contract: out[b] must equal what the
+/// scalar PerformanceFn would produce for w[b] -- bitwise for values, same
+/// classified diagnostics for failures -- regardless of the surrounding
+/// block (fail-soft: one diverging sample must not perturb its
+/// neighbours). Must be safe to call concurrently from multiple threads
+/// with distinct lanes.
+using BatchPerformanceFn = std::function<void(
+    const std::vector<numeric::Vector>& w, std::size_t lane,
+    std::vector<BatchSlot>& out)>;
+
 /// Description of one independent variation source.
 struct VariationSource {
   enum class Kind { kNormal, kUniform } kind = Kind::kNormal;
@@ -96,7 +122,27 @@ struct ExecutionOptions {
   /// misuse is not a simulation outcome. See each driver for what "one
   /// evaluation" means (a sample, resp. a probe pair).
   FailurePolicy on_failure = FailurePolicy::kAbort;
+  /// Lockstep sample-block width for drivers given a BatchPerformanceFn.
+  /// 0 = resolve the default (set_default_batch() override, then the
+  /// LCSF_BATCH environment variable, then kDefaultBatch); 1 = force the
+  /// scalar path; K >= 2 dispatches floor(samples / K) full blocks plus a
+  /// scalar remainder loop. Values never change results -- sample draws
+  /// and the thread-count determinism contract are batch-width invariant.
+  std::size_t batch = 0;
 };
+
+/// Resolve the ambient batch width: the set_default_batch() override if
+/// set, else the LCSF_BATCH environment variable (parsed strictly; an
+/// invalid value throws sim::SimulationError, kInvalidInput), else
+/// kDefaultBatch. Read per call, so environment changes take effect.
+std::size_t default_batch();
+/// Process-wide batch-width override (0 clears it). Mirrors
+/// runtime::ThreadPool::set_default_threads; used by `--batch`.
+void set_default_batch(std::size_t k);
+/// Parse a batch width from command-line/environment text: a positive
+/// decimal integer. Throws sim::SimulationError (kInvalidInput) naming
+/// `what` otherwise.
+std::size_t parse_batch(const std::string& text, const char* what);
 
 struct MonteCarloOptions : ExecutionOptions {
   std::size_t samples = 100;  ///< sample count; must be >= 1

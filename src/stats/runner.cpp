@@ -160,6 +160,150 @@ MonteCarloResult Runner::run_monte_carlo(
   return res;
 }
 
+MonteCarloResult Runner::run_monte_carlo(
+    const LanedPerformanceFn& f, const BatchPerformanceFn& fb,
+    const std::vector<VariationSource>& sources) const {
+  const std::size_t k =
+      opt_.exec.batch == 0 ? default_batch() : opt_.exec.batch;
+  if (k <= 1 || !fb) return run_monte_carlo(f, sources);
+
+  obs::Registry* reg =
+      opt_.registry != nullptr ? opt_.registry : obs::ambient_registry();
+  DriverContext obs_ctx(reg);
+  obs::ScopedSpan span("stats.monte_carlo");
+  if (sources.empty()) {
+    sim::throw_invalid_input(
+        "monte_carlo: `sources` must contain at least one VariationSource");
+  }
+  if (opt_.samples == 0) {
+    sim::throw_invalid_input(
+        "monte_carlo: MonteCarloOptions::samples must be >= 1");
+  }
+  const std::size_t nw = sources.size();
+  const std::size_t n = opt_.samples;
+
+  std::vector<std::vector<std::size_t>> strata;
+  if (opt_.latin_hypercube) {
+    strata.reserve(nw);
+    for (std::size_t d = 0; d < nw; ++d) {
+      SplitMix64 perm_stream =
+          sample_stream(opt_.seed, d, stream_tag::kLhsPerm);
+      strata.push_back(stream_permutation(n, perm_stream));
+    }
+  }
+  // Sample s draws the exact variate vector of the scalar overload: the
+  // batch partition changes only which evaluator consumes it.
+  auto draw = [&](std::size_t s) {
+    SplitMix64 stream = sample_stream(opt_.seed, s);
+    Vector w(nw);
+    for (std::size_t d = 0; d < nw; ++d) {
+      const double jitter = stream.uniform_open();
+      const double uu =
+          opt_.latin_hypercube
+              ? (static_cast<double>(strata[d][s]) + jitter) /
+                    static_cast<double>(n)
+              : jitter;
+      const VariationSource& src = sources[d];
+      w[d] = (src.kind == VariationSource::Kind::kUniform)
+                 ? to_uniform(uu, src.mean - src.sigma, src.mean + src.sigma)
+                 : to_normal(uu, src.mean, src.sigma);
+    }
+    return w;
+  };
+
+  std::vector<double> values(n);
+  std::vector<Vector> samples(n);
+  std::vector<char> died(n, 0);
+  std::vector<SampleFailure> deaths(n);
+  const bool fail_soft = opt_.exec.on_failure == FailurePolicy::kSkip;
+
+  // Work units: nb full K-blocks, then the remainder samples one by one.
+  // All units share one queue (and each sample its own stream), so the
+  // thread partition can change neither values nor the failed set.
+  const std::size_t nb = n / k;
+  const std::size_t rem = n - nb * k;
+  runtime::parallel_for_lanes(
+      opt_.exec.threads, nb + rem,
+      [&](std::size_t begin, std::size_t end, std::size_t lane) {
+    obs::ScopedContext chunk_ctx(reg, lane);
+    const bool timed = obs::enabled();
+    std::vector<Vector> block;
+    std::vector<BatchSlot> slots;
+    for (std::size_t u = begin; u < end; ++u) {
+      if (u < nb) {
+        const std::size_t s0 = u * k;
+        block.resize(k);
+        for (std::size_t b = 0; b < k; ++b) block[b] = draw(s0 + b);
+        slots.assign(k, BatchSlot{});
+        const std::uint64_t t0 = timed ? obs::now_ns() : 0;
+        fb(block, lane, slots);
+        if (timed) {
+          obs::record_value(
+              "stats.mc.batch_seconds",
+              static_cast<double>(obs::now_ns() - t0) / 1e9);
+        }
+        for (std::size_t b = 0; b < k; ++b) {
+          const std::size_t s = s0 + b;
+          if (slots[b].failed) {
+            if (!fail_soft) throw sim::SimulationError(slots[b].diag);
+            died[s] = 1;
+            deaths[s] = {s, slots[b].diag.kind, slots[b].diag.message()};
+          } else {
+            values[s] = slots[b].value;
+          }
+          samples[s] = std::move(block[b]);
+        }
+      } else {
+        const std::size_t s = nb * k + (u - nb);
+        Vector w = draw(s);
+        const std::uint64_t t0 = timed ? obs::now_ns() : 0;
+        if (fail_soft) {
+          died[s] =
+              eval_fail_soft(f, w, lane, s, values[s], deaths[s]) ? 0 : 1;
+        } else {
+          values[s] = f(w, lane);
+        }
+        if (timed) {
+          obs::record_value(
+              "stats.mc.sample_seconds",
+              static_cast<double>(obs::now_ns() - t0) / 1e9);
+        }
+        samples[s] = std::move(w);
+      }
+    }
+  });
+
+  MonteCarloResult res;
+  res.failures.attempted = n;
+  res.values.reserve(n);
+  res.samples.reserve(n);
+  for (std::size_t s = 0; s < n; ++s) {
+    if (died[s]) {
+      ++res.failures.counts[static_cast<std::size_t>(deaths[s].kind)];
+      res.failures.failures.push_back(std::move(deaths[s]));
+      continue;
+    }
+    res.stats.add(values[s]);
+    res.values.push_back(values[s]);
+    res.samples.push_back(std::move(samples[s]));
+  }
+  res.failures.survived = res.values.size();
+  obs::add_counter("stats.mc.samples", static_cast<std::uint64_t>(n));
+  obs::add_counter("stats.mc.skipped",
+                   static_cast<std::uint64_t>(res.failures.failed()));
+  // Serial so the distribution merges identically for any thread count.
+  obs::add_counter("stats.mc.batches", static_cast<std::uint64_t>(nb));
+  obs::add_counter("stats.mc.batch_remainder_samples",
+                   static_cast<std::uint64_t>(rem));
+  for (std::size_t u = 0; u < nb; ++u) {
+    obs::record_value("stats.mc.batch_fill", static_cast<double>(k));
+  }
+  for (std::size_t r = 0; r < rem; ++r) {
+    obs::record_value("stats.mc.batch_fill", 1.0);
+  }
+  return res;
+}
+
 GradientAnalysisResult Runner::run_gradients(
     const PerformanceFn& f, const std::vector<VariationSource>& sources)
     const {

@@ -74,6 +74,23 @@ class Runner {
       const LanedPerformanceFn& f,
       const std::vector<VariationSource>& sources) const;
 
+  /// Batch-dispatched Monte-Carlo: identical contract and (given a
+  /// conforming BatchPerformanceFn) identical results to the laned
+  /// overload. Samples are partitioned into floor(samples / K) full
+  /// K-blocks evaluated through `fb` plus a scalar remainder loop through
+  /// `f`, where K comes from options().exec.batch (see ExecutionOptions).
+  /// Every sample still draws from its own counter-based stream, and full
+  /// blocks and remainder samples are dispatched through one work queue,
+  /// so results stay bitwise identical for every thread count AND every
+  /// batch width. Under kAbort a failed batched sample surfaces as
+  /// sim::SimulationError carrying its classified diagnostics; under
+  /// kSkip it is recorded exactly like a scalar failure. Emits
+  /// stats.mc.batches / stats.mc.batch_remainder_samples counters and the
+  /// stats.mc.batch_fill distribution.
+  MonteCarloResult run_monte_carlo(
+      const LanedPerformanceFn& f, const BatchPerformanceFn& fb,
+      const std::vector<VariationSource>& sources) const;
+
   /// Eq. 24 RSS spread estimate (contract of stats::gradient_analysis).
   GradientAnalysisResult run_gradients(
       const PerformanceFn& f,

@@ -59,6 +59,23 @@ class RecursiveConvolver {
   /// value to i_now over dt.
   void advance(const numeric::Vector& i_now);
 
+  // Read-only access to the per-pole recurrence data, used by the batched
+  // SoA engine (teta/batch.cpp) to *copy* the exact coefficients and
+  // committed state of a scalar-initialized convolver into lane-inner
+  // arrays. The batch kernels never recompute these (the coefficient
+  // formulas involve complex divisions whose bit pattern must match the
+  // scalar path), so batched transients stay bitwise identical.
+  std::size_t num_poles() const { return poles_.size(); }
+  numeric::Complex decay(std::size_t k) const { return decay_[k]; }
+  numeric::Complex ca(std::size_t k) const { return ca_[k]; }
+  numeric::Complex cb(std::size_t k) const { return cb_[k]; }
+  const numeric::ComplexMatrix& residue(std::size_t k) const {
+    return residues_[k];
+  }
+  const numeric::CVector& state(std::size_t k) const { return state_[k]; }
+  /// The committed port current at the current time (i_prev).
+  const numeric::Vector& committed_current() const { return i_prev_; }
+
  private:
   std::size_t np_ = 0;
   double dt_ = 0.0;

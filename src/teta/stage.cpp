@@ -9,6 +9,7 @@
 #include "obs/registry.hpp"
 #include "obs/span.hpp"
 #include "teta/convolution.hpp"
+#include "teta/stage_detail.hpp"
 
 namespace lcsf::teta {
 
@@ -163,17 +164,11 @@ std::vector<std::pair<double, double>> TetaResult::waveform(
   return w;
 }
 
-namespace {
+namespace detail {
 
-/// One full transient attempt at a fixed dt/damping; simulate_stage() owns
-/// the retry policy around it. All shape-invariant state lives in `ws`, and
-/// `res` keeps its waveform storage between calls, so back-to-back runs are
-/// fully allocation-free. `res.port_voltages` may exceed `res.time` on
-/// return (pooled capacity); the public wrapper truncates it.
-void simulate_stage_once(const StageCircuit& stage,
-                         const mor::PoleResidueModel& load,
-                         const TetaOptions& opt, TetaWorkspace& ws,
-                         TetaResult& res) {
+bool setup_and_dc(const StageCircuit& stage,
+                  const mor::PoleResidueModel& load, const TetaOptions& opt,
+                  TetaWorkspace& ws, TetaResult& res, StageSetup& setup) {
   res.converged = false;
   res.total_sc_iterations = 0;
   res.diag = sim::SimDiagnostics{};
@@ -253,7 +248,7 @@ void simulate_stage_once(const StageCircuit& stage,
   } catch (const std::runtime_error&) {
     res.diag.kind = sim::FailureKind::kSingularSystem;
     res.diag.detail = "singular load impedance";
-    return;
+    return false;
   }
   for (std::size_t i = 0; i < np; ++i) {
     for (std::size_t j = 0; j < np; ++j) {
@@ -294,9 +289,8 @@ void simulate_stage_once(const StageCircuit& stage,
   } catch (const std::runtime_error& e) {
     res.diag.kind = sim::FailureKind::kSingularSystem;
     res.diag.detail = std::string("singular SC system: ") + e.what();
-    return;
+    return false;
   }
-  const LuFactorization& lu_tr = ws.lu_tr;
 
   // Full node voltages from the unknown vector at time t, written into the
   // reusable ws.vnode buffer.
@@ -309,23 +303,6 @@ void simulate_stage_once(const StageCircuit& stage,
                        : known_voltage(nn, t);
     }
     return v;
-  };
-
-  // Device Norton currents at iterate v: j = ids(v) - G_ch (vd - vs);
-  // accumulate -j into rhs rows (current leaving drain is +ids).
-  auto add_device_norton = [&](const Vector& vnode, Vector& rhs) {
-    for (std::size_t d = 0; d < stage.mosfets().size(); ++d) {
-      const Mosfet& m = stage.mosfets()[d];
-      const double vg = vnode[static_cast<std::size_t>(m.gate)];
-      const double vd = vnode[static_cast<std::size_t>(m.drain)];
-      const double vs = vnode[static_cast<std::size_t>(m.source)];
-      const double ids = circuit::mosfet_eval(m, vg, vd, vs).ids;
-      const double j = ids - chords[d] * (vd - vs);
-      const int ud = node_to_unknown[static_cast<std::size_t>(m.drain)];
-      const int us = node_to_unknown[static_cast<std::size_t>(m.source)];
-      if (ud >= 0) rhs[static_cast<std::size_t>(ud)] -= j;
-      if (us >= 0) rhs[static_cast<std::size_t>(us)] += j;
-    }
   };
 
   // ---- DC operating point (t = 0) ------------------------------------
@@ -408,7 +385,7 @@ void simulate_stage_once(const StageCircuit& stage,
       res.diag.kind = sim::FailureKind::kDcFailure;
       res.diag.detail = "Newton failed at DC";
       res.diag.iterations = res.total_sc_iterations;
-      return;
+      return false;
     }
   }
 
@@ -428,6 +405,79 @@ void simulate_stage_once(const StageCircuit& stage,
       cs.i_prev = 0.0;
     }
   }
+
+  setup.n = n;
+  return true;
+}
+
+}  // namespace detail
+
+namespace {
+
+/// One full transient attempt at a fixed dt/damping; simulate_stage() owns
+/// the retry policy around it. All shape-invariant state lives in `ws`, and
+/// `res` keeps its waveform storage between calls, so back-to-back runs are
+/// fully allocation-free. `res.port_voltages` may exceed `res.time` on
+/// return (pooled capacity); the public wrapper truncates it.
+void simulate_stage_once(const StageCircuit& stage,
+                         const mor::PoleResidueModel& load,
+                         const TetaOptions& opt, TetaWorkspace& ws,
+                         TetaResult& res) {
+  detail::StageSetup setup;
+  if (!detail::setup_and_dc(stage, load, opt, ws, res, setup)) return;
+
+  const std::size_t n = setup.n;
+  const std::size_t np = stage.num_ports();
+  const double clamp = opt.damping_frac * opt.vdd;
+  const std::vector<int>& node_to_unknown = ws.node_to_unknown;
+  RecursiveConvolver& conv = ws.conv;
+  const LuFactorization& lu_tr = ws.lu_tr;
+  const Matrix& y_h = ws.y_h;
+  const std::vector<TetaWorkspace::KnownCoupling>& chord_known =
+      ws.chord_known;
+  std::vector<TetaWorkspace::CapState>& caps = ws.caps;
+  const std::vector<double>& chords = ws.chords;
+  Vector& x = ws.x;
+
+  // Known node voltages at time t.
+  auto known_voltage = [&](std::size_t node, double t) {
+    switch (stage.kind(node)) {
+      case StageNodeKind::kInput:
+        return stage.input_wave(node).value(t);
+      case StageNodeKind::kRail:
+        return stage.rail_voltage(node);
+      default:
+        throw std::logic_error("known_voltage: unknown node");
+    }
+  };
+  // Full node voltages from the unknown vector at time t, written into the
+  // reusable ws.vnode buffer.
+  auto node_voltages = [&](const Vector& xv, double t) -> const Vector& {
+    Vector& v = ws.vnode;
+    v.resize(stage.num_nodes());
+    for (std::size_t nn = 0; nn < stage.num_nodes(); ++nn) {
+      const int u = node_to_unknown[nn];
+      v[nn] = (u >= 0) ? xv[static_cast<std::size_t>(u)]
+                       : known_voltage(nn, t);
+    }
+    return v;
+  };
+  // Device Norton currents at iterate v: j = ids(v) - G_ch (vd - vs);
+  // accumulate -j into rhs rows (current leaving drain is +ids).
+  auto add_device_norton = [&](const Vector& vnode, Vector& rhs) {
+    for (std::size_t d = 0; d < stage.mosfets().size(); ++d) {
+      const Mosfet& m = stage.mosfets()[d];
+      const double vg = vnode[static_cast<std::size_t>(m.gate)];
+      const double vd = vnode[static_cast<std::size_t>(m.drain)];
+      const double vs = vnode[static_cast<std::size_t>(m.source)];
+      const double ids = circuit::mosfet_eval(m, vg, vd, vs).ids;
+      const double j = ids - chords[d] * (vd - vs);
+      const int ud = node_to_unknown[static_cast<std::size_t>(m.drain)];
+      const int us = node_to_unknown[static_cast<std::size_t>(m.source)];
+      if (ud >= 0) rhs[static_cast<std::size_t>(ud)] -= j;
+      if (us >= 0) rhs[static_cast<std::size_t>(us)] += j;
+    }
+  };
 
   const auto nsteps =
       static_cast<std::size_t>(std::ceil(opt.tstop / opt.dt - 1e-9));

@@ -1,0 +1,38 @@
+// Internal seam between the scalar TETA engine (stage.cpp) and the batched
+// SoA engine (batch.cpp).
+//
+// One transient attempt splits into two phases:
+//   1. setup + DC: build the unknown map, stamp the constant SC system,
+//      factorize it, find the DC operating point with damped Newton, and
+//      initialize the convolver history and capacitor states;
+//   2. the timestep loop.
+// Phase 1 is identical per sample whether samples run scalar or batched,
+// so the batch engine calls this shared implementation per lane and only
+// the timestep loop is re-expressed in lane-inner SoA form. Sharing the
+// code (rather than duplicating it) is what keeps the batched path
+// bitwise identical to the scalar one by construction.
+//
+// This header is engine-internal: only stage.cpp and batch.cpp include it.
+#pragma once
+
+#include <cstddef>
+
+#include "teta/stage.hpp"
+
+namespace lcsf::teta::detail {
+
+/// Scalars produced by the setup phase that the timestep loop needs.
+struct StageSetup {
+  std::size_t n = 0;  ///< number of SC unknowns (ports + internals)
+};
+
+/// Setup + DC phase of one transient attempt (see file comment). Resets
+/// `res`, fills `ws` (unknown map, chords, chord_known, caps, factored
+/// lu_tr, y_h/y_dc, DC solution in ws.x, initialized convolver) and
+/// `setup`. Returns false with res.diag classified when the attempt
+/// cannot proceed (singular system, DC Newton failure).
+bool setup_and_dc(const StageCircuit& stage,
+                  const mor::PoleResidueModel& load, const TetaOptions& opt,
+                  TetaWorkspace& ws, TetaResult& res, StageSetup& setup);
+
+}  // namespace lcsf::teta::detail

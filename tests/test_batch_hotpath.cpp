@@ -1,0 +1,293 @@
+// Batched (SoA) Monte-Carlo hot path: bitwise equivalence against the
+// scalar engine across batch widths and thread counts, the dispatch
+// counters, fail-soft parity of the batch dispatcher, and the
+// strided-batch numeric kernels. See docs/performance.md.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdlib>
+
+#include "core/path.hpp"
+#include "numeric/lu.hpp"
+#include "numeric/matrix.hpp"
+#include "obs/registry.hpp"
+#include "stats/runner.hpp"
+
+namespace lcsf::core {
+namespace {
+
+using numeric::Matrix;
+using numeric::Vector;
+
+std::size_t cell_index(const std::string& name) {
+  const auto& lib = timing::cell_library();
+  for (std::size_t k = 0; k < lib.size(); ++k) {
+    if (lib[k].name == name) return k;
+  }
+  throw std::logic_error("unknown cell");
+}
+
+PathSpec small_path_spec() {
+  PathSpec spec;
+  spec.tech = circuit::technology_180nm();
+  spec.cells = {cell_index("INV"), cell_index("NAND2"), cell_index("NOR2")};
+  spec.linear_elements_per_stage = 10;
+  spec.stage_window = 1.0e-9;
+  spec.dt = 2e-12;
+  return spec;
+}
+
+PathVariationModel small_model() {
+  PathVariationModel model;
+  model.std_dl = 0.33;
+  model.std_vt = 0.33;
+  // Wire variation exercises the batched ROM evaluation in front of the
+  // lockstep transient, not just the per-device stamps.
+  model.std_wire_w = 0.33;
+  return model;
+}
+
+// Every batch width must reproduce the scalar (batch = 1) run bitwise:
+// same survivors, same per-sample delays, same draws. samples = 10 is
+// deliberately not a multiple of any tested width, so each run also
+// covers the scalar remainder loop (K = 8: one block + 2 singletons).
+TEST(BatchHotpath, BatchWidthInvariantBitwise) {
+  PathAnalyzer pa(small_path_spec());
+  const PathVariationModel model = small_model();
+  stats::RunOptions opt;
+  opt.samples = 10;
+  opt.seed = 17;
+  opt.exec.threads = 1;
+  opt.exec.batch = 1;
+  const auto ref = pa.monte_carlo(model, opt);
+  ASSERT_EQ(ref.values.size(), 10u);
+
+  for (const std::size_t k : {std::size_t{2}, std::size_t{4},
+                              std::size_t{8}}) {
+    opt.exec.batch = k;
+    const auto got = pa.monte_carlo(model, opt);
+    ASSERT_EQ(got.values.size(), ref.values.size()) << "batch " << k;
+    for (std::size_t s = 0; s < ref.values.size(); ++s) {
+      EXPECT_EQ(got.values[s], ref.values[s])
+          << "batch " << k << " sample " << s;
+    }
+    ASSERT_EQ(got.samples.size(), ref.samples.size());
+    for (std::size_t s = 0; s < ref.samples.size(); ++s) {
+      EXPECT_EQ(got.samples[s], ref.samples[s]);
+    }
+    EXPECT_EQ(got.stats.mean(), ref.stats.mean()) << "batch " << k;
+  }
+}
+
+// At a fixed batch width the thread-count determinism contract of the
+// scalar driver carries over: full blocks and remainder singletons go
+// through one work queue, so any worker interleaving yields the same
+// per-sample values.
+TEST(BatchHotpath, ThreadCountInvariantAtFixedBatch) {
+  PathAnalyzer pa(small_path_spec());
+  const PathVariationModel model = small_model();
+  stats::RunOptions opt;
+  opt.samples = 10;
+  opt.seed = 23;
+  opt.exec.batch = 4;
+  opt.exec.threads = 1;
+  const auto ref = pa.monte_carlo(model, opt);
+
+  for (const std::size_t t : {std::size_t{2}, std::size_t{8}}) {
+    opt.exec.threads = t;
+    const auto got = pa.monte_carlo(model, opt);
+    ASSERT_EQ(got.values.size(), ref.values.size()) << "threads " << t;
+    for (std::size_t s = 0; s < ref.values.size(); ++s) {
+      EXPECT_EQ(got.values[s], ref.values[s])
+          << "threads " << t << " sample " << s;
+    }
+  }
+}
+
+// 11 samples at batch 4 dispatch as 2 full blocks + 3 singletons; the
+// counters and the batch_fill distribution pinned in
+// tools/metrics_schema.json must say exactly that.
+TEST(BatchHotpath, DispatchCountersAndFillDistribution) {
+  PathAnalyzer pa(small_path_spec());
+  const PathVariationModel model = small_model();
+  obs::Registry reg;
+  stats::RunOptions opt;
+  opt.samples = 11;
+  opt.seed = 5;
+  opt.exec.threads = 1;
+  opt.exec.batch = 4;
+  opt.registry = &reg;
+  const auto res = pa.monte_carlo(model, opt);
+  EXPECT_EQ(res.values.size(), 11u);
+
+  const obs::Snapshot snap = reg.snapshot();
+  EXPECT_EQ(snap.counters.at("stats.mc.batches"), 2u);
+  EXPECT_EQ(snap.counters.at("stats.mc.batch_remainder_samples"), 3u);
+  const auto& fill = snap.distributions.at("stats.mc.batch_fill");
+  EXPECT_EQ(fill.count, 5u);
+  EXPECT_EQ(fill.min, 1.0);
+  EXPECT_EQ(fill.max, 4.0);
+  EXPECT_NEAR(fill.mean, (2.0 * 4.0 + 3.0 * 1.0) / 5.0, 1e-12);
+}
+
+// Synthetic evaluators isolate the Runner's batch dispatcher from the
+// transient engine: the batched overload must reproduce the scalar
+// fail-soft behaviour exactly -- same survivor values, same classified
+// failure records -- and a failed slot must not perturb its neighbours.
+TEST(BatchHotpath, FailSoftSkipParity) {
+  const std::vector<stats::VariationSource> sources(2);
+  auto value_of = [](const Vector& w) { return 3.0 * w[0] - 0.5 * w[1]; };
+  auto fails = [](const Vector& w) { return w[0] > 0.4; };
+
+  const stats::LanedPerformanceFn f = [&](const Vector& w, std::size_t) {
+    if (fails(w)) {
+      throw sim::SimulationError(sim::FailureKind::kNewtonNonConvergence,
+                                 "synthetic divergence");
+    }
+    return value_of(w);
+  };
+  const stats::BatchPerformanceFn fb =
+      [&](const std::vector<Vector>& w, std::size_t,
+          std::vector<stats::BatchSlot>& out) {
+        for (std::size_t b = 0; b < w.size(); ++b) {
+          if (fails(w[b])) {
+            out[b].failed = true;
+            out[b].diag.kind = sim::FailureKind::kNewtonNonConvergence;
+            out[b].diag.detail = "synthetic divergence";
+          } else {
+            out[b].value = value_of(w[b]);
+          }
+        }
+      };
+
+  stats::RunOptions opt;
+  opt.samples = 37;
+  opt.seed = 11;
+  opt.exec.threads = 1;
+  opt.exec.on_failure = stats::FailurePolicy::kSkip;
+
+  opt.exec.batch = 1;
+  const auto ref = stats::Runner(opt).run_monte_carlo(f, fb, sources);
+  ASSERT_GT(ref.failures.failed(), 0u);
+  ASSERT_GT(ref.failures.survived, 0u);
+
+  opt.exec.batch = 8;
+  const auto got = stats::Runner(opt).run_monte_carlo(f, fb, sources);
+  EXPECT_EQ(got.values, ref.values);
+  EXPECT_EQ(got.failures.attempted, ref.failures.attempted);
+  EXPECT_EQ(got.failures.survived, ref.failures.survived);
+  ASSERT_EQ(got.failures.failures.size(), ref.failures.failures.size());
+  for (std::size_t i = 0; i < ref.failures.failures.size(); ++i) {
+    EXPECT_EQ(got.failures.failures[i].index, ref.failures.failures[i].index);
+    EXPECT_EQ(got.failures.failures[i].kind, ref.failures.failures[i].kind);
+    EXPECT_EQ(got.failures.failures[i].detail,
+              ref.failures.failures[i].detail);
+  }
+
+  // Under kAbort the first failed slot surfaces as the classified
+  // exception, exactly like the scalar path.
+  opt.exec.on_failure = stats::FailurePolicy::kAbort;
+  EXPECT_THROW(stats::Runner(opt).run_monte_carlo(f, fb, sources),
+               sim::SimulationError);
+}
+
+// The strided-batch numeric kernels must match their scalar counterparts
+// bitwise, lane by lane, for the SoA layout soa[i * lanes + l].
+TEST(BatchHotpath, NumericKernelsMatchScalarBitwise) {
+  constexpr std::size_t kLanes = 8;
+  constexpr std::size_t kRows = 3;
+  constexpr std::size_t kCols = 4;
+  std::uint64_t lcg = 0x243f6a8885a308d3ull;
+  auto rnd = [&]() {
+    lcg = lcg * 6364136223846793005ull + 1442695040888963407ull;
+    return static_cast<double>(lcg >> 11) / 9.007199254740992e15 - 0.5;
+  };
+
+  // axpy_batch over a flat SoA block == scalar axpy on each lane slice.
+  {
+    std::vector<double> x(kCols * kLanes), y(kCols * kLanes);
+    for (auto& v : x) v = rnd();
+    for (auto& v : y) v = rnd();
+    std::vector<double> y_ref = y;
+    const double a = rnd();
+    numeric::axpy_batch(a, x.data(), y.data(), x.size());
+    for (std::size_t i = 0; i < y_ref.size(); ++i) y_ref[i] += a * x[i];
+    EXPECT_EQ(y, y_ref);
+  }
+
+  // mul_into_batch with per-lane matrices == mul_into per lane.
+  {
+    std::vector<Matrix> mats(kLanes, Matrix(kRows, kCols));
+    std::vector<const Matrix*> mp(kLanes);
+    for (std::size_t l = 0; l < kLanes; ++l) {
+      for (std::size_t i = 0; i < kRows; ++i) {
+        for (std::size_t j = 0; j < kCols; ++j) mats[l](i, j) = rnd();
+      }
+      mp[l] = &mats[l];
+    }
+    std::vector<double> x(kCols * kLanes), y(kRows * kLanes, 0.0);
+    for (auto& v : x) v = rnd();
+    numeric::mul_into_batch(mp.data(), kRows, kCols, x.data(), y.data(),
+                            kLanes);
+    Vector xl(kCols), yl(kRows);
+    for (std::size_t l = 0; l < kLanes; ++l) {
+      for (std::size_t j = 0; j < kCols; ++j) xl[j] = x[j * kLanes + l];
+      numeric::mul_into(mats[l], xl, yl);
+      for (std::size_t i = 0; i < kRows; ++i) {
+        EXPECT_EQ(y[i * kLanes + l], yl[i]) << "lane " << l << " row " << i;
+      }
+    }
+  }
+
+  // solve_into_strided scatters the exact solve_into solution.
+  {
+    Matrix a(kRows, kRows);
+    for (std::size_t i = 0; i < kRows; ++i) {
+      for (std::size_t j = 0; j < kRows; ++j) a(i, j) = rnd();
+      a(i, i) += 4.0;  // keep it comfortably nonsingular
+    }
+    const numeric::LuFactorization lu(a);
+    std::vector<double> b(kRows * kLanes), x(kRows * kLanes, 0.0);
+    for (auto& v : b) v = rnd();
+    Vector sb(kRows), sx(kRows), bl(kRows), xl(kRows);
+    for (std::size_t l = 0; l < kLanes; ++l) {
+      lu.solve_into_strided(&b[l], &x[l], kLanes, sb, sx);
+      for (std::size_t i = 0; i < kRows; ++i) bl[i] = b[i * kLanes + l];
+      lu.solve_into(bl, xl);
+      for (std::size_t i = 0; i < kRows; ++i) {
+        EXPECT_EQ(x[i * kLanes + l], xl[i]) << "lane " << l << " row " << i;
+      }
+    }
+  }
+}
+
+// --batch / LCSF_BATCH plumbing: strict parsing, classified errors, and
+// the override-then-env-then-default resolution order.
+TEST(BatchHotpath, BatchParsingAndDefaultResolution) {
+  EXPECT_EQ(stats::parse_batch("8", "--batch"), 8u);
+  EXPECT_EQ(stats::parse_batch("1", "--batch"), 1u);
+  for (const char* bad : {"0", "-3", "0x8", "4q", "", "+2", "3.5"}) {
+    try {
+      stats::parse_batch(bad, "--batch");
+      FAIL() << "parse_batch accepted `" << bad << "`";
+    } catch (const sim::SimulationError& e) {
+      EXPECT_EQ(e.kind(), sim::FailureKind::kInvalidInput) << bad;
+    }
+  }
+
+  // Resolution order: set_default_batch override > LCSF_BATCH > compiled
+  // default. Restore process state on every exit path.
+  stats::set_default_batch(0);
+  ASSERT_EQ(setenv("LCSF_BATCH", "6", 1), 0);
+  EXPECT_EQ(stats::default_batch(), 6u);
+  stats::set_default_batch(3);
+  EXPECT_EQ(stats::default_batch(), 3u);
+  stats::set_default_batch(0);
+  ASSERT_EQ(setenv("LCSF_BATCH", "nope", 1), 0);
+  EXPECT_THROW(stats::default_batch(), sim::SimulationError);
+  ASSERT_EQ(unsetenv("LCSF_BATCH"), 0);
+  EXPECT_EQ(stats::default_batch(), stats::kDefaultBatch);
+}
+
+}  // namespace
+}  // namespace lcsf::core

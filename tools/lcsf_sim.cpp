@@ -24,6 +24,10 @@
 // for any parallel library section reached from this tool; the transient
 // engine itself is serial today, so the flag exists for CLI uniformity
 // with lcsf_sta and for library features that pick up the default.
+// --batch (or LCSF_BATCH) likewise sets the process-wide default
+// Monte-Carlo sample-block width for library features that batch (see
+// docs/performance.md); an invalid value is a classified error (exit 1),
+// and neither flag nor env changes any numerical result.
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -34,6 +38,7 @@
 #include "runtime/thread_pool.hpp"
 #include "obs_cli.hpp"
 #include "spice/transient.hpp"
+#include "stats/analysis.hpp"
 
 using namespace lcsf;
 
@@ -43,7 +48,8 @@ namespace {
   std::fprintf(stderr,
                "usage: lcsf_sim <deck.sp> --tstop <t> [--dt <t>] "
                "[--probe <node>]... [--tech 180nm|600nm] [--points n] "
-               "[--threads n] [--on-failure abort|skip|retry] %s\n",
+               "[--threads n] [--batch n] "
+               "[--on-failure abort|skip|retry] %s\n",
                tools::ObsCli::usage_line());
   std::exit(2);
 }
@@ -80,6 +86,15 @@ int main(int argc, char** argv) {
     } else if (arg == "--threads") {
       runtime::ThreadPool::set_default_threads(
           static_cast<std::size_t>(std::stoul(next())));
+    } else if (arg == "--batch") {
+      try {
+        stats::set_default_batch(stats::parse_batch(next(), "--batch"));
+      } catch (const sim::SimulationError& e) {
+        std::fprintf(stderr, "lcsf_sim: %s [%s]\n",
+                     e.diagnostics().message().c_str(),
+                     sim::failure_kind_name(e.kind()));
+        return 1;
+      }
     } else if (arg == "--on-failure") {
       on_failure = next();
     } else if (arg.rfind("--on-failure=", 0) == 0) {

@@ -2,7 +2,7 @@
 //
 //   lcsf_sta --circuit s208 [--elements 10] [--samples 100] [--seed 1]
 //            [--std-dl 0.33] [--std-vt 0.33] [--rho r] [--corner]
-//            [--yield-target 0.9987] [--threads n]
+//            [--yield-target 0.9987] [--threads n] [--batch n]
 //            [--yield-estimator mc|is|is-cv] [--clock-period t]
 //            [--is-pilot n]
 //            [--graph] [--top-k n]
@@ -40,6 +40,13 @@
 // count for the Monte-Carlo sweep; results are bitwise identical for any
 // value (see docs/monte_carlo.md). 0 = auto-detect.
 //
+// --batch (or the LCSF_BATCH environment variable) sets the lockstep
+// sample-block width of the batched Monte-Carlo hot path
+// (docs/performance.md): full blocks of n samples run through the SoA
+// TETA engine, a scalar remainder loop covers the rest. Results are
+// bitwise identical for every value (1 = force the scalar path); an
+// invalid value is a classified error (exit 1).
+//
 // --on-failure picks the fail-soft policy (docs/robustness.md): abort
 // rethrows the first divergent sample (default), skip records and
 // excludes divergent samples, retry additionally grants each sample a
@@ -70,6 +77,7 @@ namespace {
       "usage: lcsf_sta --circuit <name> [--elements n] [--samples n]\n"
       "                [--seed n] [--std-dl s] [--std-vt s] [--rho r]\n"
       "                [--corner] [--yield-target y] [--threads n]\n"
+      "                [--batch n]\n"
       "                [--yield-estimator mc|is|is-cv] [--clock-period t]\n"
       "                [--is-pilot n] [--graph] [--top-k n]\n"
       "                [--on-failure abort|skip|retry]\n"
@@ -92,6 +100,7 @@ int main(int argc, char** argv) {
   bool corner = false;
   double yield_target = 0.9987;
   std::size_t threads = 0;  // 0 = auto (LCSF_THREADS env / hardware)
+  std::size_t batch = 0;    // 0 = ambient default (LCSF_BATCH env / K=8)
   std::string on_failure = "abort";
   std::string yield_estimator = "mc";
   double clock_period = 0.0;  // 0 = GA period for --yield-target
@@ -126,6 +135,15 @@ int main(int argc, char** argv) {
       yield_target = std::stod(next());
     } else if (arg == "--threads") {
       threads = std::stoul(next());
+    } else if (arg == "--batch") {
+      try {
+        batch = stats::parse_batch(next(), "--batch");
+      } catch (const sim::SimulationError& e) {
+        std::fprintf(stderr, "lcsf_sta: %s [%s]\n",
+                     e.diagnostics().message().c_str(),
+                     sim::failure_kind_name(e.kind()));
+        return 1;
+      }
     } else if (arg == "--yield-estimator") {
       yield_estimator = next();
     } else if (arg == "--clock-period") {
@@ -196,6 +214,7 @@ int main(int argc, char** argv) {
     run_opt.samples = samples;
     run_opt.seed = seed;
     run_opt.exec.threads = threads;
+    run_opt.exec.batch = batch;
     run_opt.exec.on_failure = on_failure == "abort"
                                   ? stats::FailurePolicy::kAbort
                                   : stats::FailurePolicy::kSkip;
@@ -274,6 +293,7 @@ int main(int argc, char** argv) {
   run_opt.samples = samples;
   run_opt.seed = seed;
   run_opt.exec.threads = threads;
+  run_opt.exec.batch = batch;
   run_opt.exec.on_failure = on_failure == "abort"
                                 ? stats::FailurePolicy::kAbort
                                 : stats::FailurePolicy::kSkip;
