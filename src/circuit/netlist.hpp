@@ -57,6 +57,12 @@ class Netlist {
   NodeId add_node(std::string name = {});
   /// Get-or-create a node by name ("0" and "gnd" map to ground).
   NodeId node(const std::string& name);
+  /// Lookup-only variant for frozen netlists: the node id, or -1 if no
+  /// node of that name exists.
+  NodeId find_node(const std::string& name) const {
+    const auto it = by_name_.find(name);
+    return it == by_name_.end() ? NodeId{-1} : it->second;
+  }
   /// Number of nodes including ground.
   std::size_t node_count() const { return names_.size(); }
   const std::string& node_name(NodeId n) const { return names_.at(n); }

@@ -93,6 +93,22 @@ StageSimOptions GraphAnalyzer::sim_options() const {
   return o;
 }
 
+std::size_t GraphAnalyzer::memory_bytes() const {
+  std::size_t total = sizeof(*this);
+  total += stages_.capacity() * sizeof(GateStage);
+  for (const GateStage& s : stages_) {
+    total += s.model.memory_bytes() - sizeof(StageModel);
+  }
+  total += blocks_.capacity() * sizeof(Block);
+  total += subgraph_.capacity() * sizeof(std::size_t);
+  total += endpoints_.capacity() * sizeof(std::size_t);
+  for (const timing::TimingPath& p : paths_) {
+    total += sizeof(p) + p.gates.capacity() * sizeof(std::size_t) +
+             p.switching_pin.capacity() * sizeof(std::size_t);
+  }
+  return total;
+}
+
 std::size_t GraphAnalyzer::slot_of(std::size_t gate) const {
   const auto it =
       std::lower_bound(subgraph_.begin(), subgraph_.end(), gate);

@@ -74,6 +74,11 @@ class GraphAnalyzer {
   /// Number of distinct characterized (cell, load) blocks.
   std::size_t num_blocks() const { return blocks_.size(); }
 
+  /// Resident heap footprint of the characterized artifacts (per-slot
+  /// stage models + enumerated paths) -- what a design cache pays to keep
+  /// this analyzer warm. See serve::DesignCache.
+  std::size_t memory_bytes() const;
+
   using Workspace = SampleWorkspace;
 
   struct EndpointDelay {

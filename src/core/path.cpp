@@ -620,4 +620,12 @@ std::size_t PathAnalyzer::total_linear_elements() const {
   return stages_.size() * (2 * segments_per_stage_ + 2);
 }
 
+std::size_t PathAnalyzer::memory_bytes() const {
+  std::size_t total = sizeof(*this) + stages_.capacity() * sizeof(Stage);
+  for (const Stage& s : stages_) {
+    total += s.model.memory_bytes() - sizeof(StageModel);
+  }
+  return total;
+}
+
 }  // namespace lcsf::core

@@ -189,6 +189,11 @@ class PathAnalyzer {
   /// Total linear-element count of the full path netlist (Fig. 5 x-axis).
   std::size_t total_linear_elements() const;
 
+  /// Resident heap footprint of the characterized artifacts (the stage
+  /// load ROMs) -- the cost a design cache pays to keep this analyzer
+  /// warm. See serve::DesignCache.
+  std::size_t memory_bytes() const;
+
  private:
   struct Stage {
     /// Characterized driver cell + variational effective load (see

@@ -72,6 +72,11 @@ struct StageModel {
   /// driver chords), over the global wire parameters (W, H).
   mor::VariationalRom load;
   double receiver_cap = 0.0;
+
+  /// Resident heap footprint of the characterized load (cache accounting).
+  std::size_t memory_bytes() const {
+    return sizeof(*this) + load.memory_bytes();
+  }
 };
 
 /// Engine knobs shared by every stage simulation of one analyzer.

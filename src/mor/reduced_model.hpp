@@ -23,6 +23,11 @@ struct ReducedModel {
 
   std::size_t order() const { return g.rows(); }
 
+  /// Resident heap footprint of the three matrices (cache accounting).
+  std::size_t memory_bytes() const {
+    return g.memory_bytes() + c.memory_bytes() + b.memory_bytes();
+  }
+
   /// Z(s) over the ports (dense complex solve; fine at reduced sizes).
   numeric::ComplexMatrix port_impedance(numeric::Complex s) const;
 

@@ -91,6 +91,15 @@ class VariationalRom {
   void evaluate_into_batch(const std::vector<const numeric::Vector*>& w,
                            const std::vector<ReducedModel*>& out) const;
 
+  /// Resident heap footprint of the nominal model plus every sensitivity
+  /// direction -- the dominant cost of a characterized design, and the
+  /// accounting unit of serve::DesignCache's byte budget.
+  std::size_t memory_bytes() const {
+    std::size_t total = nominal_.memory_bytes();
+    for (const ReducedModel& s : sensitivity_) total += s.memory_bytes();
+    return total;
+  }
+
  private:
   ReducedModel nominal_;
   std::vector<ReducedModel> sensitivity_;

@@ -51,6 +51,12 @@ class Matrix {
   double* data() { return data_.data(); }
   const double* data() const { return data_.data(); }
 
+  /// Resident heap footprint (capacity, not size): the accounting unit of
+  /// byte-budgeted caches holding characterized artifacts.
+  std::size_t memory_bytes() const {
+    return sizeof(*this) + data_.capacity() * sizeof(double);
+  }
+
   Matrix& operator+=(const Matrix& rhs);
   Matrix& operator-=(const Matrix& rhs);
   Matrix& operator*=(double s);

@@ -174,6 +174,12 @@ void ThreadPool::parallel_for_lanes(
   run_batch(batch);
 }
 
+TaskRootScope::TaskRootScope() : saved_(t_in_pool_task) {
+  t_in_pool_task = false;
+}
+
+TaskRootScope::~TaskRootScope() { t_in_pool_task = saved_; }
+
 std::size_t ThreadPool::default_threads() {
   const std::size_t forced = g_default_threads_override.load();
   if (forced != 0) return forced;

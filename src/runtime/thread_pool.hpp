@@ -78,6 +78,28 @@ class ThreadPool {
   std::unique_ptr<State> state_;
 };
 
+/// RAII escape hatch for long-running pool tasks that act as independent
+/// execution roots. A body running inside parallel_for normally degrades
+/// nested parallel sections to inline execution (the anti-deadlock /
+/// anti-oversubscription default). A connection handler of a server,
+/// however, occupies its pool lane for the whole session and *wants* the
+/// analyses it dispatches to parallelize on their own pools with their
+/// own requested thread counts. Constructing a TaskRootScope clears the
+/// calling thread's "inside a pool task" flag for the scope's lifetime
+/// (restored on destruction), making the scope a fresh nesting root.
+/// Determinism is unaffected -- thread counts never change results --
+/// and the caller remains responsible for not oversubscribing the host.
+class TaskRootScope {
+ public:
+  TaskRootScope();
+  ~TaskRootScope();
+  TaskRootScope(const TaskRootScope&) = delete;
+  TaskRootScope& operator=(const TaskRootScope&) = delete;
+
+ private:
+  bool saved_;
+};
+
 /// One-shot convenience: run body over [0, n) on `threads` threads
 /// (0 = default_threads(), <= 1 = inline serial). Constructs a transient
 /// pool; prefer a long-lived ThreadPool when calling in a loop.

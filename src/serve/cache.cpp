@@ -1,0 +1,97 @@
+#include "serve/cache.hpp"
+
+#include <utility>
+
+#include "obs/registry.hpp"
+
+namespace lcsf::serve {
+
+std::shared_ptr<api::Session> DesignCache::get(const api::DesignSpec& spec) {
+  // Key computation classifies bad specs (unknown circuit/tech) before
+  // any cache state is touched.
+  const std::string key = spec.cache_key();
+
+  Future future;
+  std::promise<std::shared_ptr<api::Session>> promise;
+  bool loader = false;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = entries_.find(key);
+    if (it != entries_.end()) {
+      it->second.last_use = ++tick_;
+      ++stats_.hits;
+      future = it->second.future;
+    } else {
+      ++stats_.misses;
+      loader = true;
+      Entry e;
+      e.future = promise.get_future().share();
+      e.last_use = ++tick_;
+      future = e.future;
+      entries_.emplace(key, std::move(e));
+    }
+  }
+  obs::add_counter(loader ? "serve.cache.misses" : "serve.cache.hits");
+
+  if (loader) {
+    std::shared_ptr<api::Session> session;
+    try {
+      session = api::Session::load(spec);
+    } catch (...) {
+      // Propagate to every coalesced waiter, then forget the entry so a
+      // later request re-attempts the load.
+      promise.set_exception(std::current_exception());
+      std::lock_guard<std::mutex> lock(mu_);
+      entries_.erase(key);
+      throw;
+    }
+    promise.set_value(session);
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = entries_.find(key);
+    if (it != entries_.end()) {
+      it->second.bytes = session->memory_bytes();
+      it->second.ready = true;
+      resident_bytes_ += it->second.bytes;
+      evict_locked(key);
+    }
+    return session;
+  }
+  return future.get();
+}
+
+void DesignCache::evict_locked(const std::string& keep) {
+  std::size_t evicted = 0;
+  while (resident_bytes_ > cfg_.max_bytes) {
+    auto victim = entries_.end();
+    for (auto it = entries_.begin(); it != entries_.end(); ++it) {
+      if (!it->second.ready || it->first == keep) continue;
+      if (victim == entries_.end() ||
+          it->second.last_use < victim->second.last_use) {
+        victim = it;
+      }
+    }
+    if (victim == entries_.end()) break;  // nothing evictable left
+    resident_bytes_ -= victim->second.bytes;
+    entries_.erase(victim);
+    ++stats_.evictions;
+    ++evicted;
+  }
+  if (evicted > 0) obs::add_counter("serve.cache.evictions", evicted);
+}
+
+DesignCache::Stats DesignCache::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+std::size_t DesignCache::resident_bytes() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return resident_bytes_;
+}
+
+std::size_t DesignCache::entries() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return entries_.size();
+}
+
+}  // namespace lcsf::serve

@@ -1,0 +1,94 @@
+// Content-addressed cache of characterized designs (docs/serving.md).
+//
+// The expensive part of every analysis request is pre-characterization:
+// generating/parsing the netlist and building the variational stage-load
+// ROMs (api::Session::load). DesignCache keys completed sessions by
+// api::DesignSpec::cache_key() -- a hash of the netlist *content* plus
+// every characterization knob -- so any request over the same design
+// reuses the warm artifacts.
+//
+// Concurrency: lookups coalesce. The first request for a key inserts an
+// in-flight entry and characterizes outside the lock; concurrent
+// requests for the same key block on the shared future instead of
+// characterizing twice. A failed load propagates its classified
+// exception to every waiter and removes the entry, so a later retry
+// re-attempts instead of caching the failure.
+//
+// Eviction: logical-LRU under a byte budget. Each entry is charged its
+// Session::memory_bytes() once characterization completes; whenever the
+// resident total exceeds the budget, completed least-recently-used
+// entries are dropped (in-flight entries and the entry just touched are
+// never dropped). Sessions are handed out as shared_ptr, so an evicted
+// design stays alive for requests already holding it.
+//
+// Observability: hits / misses / evictions bump the serve.cache.*
+// counters through the ambient obs context of the calling thread (the
+// server installs its registry on each connection lane) and are also
+// readable directly via stats() for tests.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <future>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "api/session.hpp"
+
+namespace lcsf::serve {
+
+class DesignCache {
+ public:
+  struct Config {
+    /// Resident byte budget for completed sessions. A single session
+    /// larger than the budget is kept (the cache never thrashes its
+    /// only entry); everything else is evicted LRU-first.
+    std::size_t max_bytes = 256u << 20;
+  };
+
+  struct Stats {
+    std::uint64_t hits = 0;       ///< key found (completed or in-flight)
+    std::uint64_t misses = 0;     ///< key absent; this call characterized
+    std::uint64_t evictions = 0;  ///< completed entries dropped
+  };
+
+  DesignCache() = default;
+  explicit DesignCache(Config cfg) : cfg_(cfg) {}
+  DesignCache(const DesignCache&) = delete;
+  DesignCache& operator=(const DesignCache&) = delete;
+
+  /// The session for `spec`: cached, in-flight (waits), or loaded here.
+  /// Throws the load's classified sim::SimulationError on failure --
+  /// including kInvalidInput for an unknown circuit or technology, which
+  /// is detected while computing the key, before any entry is created.
+  std::shared_ptr<api::Session> get(const api::DesignSpec& spec);
+
+  Stats stats() const;
+  std::size_t resident_bytes() const;
+  std::size_t entries() const;
+
+ private:
+  using Future = std::shared_future<std::shared_ptr<api::Session>>;
+
+  struct Entry {
+    Future future;
+    std::size_t bytes = 0;     ///< 0 while in flight
+    std::uint64_t last_use = 0;
+    bool ready = false;
+  };
+
+  /// Drop completed LRU entries while over budget. `keep` is the key of
+  /// the entry just touched, never evicted. Caller holds mu_.
+  void evict_locked(const std::string& keep);
+
+  Config cfg_;
+  mutable std::mutex mu_;
+  std::map<std::string, Entry> entries_;
+  std::size_t resident_bytes_ = 0;
+  std::uint64_t tick_ = 0;  ///< logical LRU clock
+  Stats stats_;
+};
+
+}  // namespace lcsf::serve

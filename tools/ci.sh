@@ -9,6 +9,10 @@
 #               example workloads, schema-validated by
 #               tools/check_metrics.py, plus the CLI-level witness that
 #               the deterministic metrics are thread-count invariant
+#   serve     : analysis-server conformance -- a live lcsf_serve driven
+#               through the lcsf-serve-v1 battery of tools/check_serve.py
+#               (byte-identical cold/warm responses, thread-count
+#               invariance, classified errors), metrics export validated
 #   doc-lint  : documentation link/anchor checker
 #   lcsf-lint : project-invariant static analysis via tools/lint.sh --
 #               the per-file rules, the include-graph pass (layering
@@ -84,9 +88,17 @@ BENCH_GRAPH_JSON=build-ci-release/BENCH_sta_graph.json
 # per-path re-simulation baseline by >= 1.5x (docs/timing_graph.md). The
 # ratio is dominated by the stage-simulation count, not timer jitter, so
 # quick mode holds the full acceptance floor.
+BENCH_SERVE_JSON=build-ci-release/BENCH_serve.json
+# Analysis-server cache gate (docs/serving.md): a warm `load` (a
+# DesignCache hit) must beat the cold characterizing load by >= 5x on
+# the checked-in full-mode BENCH_serve.json; the quick run holds a 3x
+# floor because its cold load is sub-millisecond and jittery. The bench
+# itself exits nonzero if any response byte differs cold-vs-warm or
+# across the client fleet.
 if cmake --build build-ci-release -j "$JOBS" --target bench_hotpath \
     && cmake --build build-ci-release -j "$JOBS" --target bench_yield_is \
     && cmake --build build-ci-release -j "$JOBS" --target bench_sta_graph \
+    && cmake --build build-ci-release -j "$JOBS" --target bench_serve \
     && LCSF_BENCH_QUICK=1 build-ci-release/bench/bench_hotpath "$BENCH_JSON" \
     && python3 tools/bench_compare.py --check "$BENCH_JSON" \
          --min speedup=1.2 --min batched_speedup_vs_pooled=1.15 \
@@ -103,7 +115,13 @@ if cmake --build build-ci-release -j "$JOBS" --target bench_hotpath \
     && python3 tools/bench_compare.py --check "$BENCH_GRAPH_JSON" \
          --min speedup=1.5 \
     && python3 tools/bench_compare.py --check BENCH_sta_graph.json \
-         --min speedup=1.5; then
+         --min speedup=1.5 \
+    && LCSF_BENCH_QUICK=1 build-ci-release/bench/bench_serve \
+         "$BENCH_SERVE_JSON" \
+    && python3 tools/bench_compare.py --check "$BENCH_SERVE_JSON" \
+         --min warm_speedup=3 \
+    && python3 tools/bench_compare.py --check BENCH_serve.json \
+         --min warm_speedup=5; then
   record bench-quick PASS
 else
   record bench-quick FAIL
@@ -179,6 +197,49 @@ if mkdir -p "$OBS_DIR" \
   record obs PASS
 else
   record obs FAIL
+fi
+
+echo
+echo "==== stage: serve ===="
+# Analysis-server conformance (docs/serving.md): start lcsf_serve on an
+# ephemeral port, run the lcsf-serve-v1 battery from check_serve.py
+# (cold/warm byte-identity, thread-count invariance of analysis
+# payloads, classified error responses, live metrics), then validate
+# the --metrics export against the metrics schema with the serve.*
+# counters populated.
+SERVE=build-ci-release/tools/lcsf_serve
+SERVE_DIR=build-ci-release/serve-ci
+serve_stage() {
+  mkdir -p "$SERVE_DIR" || return 1
+  : > "$SERVE_DIR/server.out"
+  "$SERVE" --port 0 --workers 4 --cache-mb 64 \
+      --metrics "$SERVE_DIR/metrics.json" > "$SERVE_DIR/server.out" 2>&1 &
+  local pid=$! port="" i
+  for i in $(seq 1 100); do
+    port=$(sed -n 's/.*listening on 127\.0\.0\.1:\([0-9][0-9]*\)$/\1/p' \
+        "$SERVE_DIR/server.out")
+    [ -n "$port" ] && break
+    sleep 0.1
+  done
+  if [ -z "$port" ]; then
+    echo "serve: server never announced its port" >&2
+    kill "$pid" 2> /dev/null
+    return 1
+  fi
+  if ! python3 tools/check_serve.py --port "$port" --battery --shutdown; then
+    kill "$pid" 2> /dev/null
+    return 1
+  fi
+  wait "$pid" || return 1
+  python3 tools/check_metrics.py --schema tools/metrics_schema.json \
+      "$SERVE_DIR/metrics.json" \
+      --require serve.requests --require serve.cache.hits \
+      --require serve.cache.misses
+}
+if serve_stage; then
+  record serve PASS
+else
+  record serve FAIL
 fi
 
 echo

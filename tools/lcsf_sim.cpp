@@ -11,8 +11,12 @@
 // refactor vs full-factor counts, committed steps) and phase spans for
 // the parse and transient phases.
 //
-// Runs the conventional Newton/trapezoidal engine on the parsed netlist
-// and prints the probed node waveforms as a TSV table.
+// The deck loads through api::Session (docs/serving.md), the same
+// facade behind lcsf_sta and the lcsf_serve analysis server: the parse
+// happens once at load, a bogus --tech or a malformed deck is a
+// classified sim::SimulationError (kind printed in brackets, exit 1),
+// and the transient runs on the cached parsed netlist. The tool then
+// prints the probed node waveforms as a TSV table.
 //
 // --on-failure controls divergence handling (docs/robustness.md): abort
 // exits 1 with the classified diagnostic (default); skip prints the
@@ -28,30 +32,53 @@
 // Monte-Carlo sample-block width for library features that batch (see
 // docs/performance.md); an invalid value is a classified error (exit 1),
 // and neither flag nor env changes any numerical result.
+//
+// An unknown option or a stray extra positional argument is rejected
+// with a diagnostic + usage and exit status 1; a malformed invocation
+// (missing deck or --tstop) exits 2.
 #include <cstdio>
 #include <cstring>
 #include <fstream>
+#include <memory>
+#include <sstream>
 #include <string>
 #include <vector>
 
+#include "api/session.hpp"
 #include "circuit/parser.hpp"
-#include "runtime/thread_pool.hpp"
 #include "obs_cli.hpp"
-#include "spice/transient.hpp"
+#include "runtime/thread_pool.hpp"
 #include "stats/analysis.hpp"
 
 using namespace lcsf;
 
 namespace {
 
-[[noreturn]] void usage() {
-  std::fprintf(stderr,
+void print_usage(std::FILE* to) {
+  std::fprintf(to,
                "usage: lcsf_sim <deck.sp> --tstop <t> [--dt <t>] "
                "[--probe <node>]... [--tech 180nm|600nm] [--points n] "
                "[--threads n] [--batch n] "
                "[--on-failure abort|skip|retry] %s\n",
                tools::ObsCli::usage_line());
+}
+
+[[noreturn]] void usage() {
+  print_usage(stderr);
   std::exit(2);
+}
+
+[[noreturn]] void bad_option(const std::string& arg) {
+  std::fprintf(stderr, "lcsf_sim: unknown option '%s'\n", arg.c_str());
+  print_usage(stderr);
+  std::exit(1);
+}
+
+int classified_failure(const sim::SimulationError& e) {
+  std::fprintf(stderr, "lcsf_sim: %s [%s]\n",
+               e.diagnostics().message().c_str(),
+               sim::failure_kind_name(e.kind()));
+  return 1;
 }
 
 }  // namespace
@@ -90,10 +117,7 @@ int main(int argc, char** argv) {
       try {
         stats::set_default_batch(stats::parse_batch(next(), "--batch"));
       } catch (const sim::SimulationError& e) {
-        std::fprintf(stderr, "lcsf_sim: %s [%s]\n",
-                     e.diagnostics().message().c_str(),
-                     sim::failure_kind_name(e.kind()));
-        return 1;
+        return classified_failure(e);
       }
     } else if (arg == "--on-failure") {
       on_failure = next();
@@ -101,8 +125,15 @@ int main(int argc, char** argv) {
       on_failure = arg.substr(std::strlen("--on-failure="));
     } else if (obs_cli.parse_flag(arg, next)) {
       // handled
-    } else if (arg.rfind("--", 0) == 0) {
-      usage();
+    } else if (arg.rfind("-", 0) == 0) {
+      bad_option(arg);
+    } else if (!deck_path.empty()) {
+      // A second positional used to silently replace the deck path --
+      // reject it so a typo'd flag value can't be mistaken for the deck.
+      std::fprintf(stderr, "lcsf_sim: unexpected argument '%s'\n",
+                   arg.c_str());
+      print_usage(stderr);
+      return 1;
     } else {
       deck_path = arg;
     }
@@ -115,23 +146,24 @@ int main(int argc, char** argv) {
 
   obs_cli.install();
 
-  const circuit::Technology tech = tech_name == "600nm"
-                                       ? circuit::technology_600nm()
-                                       : circuit::technology_180nm();
   std::ifstream in(deck_path);
   if (!in) {
     std::fprintf(stderr, "lcsf_sim: cannot open %s\n", deck_path.c_str());
     return 1;
   }
+  std::ostringstream deck_text;
+  deck_text << in.rdbuf();
 
-  circuit::Netlist nl;
+  api::DesignSpec dspec;
+  dspec.deck = deck_text.str();
+  dspec.tech = tech_name;
+  std::shared_ptr<api::Session> session;
   try {
-    nl = circuit::parse_netlist(in, tech);
-  } catch (const circuit::ParseError& e) {
-    std::fprintf(stderr, "lcsf_sim: %s\n", e.what());
-    return 1;
+    session = api::Session::load(dspec);
+  } catch (const sim::SimulationError& e) {
+    return classified_failure(e);
   }
-  nl.freeze_device_capacitances();
+  const circuit::Netlist& nl = session->deck_netlist();
 
   // Default probes: every named (non-auto) node.
   if (probes.empty()) {
@@ -141,12 +173,11 @@ int main(int argc, char** argv) {
     }
   }
 
-  spice::TransientSimulator sim(nl);
   spice::TransientOptions opt;
   opt.tstop = tstop;
   opt.dt = dt;
   if (on_failure == "retry") opt.recovery.max_dt_retries = 3;
-  const auto res = sim.run(opt);
+  const auto res = session->run_transient(opt);
   if (!res.converged) {
     std::fprintf(stderr,
                  "lcsf_sim: simulation failed: %s [%s] (t = %g, "
@@ -160,6 +191,16 @@ int main(int argc, char** argv) {
                  res.time.empty() ? 0.0 : res.time.back());
   }
 
+  std::vector<std::size_t> probe_nodes;
+  for (const auto& p : probes) {
+    const circuit::NodeId node = nl.find_node(p);
+    if (node < 0) {
+      std::fprintf(stderr, "lcsf_sim: unknown probe node '%s'\n", p.c_str());
+      return 1;
+    }
+    probe_nodes.push_back(static_cast<std::size_t>(node));
+  }
+
   std::printf("# t");
   for (const auto& p : probes) std::printf("\t%s", p.c_str());
   std::printf("\n");
@@ -167,10 +208,8 @@ int main(int argc, char** argv) {
       std::max<std::size_t>(1, res.time.size() / points);
   for (std::size_t k = 0; k < res.time.size(); k += stride) {
     std::printf("%.6e", res.time[k]);
-    for (const auto& p : probes) {
-      const auto node = nl.node(p);
-      std::printf("\t%.6f",
-                  res.node_voltages[k][static_cast<std::size_t>(node)]);
+    for (const std::size_t node : probe_nodes) {
+      std::printf("\t%.6f", res.node_voltages[k][node]);
     }
     std::printf("\n");
   }

@@ -10,6 +10,12 @@
 //            [--metrics out.json] [--trace out.trace.json]
 //            [--report-timing]
 //
+// The tool is a thin client of api::Session (docs/serving.md): the
+// design loads once (netlist generation + variational stage-load
+// pre-characterization) and every analysis below runs through the same
+// facade the analysis server uses, so a server response over the same
+// design and options carries bitwise-identical numbers.
+//
 // --graph switches from single-path to multi-path analysis
 // (docs/timing_graph.md): the K most-critical latch-to-latch paths
 // (--top-k, default 8) are carried simultaneously by core::GraphAnalyzer,
@@ -53,17 +59,15 @@
 // 3-deep dt-halving budget before it may fail. With skip/retry a
 // classified failure table is printed after the statistics.
 //
-// Generates the circuit, extracts the longest latch-to-latch path with the
-// unit-delay analyzer, pre-characterizes the variational stage loads, and
-// prints Monte-Carlo + Gradient-Analysis statistics, the timing yield
-// curve, and (optionally) the worst-case-corner comparison.
+// An unknown option is rejected with a diagnostic + usage and exit
+// status 1; a malformed invocation (missing required values) exits 2.
 #include <cmath>
 #include <cstdio>
 #include <cstring>
+#include <memory>
 #include <string>
 
-#include "core/graph_analyzer.hpp"
-#include "core/path.hpp"
+#include "api/session.hpp"
 #include "obs_cli.hpp"
 #include "stats/yield.hpp"
 
@@ -71,9 +75,9 @@ using namespace lcsf;
 
 namespace {
 
-[[noreturn]] void usage() {
+void print_usage(std::FILE* to) {
   std::fprintf(
-      stderr,
+      to,
       "usage: lcsf_sta --circuit <name> [--elements n] [--samples n]\n"
       "                [--seed n] [--std-dl s] [--std-vt s] [--rho r]\n"
       "                [--corner] [--yield-target y] [--threads n]\n"
@@ -84,7 +88,24 @@ namespace {
       "                %s\n"
       "circuits: s27 s208 s832 s444 s1423 s1423d s9234\n",
       tools::ObsCli::usage_line());
+}
+
+[[noreturn]] void usage() {
+  print_usage(stderr);
   std::exit(2);
+}
+
+[[noreturn]] void bad_option(const std::string& arg) {
+  std::fprintf(stderr, "lcsf_sta: unknown option '%s'\n", arg.c_str());
+  print_usage(stderr);
+  std::exit(1);
+}
+
+int classified_failure(const sim::SimulationError& e) {
+  std::fprintf(stderr, "lcsf_sta: %s [%s]\n",
+               e.diagnostics().message().c_str(),
+               sim::failure_kind_name(e.kind()));
+  return 1;
 }
 
 }  // namespace
@@ -139,10 +160,7 @@ int main(int argc, char** argv) {
       try {
         batch = stats::parse_batch(next(), "--batch");
       } catch (const sim::SimulationError& e) {
-        std::fprintf(stderr, "lcsf_sta: %s [%s]\n",
-                     e.diagnostics().message().c_str(),
-                     sim::failure_kind_name(e.kind()));
-        return 1;
+        return classified_failure(e);
       }
     } else if (arg == "--yield-estimator") {
       yield_estimator = next();
@@ -161,7 +179,7 @@ int main(int argc, char** argv) {
     } else if (obs_cli.parse_flag(arg, next)) {
       // handled
     } else {
-      usage();
+      bad_option(arg);
     }
   }
   if (circuit_name.empty()) usage();
@@ -176,18 +194,38 @@ int main(int argc, char** argv) {
 
   obs_cli.install();
 
-  const auto& bspec = timing::find_benchmark(circuit_name);
-  const auto nl = timing::generate_benchmark(bspec);
+  api::DesignSpec dspec;
+  dspec.circuit = circuit_name;
+  dspec.elements = elements;
+  dspec.graph = graph_mode;
+  dspec.top_k = top_k;
+  dspec.retry = on_failure == "retry";
+
+  std::shared_ptr<api::Session> session;
+  try {
+    session = api::Session::load(dspec);
+  } catch (const sim::SimulationError& e) {
+    return classified_failure(e);
+  }
+  const auto& bspec = session->benchmark();
+  const auto& nl = session->netlist();
+
+  core::PathVariationModel model;
+  model.std_dl = std_dl;
+  model.std_vt = std_vt;
+
+  stats::RunOptions run_opt;
+  run_opt.samples = samples;
+  run_opt.seed = seed;
+  run_opt.exec.threads = threads;
+  run_opt.exec.batch = batch;
+  run_opt.exec.on_failure = on_failure == "abort"
+                                ? stats::FailurePolicy::kAbort
+                                : stats::FailurePolicy::kSkip;
+  run_opt.registry = obs_cli.registry();
 
   if (graph_mode) {
-    core::GraphSpec gspec;
-    gspec.tech = circuit::technology_180nm();
-    gspec.netlist = nl;
-    gspec.top_k = top_k;
-    gspec.linear_elements_per_stage = elements;
-    gspec.stage_window = 1.0e-9;
-    if (on_failure == "retry") gspec.recovery.max_dt_retries = 3;
-    core::GraphAnalyzer analyzer(std::move(gspec));
+    const core::GraphAnalyzer& analyzer = *session->graph_analyzer();
 
     std::printf("circuit %s: %zu gates, %zu latches; %zu most-critical "
                 "paths\n",
@@ -206,21 +244,13 @@ int main(int argc, char** argv) {
                 analyzer.subgraph_gates().size(), analyzer.num_blocks(),
                 analyzer.endpoint_nets().size());
 
-    core::PathVariationModel model;
-    model.std_dl = std_dl;
-    model.std_vt = std_vt;
-
-    stats::RunOptions run_opt;
-    run_opt.samples = samples;
-    run_opt.seed = seed;
-    run_opt.exec.threads = threads;
-    run_opt.exec.batch = batch;
-    run_opt.exec.on_failure = on_failure == "abort"
-                                  ? stats::FailurePolicy::kAbort
-                                  : stats::FailurePolicy::kSkip;
-    run_opt.registry = obs_cli.registry();
-
-    const auto mc = analyzer.monte_carlo(model, run_opt);
+    stats::MonteCarloResult mc;
+    try {
+      mc = session->run_monte_carlo(model, run_opt);
+    } catch (const sim::SimulationError& e) {
+      obs_cli.finish("lcsf_sta");
+      return classified_failure(e);
+    }
     if (mc.failures.any()) {
       std::printf("sample failures: %zu of %zu attempted\n%s\n",
                   mc.failures.failed(), mc.failures.attempted,
@@ -266,7 +296,8 @@ int main(int argc, char** argv) {
     return obs_cli.finish("lcsf_sta") ? 0 : 1;
   }
 
-  const auto path = timing::longest_path(nl);
+  const auto& path = session->longest_path();
+  const core::PathAnalyzer& analyzer = *session->path_analyzer();
 
   std::printf("circuit %s: %zu gates, %zu latches; longest path %zu "
               "stages\n",
@@ -279,106 +310,95 @@ int main(int argc, char** argv) {
   }
   std::printf("\n\n");
 
-  core::PathSpec spec = core::PathSpec::from_benchmark(
-      circuit::technology_180nm(), nl, path, elements);
-  spec.stage_window = 1.0e-9;
-  if (on_failure == "retry") spec.recovery.max_dt_retries = 3;
-  core::PathAnalyzer analyzer(spec);
-
-  core::PathVariationModel model;
-  model.std_dl = std_dl;
-  model.std_vt = std_vt;
-
-  stats::RunOptions run_opt;
-  run_opt.samples = samples;
-  run_opt.seed = seed;
-  run_opt.exec.threads = threads;
-  run_opt.exec.batch = batch;
-  run_opt.exec.on_failure = on_failure == "abort"
-                                ? stats::FailurePolicy::kAbort
-                                : stats::FailurePolicy::kSkip;
-  run_opt.registry = obs_cli.registry();
-
-  stats::MonteCarloResult mc;
-  if (rho > 0.0) {
-    const auto corr = analyzer.monte_carlo_correlated(model, rho, run_opt);
-    std::printf("correlated MC (rho = %.2f): %zu sources -> %zu PCA "
-                "factors\n",
-                rho, corr.total_sources, corr.factors_used);
-    mc = corr.mc;
-  } else {
-    mc = analyzer.monte_carlo(model, run_opt);
-  }
-  const auto ga = analyzer.gradient_analysis(model);
-
-  if (mc.failures.any()) {
-    std::printf("sample failures: %zu of %zu attempted\n%s\n",
-                mc.failures.failed(), mc.failures.attempted,
-                mc.failures.table().c_str());
-  }
-  if (mc.values.empty()) {
-    std::fprintf(stderr, "lcsf_sta: every Monte-Carlo sample failed\n");
-    obs_cli.finish("lcsf_sta");  // the metrics tell the failure story
-    return 1;
-  }
-  std::printf("Monte-Carlo (%zu samples): mean %.2f ps, std %.2f ps\n",
-              mc.values.size(), mc.stats.mean() * 1e12,
-              mc.stats.stddev() * 1e12);
-  std::printf("Gradient Analysis (%zu sims): mean %.2f ps, std %.2f ps\n\n",
-              ga.simulations, ga.nominal_delay * 1e12, ga.stddev * 1e12);
-
-  const double t_mc = stats::period_for_yield(mc.values, yield_target);
-  const double t_ga = stats::gaussian_period_for_yield(
-      ga.nominal_delay, ga.stddev, yield_target);
-  std::printf("clock period for %.2f%% yield: %.2f ps (MC), %.2f ps (GA)\n",
-              100 * yield_target, t_mc * 1e12, t_ga * 1e12);
-
-  if (yield_estimator != "mc") {
-    // Probe the tail at --clock-period (default: the GA period computed
-    // above, so the IS report quantifies exactly the quoted target).
-    const double t_clk = clock_period > 0.0 ? clock_period : t_ga;
-    stats::RunOptions is_opt = run_opt;
-    is_opt.importance.pilot_samples = is_pilot;
-    is_opt.importance.control_variate = yield_estimator == "is-cv";
-    const auto is = analyzer.yield_importance(model, t_clk, is_opt);
-    double shift_norm = 0.0;
-    for (const double th : is.surrogate.shift) shift_norm += th * th;
-    shift_norm = std::sqrt(shift_norm);
-    std::printf("\nimportance-sampled yield @ %.2f ps (%s%s):\n", t_clk * 1e12,
-                yield_estimator.c_str(),
-                is_pilot > 0 ? ", pilot-refined" : "");
-    std::printf("  yield loss %.3e +/- %.3e (yield %.6f)\n", is.yield_loss,
-                is.std_error, is.yield);
-    std::printf("  surrogate beta %.2f, proposal shift |theta| %.2f\n",
-                is.surrogate.beta, shift_norm);
-    // Brute-force MC needs p(1-p)/SE^2 samples for the same standard
-    // error; the ratio to the IS budget is the headline speedup.
-    if (is.std_error > 0.0) {
-      const double mc_equiv = is.yield_loss * (1.0 - is.yield_loss) /
-                              (is.std_error * is.std_error);
-      std::printf("  ESS %.1f of %zu samples; MC-equivalent budget %.0f "
-                  "(%.1fx)\n",
-                  is.ess, is.main_samples, mc_equiv,
-                  mc_equiv / static_cast<double>(is.main_samples));
+  try {
+    stats::MonteCarloResult mc;
+    if (rho > 0.0) {
+      const auto corr =
+          session->run_monte_carlo_correlated(model, rho, run_opt);
+      std::printf("correlated MC (rho = %.2f): %zu sources -> %zu PCA "
+                  "factors\n",
+                  rho, corr.total_sources, corr.factors_used);
+      mc = corr.mc;
+    } else {
+      mc = session->run_monte_carlo(model, run_opt);
     }
-    if (is.control_variate_used) {
-      std::printf("  control variate: c* %.3f, exact E[C] %.3e\n",
-                  is.control_coefficient, is.control_expectation);
-    }
-    if (is.failures.any() || is.pilot_failures.any()) {
-      std::printf("  skipped samples: %zu main, %zu pilot\n",
-                  is.failures.failed(), is.pilot_failures.failed());
-    }
-  }
+    const auto ga = session->run_gradients(model);
 
-  if (corner) {
-    const auto wc = analyzer.worst_case_corner(model, 3.0);
-    std::printf("worst-case +/-3-sigma corner: %.2f ps (pessimism %.2fx "
-                "vs GA quantile)\n",
-                wc.delay * 1e12,
-                stats::corner_pessimism(wc.delay, t_ga, ga.nominal_delay));
+    if (mc.failures.any()) {
+      std::printf("sample failures: %zu of %zu attempted\n%s\n",
+                  mc.failures.failed(), mc.failures.attempted,
+                  mc.failures.table().c_str());
+    }
+    if (mc.values.empty()) {
+      std::fprintf(stderr, "lcsf_sta: every Monte-Carlo sample failed\n");
+      obs_cli.finish("lcsf_sta");  // the metrics tell the failure story
+      return 1;
+    }
+    std::printf("Monte-Carlo (%zu samples): mean %.2f ps, std %.2f ps\n",
+                mc.values.size(), mc.stats.mean() * 1e12,
+                mc.stats.stddev() * 1e12);
+    std::printf("Gradient Analysis (%zu sims): mean %.2f ps, std %.2f "
+                "ps\n\n",
+                ga.simulations, ga.nominal_delay * 1e12, ga.stddev * 1e12);
+
+    const double t_mc = stats::period_for_yield(mc.values, yield_target);
+    const double t_ga = stats::gaussian_period_for_yield(
+        ga.nominal_delay, ga.stddev, yield_target);
+    std::printf("clock period for %.2f%% yield: %.2f ps (MC), %.2f ps "
+                "(GA)\n",
+                100 * yield_target, t_mc * 1e12, t_ga * 1e12);
+
+    if (yield_estimator != "mc") {
+      // Probe the tail at --clock-period (default: the GA period computed
+      // above, so the IS report quantifies exactly the quoted target).
+      const double t_clk = clock_period > 0.0 ? clock_period : t_ga;
+      stats::RunOptions is_opt = run_opt;
+      is_opt.importance.pilot_samples = is_pilot;
+      const auto yres = session->run_yield(model, t_clk, yield_estimator,
+                                           yield_target, is_opt);
+      const stats::IsYieldEstimate& is = *yres.is;
+      double shift_norm = 0.0;
+      for (const double th : is.surrogate.shift) shift_norm += th * th;
+      shift_norm = std::sqrt(shift_norm);
+      std::printf("\nimportance-sampled yield @ %.2f ps (%s%s):\n",
+                  t_clk * 1e12, yield_estimator.c_str(),
+                  is_pilot > 0 ? ", pilot-refined" : "");
+      std::printf("  yield loss %.3e +/- %.3e (yield %.6f)\n",
+                  is.yield_loss, is.std_error, is.yield);
+      std::printf("  surrogate beta %.2f, proposal shift |theta| %.2f\n",
+                  is.surrogate.beta, shift_norm);
+      // Brute-force MC needs p(1-p)/SE^2 samples for the same standard
+      // error; the ratio to the IS budget is the headline speedup.
+      if (is.std_error > 0.0) {
+        const double mc_equiv = is.yield_loss * (1.0 - is.yield_loss) /
+                                (is.std_error * is.std_error);
+        std::printf("  ESS %.1f of %zu samples; MC-equivalent budget %.0f "
+                    "(%.1fx)\n",
+                    is.ess, is.main_samples, mc_equiv,
+                    mc_equiv / static_cast<double>(is.main_samples));
+      }
+      if (is.control_variate_used) {
+        std::printf("  control variate: c* %.3f, exact E[C] %.3e\n",
+                    is.control_coefficient, is.control_expectation);
+      }
+      if (is.failures.any() || is.pilot_failures.any()) {
+        std::printf("  skipped samples: %zu main, %zu pilot\n",
+                    is.failures.failed(), is.pilot_failures.failed());
+      }
+    }
+
+    if (corner) {
+      const auto wc = analyzer.worst_case_corner(model, 3.0);
+      std::printf("worst-case +/-3-sigma corner: %.2f ps (pessimism %.2fx "
+                  "vs GA quantile)\n",
+                  wc.delay * 1e12,
+                  stats::corner_pessimism(wc.delay, t_ga, ga.nominal_delay));
+    }
+    std::printf("\ndelay histogram:\n%s",
+                stats::Histogram::from_data(mc.values, 12).render(40).c_str());
+  } catch (const sim::SimulationError& e) {
+    obs_cli.finish("lcsf_sta");
+    return classified_failure(e);
   }
-  std::printf("\ndelay histogram:\n%s",
-              stats::Histogram::from_data(mc.values, 12).render(40).c_str());
   return obs_cli.finish("lcsf_sta") ? 0 : 1;
 }
